@@ -1,0 +1,117 @@
+// Command helix-run replays a scripted iterative-development session (the
+// demo's guided interaction, §3.2) for one application on one system,
+// printing per-iteration execution reports, the version browser's commit
+// log, and the Metrics-tab trend plots (Figure 3, rendered as text).
+//
+// Usage:
+//
+//	helix-run -app census -system helix
+//	helix-run -app ie -system deepdive -iters 5
+//	helix-run -app census -plot f1 -compare 2,3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/systems"
+	"repro/internal/workload"
+)
+
+func main() {
+	app := flag.String("app", "census", "application: census or ie")
+	system := flag.String("system", "helix", "system: helix, helix-unopt, deepdive, keystoneml")
+	rows := flag.Int("rows", 10000, "census training rows")
+	docs := flag.Int("docs", 300, "news training documents")
+	iters := flag.Int("iters", 0, "iterations to run (0 = all)")
+	plot := flag.String("plot", "", "metric to plot across versions (e.g. accuracy, f1)")
+	compare := flag.String("compare", "", "two versions to compare, e.g. 2,3")
+	budget := flag.Int64("budget", 0, "storage budget in bytes (0 = unlimited)")
+	seed := flag.Int64("seed", 2018, "dataset seed")
+	flag.Parse()
+
+	sc, err := scenario(*app, *rows, *docs, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	base, err := os.MkdirTemp("", "helix-run-*")
+	if err != nil {
+		fatal(err)
+	}
+	defer os.RemoveAll(base)
+
+	res, err := bench.RunScenario(systems.Kind(*system), sc,
+		systems.Options{BaseDir: base, BudgetBytes: *budget}, *iters)
+	if err != nil {
+		fatal(err)
+	}
+	for _, it := range res.Iterations {
+		fmt.Printf("iteration %-2d [%-7s] %-46s wall=%-12v computed=%d loaded=%d pruned=%d\n",
+			it.Iteration, it.Kind, it.Description, it.Wall.Round(time.Microsecond),
+			it.Computed, it.Loaded, it.Pruned)
+		if m := it.Metrics[sc.Metric]; m != 0 {
+			fmt.Printf("             %s=%.4f\n", sc.Metric, m)
+		}
+	}
+	fmt.Printf("\ncumulative runtime: %v\n\n", res.Cumulative().Round(time.Microsecond))
+
+	fmt.Println("=== versions (newest first) ===")
+	fmt.Print(res.Versions.Log())
+	if best, err := res.Versions.Best(sc.Metric); err == nil {
+		fmt.Printf("best %s: version %d (%.4f)\n", sc.Metric, best.Number, best.Metrics[sc.Metric])
+	}
+
+	if *plot != "" {
+		fmt.Printf("\n=== metric trend: %s ===\n", *plot)
+		fmt.Print(res.Versions.PlotMetric(*plot, 50))
+	}
+	if *compare != "" {
+		a, b, err := parsePair(*compare)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\n=== version comparison ===\n")
+		out, err := res.Versions.Compare(a, b)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(out)
+	}
+}
+
+func scenario(app string, rows, docs int, seed int64) (*workload.Scenario, error) {
+	switch app {
+	case "census":
+		return workload.CensusScenario(workload.GenerateCensus(rows, rows/4, seed)), nil
+	case "ie":
+		return workload.IEScenario(workload.GenerateNews(docs, docs/4, seed)), nil
+	default:
+		return nil, fmt.Errorf("unknown app %q (want census or ie)", app)
+	}
+}
+
+func parsePair(s string) (int, int, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("compare wants two versions like 2,3, got %q", s)
+	}
+	a, err := strconv.Atoi(strings.TrimSpace(parts[0]))
+	if err != nil {
+		return 0, 0, err
+	}
+	b, err := strconv.Atoi(strings.TrimSpace(parts[1]))
+	if err != nil {
+		return 0, 0, err
+	}
+	return a, b, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "helix-run:", err)
+	os.Exit(1)
+}

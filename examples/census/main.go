@@ -1,0 +1,59 @@
+// Census: the paper's first demo application (§3) — income classification
+// over census-style records. Replays the full 10-iteration development
+// session on HELIX, showing the per-iteration plans, the automatic change
+// detection, and the Metrics-tab trend across versions.
+//
+//	go run ./examples/census
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/systems"
+	"repro/internal/workload"
+)
+
+func main() {
+	data := workload.GenerateCensus(5000, 1250, 42)
+	scenario := workload.CensusScenario(data)
+
+	base, err := os.MkdirTemp("", "helix-census-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(base)
+
+	res, err := bench.RunScenario(systems.Helix, scenario, systems.Options{BaseDir: base}, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("iterative development session (census, helix):")
+	for _, it := range res.Iterations {
+		fmt.Printf("  v%-2d [%-7s] %-46s wall=%-10v acc=%.4f\n",
+			it.Iteration, it.Kind, it.Description,
+			it.Wall.Round(time.Microsecond), it.Metrics["accuracy"])
+	}
+	fmt.Printf("cumulative: %v\n\n", res.Cumulative().Round(time.Microsecond))
+
+	fmt.Println("accuracy across versions (Metrics tab):")
+	fmt.Print(res.Versions.PlotMetric("accuracy", 50))
+
+	best, err := res.Versions.Best("accuracy")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nbest version: v%d (%q)\n", best.Number, best.Message)
+
+	// Version comparison (Figure 3): the best version against the first.
+	out, err := res.Versions.Compare(1, best.Number)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ncomparison v1 -> best:")
+	fmt.Print(out)
+}

@@ -1,0 +1,184 @@
+// Package codec provides a compact, allocation-light binary format used by
+// the hot workflow value types for their materialization encoding. The
+// generic gob path (reflection over maps of strings) is 10–50x slower than
+// recomputing small per-row values, which would make reuse pointless; this
+// codec restores the load ≪ compute relationship a real system gets from a
+// columnar format.
+//
+// Primitives: unsigned varints, IEEE-754 floats, length-prefixed strings,
+// and an interned string table for high-repetition payloads (feature names,
+// categorical values, tokens).
+package codec
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Writer builds a buffer of primitives. The zero value is ready to use.
+type Writer struct {
+	buf []byte
+}
+
+// Bytes returns the accumulated encoding.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Uvarint appends an unsigned varint.
+func (w *Writer) Uvarint(x uint64) {
+	w.buf = binary.AppendUvarint(w.buf, x)
+}
+
+// Int appends a non-negative int as a uvarint. Negative values are a caller
+// bug and panic (lengths and indices are never negative).
+func (w *Writer) Int(x int) {
+	if x < 0 {
+		panic(fmt.Sprintf("codec: negative length %d", x))
+	}
+	w.Uvarint(uint64(x))
+}
+
+// Float64 appends an IEEE-754 double, little endian.
+func (w *Writer) Float64(f float64) {
+	w.buf = binary.LittleEndian.AppendUint64(w.buf, math.Float64bits(f))
+}
+
+// String appends a length-prefixed string.
+func (w *Writer) String(s string) {
+	w.Int(len(s))
+	w.buf = append(w.buf, s...)
+}
+
+// Reader consumes a buffer written by Writer. All methods return an error
+// on truncation or corruption rather than panicking: materialized files can
+// be damaged on disk.
+type Reader struct {
+	buf []byte
+	off int
+}
+
+// NewReader wraps a buffer.
+func NewReader(buf []byte) *Reader { return &Reader{buf: buf} }
+
+// Done reports whether the whole buffer was consumed.
+func (r *Reader) Done() bool { return r.off == len(r.buf) }
+
+// Uvarint reads an unsigned varint.
+func (r *Reader) Uvarint() (uint64, error) {
+	x, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("codec: bad uvarint at offset %d", r.off)
+	}
+	r.off += n
+	return x, nil
+}
+
+// Int reads a non-negative int (an index or scalar, not a length).
+func (r *Reader) Int() (int, error) {
+	x, err := r.Uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if x > math.MaxInt64/2 {
+		return 0, fmt.Errorf("codec: int %d out of range", x)
+	}
+	return int(x), nil
+}
+
+// Len reads a collection or byte length, additionally guarding against
+// values that exceed the remaining buffer — corruption defense before any
+// allocation sized by the result.
+func (r *Reader) Len() (int, error) {
+	x, err := r.Uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if x > uint64(len(r.buf)) {
+		return 0, fmt.Errorf("codec: length %d exceeds buffer %d", x, len(r.buf))
+	}
+	return int(x), nil
+}
+
+// Float64 reads a double.
+func (r *Reader) Float64() (float64, error) {
+	if r.off+8 > len(r.buf) {
+		return 0, fmt.Errorf("codec: truncated float at offset %d", r.off)
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(r.buf[r.off:]))
+	r.off += 8
+	return v, nil
+}
+
+// String reads a length-prefixed string.
+func (r *Reader) String() (string, error) {
+	n, err := r.Len()
+	if err != nil {
+		return "", err
+	}
+	if r.off+n > len(r.buf) {
+		return "", fmt.Errorf("codec: truncated string (%d bytes) at offset %d", n, r.off)
+	}
+	s := string(r.buf[r.off : r.off+n])
+	r.off += n
+	return s, nil
+}
+
+// StringTable interns strings during encoding: the first occurrence writes
+// the text, later occurrences write only its index. High-repetition payloads
+// (feature names over rows) compress dramatically and decode with shared
+// string instances.
+type StringTable struct {
+	index map[string]uint64
+}
+
+// NewStringTable returns an empty table.
+func NewStringTable() *StringTable { return &StringTable{index: make(map[string]uint64)} }
+
+// Write encodes s through the table: tag 0 + index for known strings,
+// tag 1 + text for new ones.
+func (t *StringTable) Write(w *Writer, s string) {
+	if i, ok := t.index[s]; ok {
+		w.Uvarint(0)
+		w.Uvarint(i)
+		return
+	}
+	t.index[s] = uint64(len(t.index))
+	w.Uvarint(1)
+	w.String(s)
+}
+
+// ReadStringTable mirrors StringTable on the decode side.
+type ReadStringTable struct {
+	strings []string
+}
+
+// NewReadStringTable returns an empty decode table.
+func NewReadStringTable() *ReadStringTable { return &ReadStringTable{} }
+
+// Read decodes one table-encoded string.
+func (t *ReadStringTable) Read(r *Reader) (string, error) {
+	tag, err := r.Uvarint()
+	if err != nil {
+		return "", err
+	}
+	switch tag {
+	case 0:
+		i, err := r.Uvarint()
+		if err != nil {
+			return "", err
+		}
+		if i >= uint64(len(t.strings)) {
+			return "", fmt.Errorf("codec: string index %d out of range (%d interned)", i, len(t.strings))
+		}
+		return t.strings[i], nil
+	case 1:
+		s, err := r.String()
+		if err != nil {
+			return "", err
+		}
+		t.strings = append(t.strings, s)
+		return s, nil
+	default:
+		return "", fmt.Errorf("codec: bad string tag %d", tag)
+	}
+}

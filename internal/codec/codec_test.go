@@ -1,0 +1,221 @@
+package codec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPrimitivesRoundTrip(t *testing.T) {
+	var w Writer
+	w.Uvarint(0)
+	w.Uvarint(1 << 40)
+	w.Int(12345)
+	w.Float64(math.Pi)
+	w.Float64(math.Inf(-1))
+	w.String("hello")
+	w.String("")
+
+	r := NewReader(w.Bytes())
+	if v, err := r.Uvarint(); err != nil || v != 0 {
+		t.Errorf("uvarint0 = %d, %v", v, err)
+	}
+	if v, err := r.Uvarint(); err != nil || v != 1<<40 {
+		t.Errorf("uvarint big = %d, %v", v, err)
+	}
+	if v, err := r.Int(); err != nil || v != 12345 {
+		t.Errorf("int = %d, %v", v, err)
+	}
+	if v, err := r.Float64(); err != nil || v != math.Pi {
+		t.Errorf("pi = %v, %v", v, err)
+	}
+	if v, err := r.Float64(); err != nil || !math.IsInf(v, -1) {
+		t.Errorf("-inf = %v, %v", v, err)
+	}
+	if v, err := r.String(); err != nil || v != "hello" {
+		t.Errorf("string = %q, %v", v, err)
+	}
+	if v, err := r.String(); err != nil || v != "" {
+		t.Errorf("empty string = %q, %v", v, err)
+	}
+	if !r.Done() {
+		t.Error("reader not exhausted")
+	}
+}
+
+func TestNegativeIntPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on negative int")
+		}
+	}()
+	var w Writer
+	w.Int(-1)
+}
+
+func TestTruncationErrors(t *testing.T) {
+	var w Writer
+	w.Float64(1.5)
+	w.String("abcdef")
+	full := w.Bytes()
+	// Every strict prefix must fail cleanly somewhere, never panic.
+	for cut := 0; cut < len(full); cut++ {
+		r := NewReader(full[:cut])
+		_, err1 := r.Float64()
+		_, err2 := r.String()
+		if cut < 8 && err1 == nil {
+			t.Errorf("cut=%d: truncated float accepted", cut)
+		}
+		if cut < len(full) && err1 == nil && err2 == nil {
+			t.Errorf("cut=%d: fully decoded a truncated buffer", cut)
+		}
+	}
+}
+
+func TestLenBufferGuard(t *testing.T) {
+	var w Writer
+	w.Uvarint(1 << 50) // absurd length
+	r := NewReader(w.Bytes())
+	if _, err := r.Len(); err == nil {
+		t.Error("oversized length accepted by Len")
+	}
+	// Int accepts large scalars that fit an int64...
+	r2 := NewReader(w.Bytes())
+	if v, err := r2.Int(); err != nil || v != 1<<50 {
+		t.Errorf("Int(1<<50) = %d, %v", v, err)
+	}
+	// ...but rejects values that could overflow downstream arithmetic.
+	var w2 Writer
+	w2.Uvarint(1 << 63)
+	if _, err := NewReader(w2.Bytes()).Int(); err == nil {
+		t.Error("overflowing scalar accepted by Int")
+	}
+}
+
+func TestBadUvarint(t *testing.T) {
+	// 10 continuation bytes = overflow.
+	bad := []byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff}
+	r := NewReader(bad)
+	if _, err := r.Uvarint(); err == nil {
+		t.Error("overflowing uvarint accepted")
+	}
+	if _, err := NewReader(nil).Uvarint(); err == nil {
+		t.Error("empty uvarint accepted")
+	}
+}
+
+func TestStringTableInterning(t *testing.T) {
+	var w Writer
+	tb := NewStringTable()
+	tb.Write(&w, "alpha")
+	tb.Write(&w, "beta")
+	tb.Write(&w, "alpha") // interned
+	tb.Write(&w, "alpha")
+	sizeWithInterning := len(w.Bytes())
+
+	var w2 Writer
+	for _, s := range []string{"alpha", "beta", "alpha", "alpha"} {
+		w2.String(s)
+	}
+	if sizeWithInterning >= len(w2.Bytes()) {
+		t.Errorf("interning did not shrink encoding: %d vs %d", sizeWithInterning, len(w2.Bytes()))
+	}
+
+	r := NewReader(w.Bytes())
+	rt := NewReadStringTable()
+	for _, want := range []string{"alpha", "beta", "alpha", "alpha"} {
+		got, err := rt.Read(r)
+		if err != nil || got != want {
+			t.Fatalf("read = %q, %v (want %q)", got, err, want)
+		}
+	}
+	if !r.Done() {
+		t.Error("leftover bytes")
+	}
+}
+
+func TestReadStringTableCorruption(t *testing.T) {
+	// Index beyond table.
+	var w Writer
+	w.Uvarint(0)
+	w.Uvarint(5)
+	if _, err := NewReadStringTable().Read(NewReader(w.Bytes())); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+	// Unknown tag.
+	var w2 Writer
+	w2.Uvarint(9)
+	if _, err := NewReadStringTable().Read(NewReader(w2.Bytes())); err == nil {
+		t.Error("bad tag accepted")
+	}
+}
+
+// Property: arbitrary sequences of primitives round-trip.
+func TestQuickPrimitiveSequences(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(40)
+		kinds := make([]int, n)
+		ints := make([]uint64, n)
+		floats := make([]float64, n)
+		strs := make([]string, n)
+		var w Writer
+		tb := NewStringTable()
+		for i := 0; i < n; i++ {
+			kinds[i] = rng.Intn(4)
+			switch kinds[i] {
+			case 0:
+				ints[i] = rng.Uint64() >> uint(rng.Intn(64))
+				w.Uvarint(ints[i])
+			case 1:
+				floats[i] = rng.NormFloat64() * math.Pow(10, float64(rng.Intn(20)-10))
+				w.Float64(floats[i])
+			case 2:
+				strs[i] = randString(rng)
+				w.String(strs[i])
+			default:
+				strs[i] = randString(rng)
+				tb.Write(&w, strs[i])
+			}
+		}
+		r := NewReader(w.Bytes())
+		rt := NewReadStringTable()
+		for i := 0; i < n; i++ {
+			switch kinds[i] {
+			case 0:
+				v, err := r.Uvarint()
+				if err != nil || v != ints[i] {
+					return false
+				}
+			case 1:
+				v, err := r.Float64()
+				if err != nil || v != floats[i] {
+					return false
+				}
+			case 2:
+				v, err := r.String()
+				if err != nil || v != strs[i] {
+					return false
+				}
+			default:
+				v, err := rt.Read(r)
+				if err != nil || v != strs[i] {
+					return false
+				}
+			}
+		}
+		return r.Done()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func randString(rng *rand.Rand) string {
+	b := make([]byte, rng.Intn(12))
+	for i := range b {
+		b[i] = byte('a' + rng.Intn(26))
+	}
+	return string(b)
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"repro/internal/codec"
+	"repro/internal/data"
+)
+
+// Custom gob encodings for the hot pipeline values. See internal/codec: the
+// reflective gob path over these (many small maps / slices) loads slower
+// than recomputing, which would make the recomputation optimizer always
+// prefer compute and mask the paper's trade-offs.
+
+// GobEncode implements the interned columnar encoding for FeatureColumn.
+func (fc FeatureColumn) GobEncode() ([]byte, error) {
+	var w codec.Writer
+	table := codec.NewStringTable()
+	data.EncodeFeatureMaps(&w, table, fc.Train)
+	data.EncodeFeatureMaps(&w, table, fc.Test)
+	return w.Bytes(), nil
+}
+
+// GobDecode reverses GobEncode.
+func (fc *FeatureColumn) GobDecode(raw []byte) error {
+	r := codec.NewReader(raw)
+	table := codec.NewReadStringTable()
+	train, err := data.DecodeFeatureMaps(r, table)
+	if err != nil {
+		return err
+	}
+	test, err := data.DecodeFeatureMaps(r, table)
+	if err != nil {
+		return err
+	}
+	fc.Train, fc.Test = train, test
+	return nil
+}
+
+// GobEncode implements the flat-array encoding for VecPair.
+func (vp VecPair) GobEncode() ([]byte, error) {
+	var w codec.Writer
+	data.EncodeLabeled(&w, vp.Train)
+	data.EncodeLabeled(&w, vp.Test)
+	w.Int(vp.Dim)
+	w.Int(len(vp.Names))
+	for _, n := range vp.Names {
+		w.String(n)
+	}
+	return w.Bytes(), nil
+}
+
+// GobDecode reverses GobEncode.
+func (vp *VecPair) GobDecode(raw []byte) error {
+	r := codec.NewReader(raw)
+	train, err := data.DecodeLabeled(r)
+	if err != nil {
+		return err
+	}
+	test, err := data.DecodeLabeled(r)
+	if err != nil {
+		return err
+	}
+	dim, err := r.Int()
+	if err != nil {
+		return err
+	}
+	nn, err := r.Len()
+	if err != nil {
+		return err
+	}
+	names := make([]string, nn)
+	for i := range names {
+		if names[i], err = r.String(); err != nil {
+			return err
+		}
+	}
+	vp.Train, vp.Test, vp.Dim, vp.Names = train, test, dim, names
+	return nil
+}
+
+// GobEncode implements a flat encoding for Predictions.
+func (p Predictions) GobEncode() ([]byte, error) {
+	var w codec.Writer
+	for _, arr := range [][]float64{p.Scores, p.Labels, p.Gold} {
+		w.Int(len(arr))
+		for _, v := range arr {
+			w.Float64(v)
+		}
+	}
+	return w.Bytes(), nil
+}
+
+// GobDecode reverses GobEncode.
+func (p *Predictions) GobDecode(raw []byte) error {
+	r := codec.NewReader(raw)
+	for _, dst := range []*[]float64{&p.Scores, &p.Labels, &p.Gold} {
+		n, err := r.Int()
+		if err != nil {
+			return err
+		}
+		arr := make([]float64, n)
+		for i := range arr {
+			if arr[i], err = r.Float64(); err != nil {
+				return err
+			}
+		}
+		*dst = arr
+	}
+	return nil
+}

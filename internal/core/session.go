@@ -1,0 +1,264 @@
+package core
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/dag"
+	"repro/internal/exec"
+	"repro/internal/opt"
+	"repro/internal/sig"
+	"repro/internal/store"
+)
+
+// Config selects a system behaviour for a Session. The comparator systems of
+// the paper's Figure 2 are all expressible as Configs (see the systems
+// package).
+type Config struct {
+	// SystemName labels reports ("helix", "deepdive", ...).
+	SystemName string
+	// StoreDir is the materialization directory; empty disables persistence
+	// entirely (no loads, no stores).
+	StoreDir string
+	// BudgetBytes caps the store (<=0 = unlimited).
+	BudgetBytes int64
+	// Policy is the online materialization policy; nil = never materialize.
+	Policy opt.MatPolicy
+	// Reuse enables cross-iteration reuse (the recomputation optimizer may
+	// choose load states). Without it every iteration recomputes its full
+	// program slice.
+	Reuse bool
+	// NeverReuse lists operator categories that must always recompute even
+	// when a valid materialization exists — DeepDive's non-configurable ML
+	// and evaluation components are modeled this way.
+	NeverReuse []Category
+	// Workers bounds intra-iteration parallelism.
+	Workers int
+}
+
+// Session drives iterative development: one Session per developer working
+// session, one Run call per iteration. The session owns the store, the
+// runtime-statistics history, and the previous compiled version for change
+// detection.
+type Session struct {
+	cfg     Config
+	store   *store.Store
+	engine  *exec.Engine
+	history *exec.History
+	prev    *Compiled
+	iter    int
+}
+
+// historyFile is the runtime-statistics snapshot kept next to the store so
+// later sessions warm-start with realistic compute-cost estimates.
+const historyFile = "helix-history.json"
+
+// NewSession opens the materialization store (if configured) and prepares
+// the engine. Persisted runtime statistics from earlier sessions over the
+// same StoreDir are loaded automatically.
+func NewSession(cfg Config) (*Session, error) {
+	s := &Session{cfg: cfg, history: exec.NewHistory()}
+	if cfg.StoreDir != "" {
+		st, err := store.Open(cfg.StoreDir, cfg.BudgetBytes)
+		if err != nil {
+			return nil, err
+		}
+		s.store = st
+		if err := s.history.Load(s.historyPath()); err != nil {
+			return nil, err
+		}
+	}
+	s.engine = &exec.Engine{
+		Store:   s.store,
+		Policy:  cfg.Policy,
+		Workers: cfg.Workers,
+		History: s.history,
+	}
+	return s, nil
+}
+
+// Store exposes the session's materialization store (nil if disabled).
+func (s *Session) Store() *store.Store { return s.store }
+
+// History exposes the runtime-statistics history.
+func (s *Session) History() *exec.History { return s.history }
+
+// Report summarizes one iteration for the user interface (and benchmarks).
+type Report struct {
+	Iteration  int
+	System     string
+	Workflow   string
+	Wall       time.Duration
+	PlanCost   int64
+	Graph      *dag.Graph
+	Plan       *opt.Plan
+	Nodes      []exec.NodeRun
+	Changes    []sig.Change
+	Outputs    map[string]any
+	StoreUsed  int64
+	SourceText string
+}
+
+// Counts tallies node states in the executed plan.
+func (r *Report) Counts() (computed, loaded, pruned int) {
+	for _, st := range r.Plan.States {
+		switch st {
+		case opt.Compute:
+			computed++
+		case opt.Load:
+			loaded++
+		case opt.Prune:
+			pruned++
+		}
+	}
+	return
+}
+
+// Run compiles and executes one iteration of the workflow.
+func (s *Session) Run(w *Workflow) (*Report, error) {
+	compiled, err := Compile(w)
+	if err != nil {
+		return nil, err
+	}
+	cm, err := s.engine.BuildCostModel(compiled.Graph, compiled.Tasks)
+	if err != nil {
+		return nil, err
+	}
+	if !s.cfg.Reuse {
+		for i := range cm.Loadable {
+			cm.Loadable[i] = false
+		}
+	}
+	for _, cat := range s.cfg.NeverReuse {
+		for i := 0; i < compiled.Graph.Len(); i++ {
+			if compiled.Category(dag.NodeID(i)) == cat {
+				cm.Loadable[i] = false
+			}
+		}
+	}
+	plan, err := opt.Optimal(compiled.Graph, cm)
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.engine.Execute(compiled.Graph, compiled.Tasks, plan)
+	if err != nil {
+		return nil, fmt.Errorf("core: iteration %d: %w", s.iter+1, err)
+	}
+	var changes []sig.Change
+	if s.prev != nil {
+		changes = sig.Diff(s.prev.Graph, compiled.Graph)
+		s.feedReuseObservations(compiled, changes)
+	}
+	outputs := make(map[string]any)
+	for _, o := range compiled.Graph.Outputs() {
+		if v, ok := res.Values[o]; ok {
+			outputs[compiled.Graph.Node(o).Name] = v
+		}
+	}
+	s.iter++
+	s.prev = compiled
+	rep := &Report{
+		Iteration:  s.iter,
+		System:     s.cfg.SystemName,
+		Workflow:   w.Name(),
+		Wall:       res.Wall,
+		PlanCost:   plan.Cost,
+		Graph:      compiled.Graph,
+		Plan:       plan,
+		Nodes:      res.Nodes,
+		Changes:    changes,
+		Outputs:    outputs,
+		SourceText: w.SourceText(),
+	}
+	if s.store != nil {
+		rep.StoreUsed = s.store.Used()
+		// Persist runtime statistics for future sessions; failure to save
+		// degrades warm-start but must not fail the iteration.
+		_ = s.history.Save(s.historyPath())
+	}
+	return rep, nil
+}
+
+// historyPath locates the persisted statistics file. The store directory is
+// shared with materialized values; the filename cannot collide with their
+// hex-signature keys.
+func (s *Session) historyPath() string {
+	return filepath.Join(s.cfg.StoreDir, historyFile)
+}
+
+// feedReuseObservations teaches a reuse-probability-learning policy which
+// operator categories survived this iteration's edit (their result
+// signatures stayed valid) — the feedback loop behind the paper's
+// "predicting reuse probability" future-work extension.
+func (s *Session) feedReuseObservations(compiled *Compiled, changes []sig.Change) {
+	ph, ok := s.cfg.Policy.(*opt.ProbabilisticHeuristic)
+	if !ok {
+		return
+	}
+	changedCats := make(map[string]bool)
+	for _, ch := range changes {
+		if ch.Kind == sig.Removed {
+			continue // not present in the new graph; nothing to survive
+		}
+		if id := compiled.Graph.Lookup(ch.Name); id != dag.InvalidNode {
+			changedCats[string(compiled.Category(id))] = true
+		}
+	}
+	present := make(map[string]bool)
+	for i := 0; i < compiled.Graph.Len(); i++ {
+		present[string(compiled.Category(dag.NodeID(i)))] = true
+	}
+	for cat := range present {
+		ph.Observe(cat, !changedCats[cat])
+	}
+}
+
+// RenderPlan renders the executed plan as the text analogue of Figure 1b:
+// one line per node with its state, runtime, and materialization mark.
+func (r *Report) RenderPlan() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "iteration %d (%s) wall=%v\n", r.Iteration, r.System, r.Wall.Round(time.Microsecond))
+	order, err := r.Graph.Topo()
+	if err != nil {
+		return "invalid graph: " + err.Error()
+	}
+	for _, id := range order {
+		n := r.Graph.Node(id)
+		nr := r.Nodes[id]
+		mark := " "
+		if nr.Materialized {
+			mark = "*" // drum-to-the-right in Figure 1b
+		}
+		state := r.Plan.States[id].String()
+		if r.Plan.States[id] == opt.Load {
+			state = "load   " // drum-to-the-left
+		}
+		fmt.Fprintf(&b, "  [%-7s]%s %-12s (%s, %s) %v\n",
+			state, mark, n.Name, n.Op, n.Attrs[AttrCategory], nr.Duration.Round(time.Microsecond))
+	}
+	return b.String()
+}
+
+// DOT renders the executed plan as Graphviz, painting states the way the
+// demo GUI does: pruned gray, loaded blue, computed white, materialized
+// results double-bordered.
+func (r *Report) DOT() string {
+	return r.Graph.DOT(fmt.Sprintf("%s-iter%d", r.Workflow, r.Iteration), func(id dag.NodeID) string {
+		var attrs []string
+		switch r.Plan.States[id] {
+		case opt.Prune:
+			attrs = append(attrs, "style=filled", "fillcolor=gray80", "fontcolor=gray40")
+		case opt.Load:
+			attrs = append(attrs, "style=filled", "fillcolor=lightblue")
+		}
+		if r.Nodes[id].Materialized {
+			attrs = append(attrs, "peripheries=2")
+		}
+		if r.Graph.Node(id).Attrs[AttrCategory] == string(CatML) {
+			attrs = append(attrs, "color=orange")
+		}
+		return strings.Join(attrs, ", ")
+	})
+}

@@ -1,0 +1,322 @@
+// Package dag provides the directed-acyclic-graph representation that the
+// HELIX compiler produces from a Workflow and that the optimizers consume.
+//
+// A Graph is a set of nodes identified by dense integer IDs with directed
+// edges from producers to consumers (an edge u->v means v consumes the
+// intermediate result produced by u, i.e. u is a parent of v). The package
+// offers the graph algorithms the rest of the system is built on:
+// topological ordering, ancestor/descendant closures, program slicing
+// against a set of output nodes, and DOT export for the visualization tool.
+package dag
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// NodeID identifies a node within a single Graph. IDs are dense: the first
+// node added gets 0, the next 1, and so on.
+type NodeID int
+
+// InvalidNode is returned by lookups that fail.
+const InvalidNode NodeID = -1
+
+// Node is a vertex in the workflow DAG. The optimizer-relevant attributes
+// (costs, output flag) live directly on the node; everything else the
+// compiler wants to attach travels in Attrs.
+type Node struct {
+	ID   NodeID
+	Name string
+	// Op is a short operator type label ("scan", "extract", "learner", ...)
+	// used by visualization and by the category-based statistics.
+	Op string
+	// Output marks nodes whose results the user requested (is_output()).
+	Output bool
+	// Attrs carries compiler metadata (signature, operator index, ...).
+	Attrs map[string]string
+}
+
+// Graph is a mutable DAG. The zero value is not usable; call New.
+type Graph struct {
+	nodes   []Node
+	parents [][]NodeID // parents[v] = producers consumed by v
+	childs  [][]NodeID // childs[u]  = consumers of u
+	byName  map[string]NodeID
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{byName: make(map[string]NodeID)}
+}
+
+// Len returns the number of nodes.
+func (g *Graph) Len() int { return len(g.nodes) }
+
+// AddNode appends a node and returns its ID. Names must be unique; adding a
+// duplicate name returns an error so compiler bugs surface immediately.
+func (g *Graph) AddNode(name, op string) (NodeID, error) {
+	if _, ok := g.byName[name]; ok {
+		return InvalidNode, fmt.Errorf("dag: duplicate node name %q", name)
+	}
+	id := NodeID(len(g.nodes))
+	g.nodes = append(g.nodes, Node{ID: id, Name: name, Op: op, Attrs: make(map[string]string)})
+	g.parents = append(g.parents, nil)
+	g.childs = append(g.childs, nil)
+	g.byName[name] = id
+	return id, nil
+}
+
+// MustAddNode is AddNode for construction paths where a duplicate is a
+// programming error.
+func (g *Graph) MustAddNode(name, op string) NodeID {
+	id, err := g.AddNode(name, op)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// AddEdge records that child consumes parent's result. Self-loops and
+// duplicate edges are rejected; cycle creation is rejected lazily by Topo.
+func (g *Graph) AddEdge(parent, child NodeID) error {
+	if !g.valid(parent) || !g.valid(child) {
+		return fmt.Errorf("dag: edge %d->%d references unknown node", parent, child)
+	}
+	if parent == child {
+		return fmt.Errorf("dag: self-loop on node %d (%s)", parent, g.nodes[parent].Name)
+	}
+	for _, p := range g.parents[child] {
+		if p == parent {
+			return fmt.Errorf("dag: duplicate edge %s->%s", g.nodes[parent].Name, g.nodes[child].Name)
+		}
+	}
+	g.parents[child] = append(g.parents[child], parent)
+	g.childs[parent] = append(g.childs[parent], child)
+	return nil
+}
+
+// MustAddEdge is AddEdge that panics on error.
+func (g *Graph) MustAddEdge(parent, child NodeID) {
+	if err := g.AddEdge(parent, child); err != nil {
+		panic(err)
+	}
+}
+
+func (g *Graph) valid(id NodeID) bool { return id >= 0 && int(id) < len(g.nodes) }
+
+// Node returns a pointer to the node with the given ID so callers can set
+// attributes in place. It panics on invalid IDs: they can only come from a
+// different graph, which is a logic error.
+func (g *Graph) Node(id NodeID) *Node {
+	if !g.valid(id) {
+		panic(fmt.Sprintf("dag: invalid node id %d", id))
+	}
+	return &g.nodes[id]
+}
+
+// Lookup resolves a node name to its ID, or InvalidNode if absent.
+func (g *Graph) Lookup(name string) NodeID {
+	if id, ok := g.byName[name]; ok {
+		return id
+	}
+	return InvalidNode
+}
+
+// Parents returns the producers consumed by v. The slice is owned by the
+// graph; callers must not mutate it.
+func (g *Graph) Parents(v NodeID) []NodeID { return g.parents[v] }
+
+// Children returns the consumers of u. The slice is owned by the graph.
+func (g *Graph) Children(u NodeID) []NodeID { return g.childs[u] }
+
+// Outputs returns the IDs of all nodes marked Output, in ID order.
+func (g *Graph) Outputs() []NodeID {
+	var out []NodeID
+	for i := range g.nodes {
+		if g.nodes[i].Output {
+			out = append(out, NodeID(i))
+		}
+	}
+	return out
+}
+
+// Topo returns a topological order (parents before children) or an error if
+// the graph contains a cycle. The order is deterministic: among ready nodes
+// the smallest ID is emitted first (Kahn's algorithm with a sorted frontier).
+func (g *Graph) Topo() ([]NodeID, error) {
+	n := len(g.nodes)
+	indeg := make([]int, n)
+	for v := 0; v < n; v++ {
+		indeg[v] = len(g.parents[v])
+	}
+	frontier := make([]NodeID, 0, n)
+	for v := 0; v < n; v++ {
+		if indeg[v] == 0 {
+			frontier = append(frontier, NodeID(v))
+		}
+	}
+	order := make([]NodeID, 0, n)
+	for len(frontier) > 0 {
+		sort.Slice(frontier, func(i, j int) bool { return frontier[i] < frontier[j] })
+		u := frontier[0]
+		frontier = frontier[1:]
+		order = append(order, u)
+		for _, c := range g.childs[u] {
+			indeg[c]--
+			if indeg[c] == 0 {
+				frontier = append(frontier, c)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, fmt.Errorf("dag: cycle detected (%d of %d nodes ordered)", len(order), n)
+	}
+	return order, nil
+}
+
+// Levels partitions the graph into execution waves: level 0 holds all roots,
+// level k holds nodes whose longest path from a root has length k. Nodes in
+// the same level are independent and may execute concurrently.
+func (g *Graph) Levels() ([][]NodeID, error) {
+	order, err := g.Topo()
+	if err != nil {
+		return nil, err
+	}
+	depth := make([]int, len(g.nodes))
+	maxd := 0
+	for _, v := range order {
+		for _, p := range g.parents[v] {
+			if depth[p]+1 > depth[v] {
+				depth[v] = depth[p] + 1
+			}
+		}
+		if depth[v] > maxd {
+			maxd = depth[v]
+		}
+	}
+	levels := make([][]NodeID, maxd+1)
+	for _, v := range order {
+		levels[depth[v]] = append(levels[depth[v]], v)
+	}
+	return levels, nil
+}
+
+// Ancestors returns the set of strict ancestors of v (v excluded).
+func (g *Graph) Ancestors(v NodeID) map[NodeID]bool {
+	seen := make(map[NodeID]bool)
+	var visit func(NodeID)
+	visit = func(u NodeID) {
+		for _, p := range g.parents[u] {
+			if !seen[p] {
+				seen[p] = true
+				visit(p)
+			}
+		}
+	}
+	visit(v)
+	return seen
+}
+
+// Descendants returns the set of strict descendants of v (v excluded).
+func (g *Graph) Descendants(v NodeID) map[NodeID]bool {
+	seen := make(map[NodeID]bool)
+	var visit func(NodeID)
+	visit = func(u NodeID) {
+		for _, c := range g.childs[u] {
+			if !seen[c] {
+				seen[c] = true
+				visit(c)
+			}
+		}
+	}
+	visit(v)
+	return seen
+}
+
+// Slice computes the program slice: the set of nodes from which at least one
+// output node is reachable (outputs included). Nodes outside the slice are
+// extraneous operations — HELIX prunes them without any code change by the
+// user (§2.2, "program slicing component").
+func (g *Graph) Slice() map[NodeID]bool {
+	live := make(map[NodeID]bool)
+	var visit func(NodeID)
+	visit = func(u NodeID) {
+		if live[u] {
+			return
+		}
+		live[u] = true
+		for _, p := range g.parents[u] {
+			visit(p)
+		}
+	}
+	for _, o := range g.Outputs() {
+		visit(o)
+	}
+	return live
+}
+
+// Roots returns all nodes with no parents.
+func (g *Graph) Roots() []NodeID {
+	var out []NodeID
+	for v := range g.nodes {
+		if len(g.parents[v]) == 0 {
+			out = append(out, NodeID(v))
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy of the graph. Attrs maps are copied.
+func (g *Graph) Clone() *Graph {
+	c := New()
+	for i := range g.nodes {
+		n := g.nodes[i]
+		id := c.MustAddNode(n.Name, n.Op)
+		cn := c.Node(id)
+		cn.Output = n.Output
+		for k, v := range n.Attrs {
+			cn.Attrs[k] = v
+		}
+	}
+	for v := range g.parents {
+		for _, p := range g.parents[v] {
+			c.MustAddEdge(p, NodeID(v))
+		}
+	}
+	return c
+}
+
+// Names returns node names indexed by ID, useful for error messages.
+func (g *Graph) Names() []string {
+	out := make([]string, len(g.nodes))
+	for i := range g.nodes {
+		out[i] = g.nodes[i].Name
+	}
+	return out
+}
+
+// DOT renders the graph in Graphviz format. The decorate callback, if
+// non-nil, returns extra attributes (e.g. `style=filled, fillcolor=gray`)
+// for each node; it is how the viz tool paints load/materialize/prune marks.
+func (g *Graph) DOT(title string, decorate func(NodeID) string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=TB;\n  node [shape=box, fontname=\"Helvetica\"];\n", title)
+	for i := range g.nodes {
+		extra := ""
+		if decorate != nil {
+			extra = decorate(NodeID(i))
+		}
+		if extra != "" {
+			extra = ", " + extra
+		}
+		fmt.Fprintf(&b, "  n%d [label=%q%s];\n", i, g.nodes[i].Name, extra)
+	}
+	for v := range g.parents {
+		for _, p := range g.parents[v] {
+			fmt.Fprintf(&b, "  n%d -> n%d;\n", p, v)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,319 @@
+package dag
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// diamond builds the classic a -> {b,c} -> d shape used across tests.
+func diamond(t *testing.T) (*Graph, NodeID, NodeID, NodeID, NodeID) {
+	t.Helper()
+	g := New()
+	a := g.MustAddNode("a", "scan")
+	b := g.MustAddNode("b", "extract")
+	c := g.MustAddNode("c", "extract")
+	d := g.MustAddNode("d", "learner")
+	g.MustAddEdge(a, b)
+	g.MustAddEdge(a, c)
+	g.MustAddEdge(b, d)
+	g.MustAddEdge(c, d)
+	return g, a, b, c, d
+}
+
+func TestAddNodeDuplicate(t *testing.T) {
+	g := New()
+	if _, err := g.AddNode("x", "op"); err != nil {
+		t.Fatalf("first add: %v", err)
+	}
+	if _, err := g.AddNode("x", "op"); err == nil {
+		t.Fatal("duplicate name accepted")
+	}
+}
+
+func TestAddEdgeValidation(t *testing.T) {
+	g := New()
+	a := g.MustAddNode("a", "op")
+	b := g.MustAddNode("b", "op")
+	if err := g.AddEdge(a, a); err == nil {
+		t.Error("self-loop accepted")
+	}
+	if err := g.AddEdge(a, b); err != nil {
+		t.Errorf("valid edge rejected: %v", err)
+	}
+	if err := g.AddEdge(a, b); err == nil {
+		t.Error("duplicate edge accepted")
+	}
+	if err := g.AddEdge(a, NodeID(99)); err == nil {
+		t.Error("edge to unknown node accepted")
+	}
+}
+
+func TestLookup(t *testing.T) {
+	g, a, _, _, _ := diamond(t)
+	if got := g.Lookup("a"); got != a {
+		t.Errorf("Lookup(a) = %d, want %d", got, a)
+	}
+	if got := g.Lookup("nope"); got != InvalidNode {
+		t.Errorf("Lookup(nope) = %d, want InvalidNode", got)
+	}
+}
+
+func TestTopoOrder(t *testing.T) {
+	g, _, _, _, _ := diamond(t)
+	order, err := g.Topo()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make(map[NodeID]int)
+	for i, v := range order {
+		pos[v] = i
+	}
+	for v := 0; v < g.Len(); v++ {
+		for _, p := range g.Parents(NodeID(v)) {
+			if pos[p] >= pos[NodeID(v)] {
+				t.Errorf("parent %d not before child %d", p, v)
+			}
+		}
+	}
+}
+
+func TestTopoCycle(t *testing.T) {
+	g := New()
+	a := g.MustAddNode("a", "op")
+	b := g.MustAddNode("b", "op")
+	g.MustAddEdge(a, b)
+	g.MustAddEdge(b, a)
+	if _, err := g.Topo(); err == nil {
+		t.Fatal("cycle not detected")
+	}
+	if _, err := g.Levels(); err == nil {
+		t.Fatal("Levels on cyclic graph did not error")
+	}
+}
+
+func TestLevels(t *testing.T) {
+	g, a, b, c, d := diamond(t)
+	levels, err := g.Levels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(levels) != 3 {
+		t.Fatalf("want 3 levels, got %d", len(levels))
+	}
+	if len(levels[0]) != 1 || levels[0][0] != a {
+		t.Errorf("level 0 = %v, want [%d]", levels[0], a)
+	}
+	if len(levels[1]) != 2 {
+		t.Errorf("level 1 = %v, want {%d,%d}", levels[1], b, c)
+	}
+	if len(levels[2]) != 1 || levels[2][0] != d {
+		t.Errorf("level 2 = %v, want [%d]", levels[2], d)
+	}
+}
+
+func TestAncestorsDescendants(t *testing.T) {
+	g, a, b, c, d := diamond(t)
+	anc := g.Ancestors(d)
+	if len(anc) != 3 || !anc[a] || !anc[b] || !anc[c] {
+		t.Errorf("Ancestors(d) = %v", anc)
+	}
+	if len(g.Ancestors(a)) != 0 {
+		t.Errorf("Ancestors(a) should be empty")
+	}
+	desc := g.Descendants(a)
+	if len(desc) != 3 || !desc[b] || !desc[c] || !desc[d] {
+		t.Errorf("Descendants(a) = %v", desc)
+	}
+	if len(g.Descendants(d)) != 0 {
+		t.Errorf("Descendants(d) should be empty")
+	}
+}
+
+func TestSlice(t *testing.T) {
+	g, a, b, _, d := diamond(t)
+	// Add a dead branch hanging off a.
+	dead := g.MustAddNode("dead", "extract")
+	g.MustAddEdge(a, dead)
+	g.Node(d).Output = true
+	live := g.Slice()
+	if !live[a] || !live[b] || !live[d] {
+		t.Errorf("slice missing live nodes: %v", live)
+	}
+	if live[dead] {
+		t.Error("dead node retained by slice")
+	}
+}
+
+func TestSliceNoOutputs(t *testing.T) {
+	g, _, _, _, _ := diamond(t)
+	if live := g.Slice(); len(live) != 0 {
+		t.Errorf("slice with no outputs = %v, want empty", live)
+	}
+}
+
+func TestRootsOutputs(t *testing.T) {
+	g, a, _, _, d := diamond(t)
+	g.Node(d).Output = true
+	roots := g.Roots()
+	if len(roots) != 1 || roots[0] != a {
+		t.Errorf("Roots = %v", roots)
+	}
+	outs := g.Outputs()
+	if len(outs) != 1 || outs[0] != d {
+		t.Errorf("Outputs = %v", outs)
+	}
+}
+
+func TestClone(t *testing.T) {
+	g, _, _, _, d := diamond(t)
+	g.Node(d).Output = true
+	g.Node(d).Attrs["sig"] = "abc"
+	c := g.Clone()
+	if c.Len() != g.Len() {
+		t.Fatalf("clone len %d != %d", c.Len(), g.Len())
+	}
+	if !c.Node(d).Output || c.Node(d).Attrs["sig"] != "abc" {
+		t.Error("clone lost node attributes")
+	}
+	// Mutating the clone must not affect the original.
+	c.Node(d).Attrs["sig"] = "zzz"
+	if g.Node(d).Attrs["sig"] != "abc" {
+		t.Error("clone shares attrs map with original")
+	}
+	c.MustAddNode("extra", "op")
+	if g.Len() == c.Len() {
+		t.Error("clone shares node storage")
+	}
+}
+
+func TestDOT(t *testing.T) {
+	g, _, _, _, d := diamond(t)
+	dot := g.DOT("wf", func(id NodeID) string {
+		if id == d {
+			return "fillcolor=gray"
+		}
+		return ""
+	})
+	for _, want := range []string{"digraph", "n0 -> n1", "fillcolor=gray", `label="a"`} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q in:\n%s", want, dot)
+		}
+	}
+}
+
+// randomDAG builds a DAG where edges only go from lower to higher IDs,
+// guaranteeing acyclicity.
+func randomDAG(rng *rand.Rand, n int, p float64) *Graph {
+	g := New()
+	for i := 0; i < n; i++ {
+		g.MustAddNode(string(rune('A'+i%26))+string(rune('0'+i/26)), "op")
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				g.MustAddEdge(NodeID(u), NodeID(v))
+			}
+		}
+	}
+	return g
+}
+
+// Property: Topo on random DAGs always succeeds and respects edges.
+func TestQuickTopoRespectsEdges(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomDAG(r, 2+r.Intn(30), 0.3)
+		order, err := g.Topo()
+		if err != nil {
+			return false
+		}
+		pos := make(map[NodeID]int)
+		for i, v := range order {
+			pos[v] = i
+		}
+		for v := 0; v < g.Len(); v++ {
+			for _, p := range g.Parents(NodeID(v)) {
+				if pos[p] >= pos[NodeID(v)] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 50, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every node in the slice reaches an output, and every ancestor of
+// a sliced node is sliced.
+func TestQuickSliceClosedUnderAncestors(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomDAG(r, 2+r.Intn(25), 0.25)
+		// Mark a random non-empty subset of nodes as outputs.
+		for i := 0; i < g.Len(); i++ {
+			if r.Float64() < 0.2 {
+				g.Node(NodeID(i)).Output = true
+			}
+		}
+		g.Node(NodeID(g.Len() - 1)).Output = true
+		live := g.Slice()
+		for v := range live {
+			for _, p := range g.Parents(v) {
+				if !live[p] {
+					return false
+				}
+			}
+		}
+		// Everything not live must not be an output.
+		for i := 0; i < g.Len(); i++ {
+			if !live[NodeID(i)] && g.Node(NodeID(i)).Output {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: levels partition all nodes and each node's parents sit in
+// strictly lower levels.
+func TestQuickLevelsPartition(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomDAG(r, 2+r.Intn(25), 0.3)
+		levels, err := g.Levels()
+		if err != nil {
+			return false
+		}
+		lvl := make(map[NodeID]int)
+		total := 0
+		for li, nodes := range levels {
+			total += len(nodes)
+			for _, v := range nodes {
+				lvl[v] = li
+			}
+		}
+		if total != g.Len() {
+			return false
+		}
+		for v := 0; v < g.Len(); v++ {
+			for _, p := range g.Parents(NodeID(v)) {
+				if lvl[p] >= lvl[NodeID(v)] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,162 @@
+package data
+
+import (
+	"fmt"
+
+	"repro/internal/codec"
+)
+
+// Collection and FeatureMap implement custom gob encodings through the fast
+// codec: the reflective gob path over per-row string maps decodes slower
+// than recomputing the rows, which would defeat materialization reuse.
+
+// GobEncode implements a columnar encoding: schema names, then all field
+// values through one interned string table (categorical columns repeat their
+// small vocabularies constantly).
+func (c *Collection) GobEncode() ([]byte, error) {
+	var w codec.Writer
+	names := c.Schema.Names()
+	w.Int(len(names))
+	for _, n := range names {
+		w.String(n)
+	}
+	w.Int(len(c.Rows))
+	table := codec.NewStringTable()
+	for _, row := range c.Rows {
+		if len(row.Fields) != len(names) {
+			return nil, fmt.Errorf("data: row has %d fields, schema has %d", len(row.Fields), len(names))
+		}
+		for _, f := range row.Fields {
+			table.Write(&w, f)
+		}
+	}
+	return w.Bytes(), nil
+}
+
+// GobDecode reverses GobEncode.
+func (c *Collection) GobDecode(raw []byte) error {
+	r := codec.NewReader(raw)
+	ncols, err := r.Len()
+	if err != nil {
+		return err
+	}
+	names := make([]string, ncols)
+	for i := range names {
+		if names[i], err = r.String(); err != nil {
+			return err
+		}
+	}
+	schema, err := NewSchema(names...)
+	if err != nil {
+		return err
+	}
+	nrows, err := r.Len()
+	if err != nil {
+		return err
+	}
+	rows := make([]Row, nrows)
+	table := codec.NewReadStringTable()
+	for i := range rows {
+		fields := make([]string, ncols)
+		for j := range fields {
+			if fields[j], err = table.Read(r); err != nil {
+				return err
+			}
+		}
+		rows[i] = Row{Fields: fields}
+	}
+	c.Schema = schema
+	c.Rows = rows
+	return nil
+}
+
+// EncodeFeatureMaps writes a slice of feature maps through the codec with a
+// shared string table. Exposed for the composite value types (feature
+// columns, example sets) that embed map slices.
+func EncodeFeatureMaps(w *codec.Writer, table *codec.StringTable, maps []FeatureMap) {
+	w.Int(len(maps))
+	for _, fm := range maps {
+		w.Int(len(fm))
+		for name, val := range fm {
+			table.Write(w, name)
+			w.Float64(val)
+		}
+	}
+}
+
+// DecodeFeatureMaps reverses EncodeFeatureMaps.
+func DecodeFeatureMaps(r *codec.Reader, table *codec.ReadStringTable) ([]FeatureMap, error) {
+	n, err := r.Len()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]FeatureMap, n)
+	for i := range out {
+		k, err := r.Len()
+		if err != nil {
+			return nil, err
+		}
+		fm := make(FeatureMap, k)
+		for j := 0; j < k; j++ {
+			name, err := table.Read(r)
+			if err != nil {
+				return nil, err
+			}
+			val, err := r.Float64()
+			if err != nil {
+				return nil, err
+			}
+			fm[name] = val
+		}
+		out[i] = fm
+	}
+	return out, nil
+}
+
+// EncodeLabeled writes vectorized examples as flat arrays.
+func EncodeLabeled(w *codec.Writer, set []Labeled) {
+	w.Int(len(set))
+	for _, ex := range set {
+		w.Float64(ex.Y)
+		w.Int(len(ex.X.Indices))
+		for _, i := range ex.X.Indices {
+			w.Int(i)
+		}
+		for _, v := range ex.X.Values {
+			w.Float64(v)
+		}
+	}
+}
+
+// DecodeLabeled reverses EncodeLabeled.
+func DecodeLabeled(r *codec.Reader) ([]Labeled, error) {
+	n, err := r.Len()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Labeled, n)
+	for i := range out {
+		y, err := r.Float64()
+		if err != nil {
+			return nil, err
+		}
+		nnz, err := r.Len()
+		if err != nil {
+			return nil, err
+		}
+		idx := make([]int, nnz)
+		for k := range idx {
+			if idx[k], err = r.Int(); err != nil {
+				return nil, err
+			}
+		}
+		vals := make([]float64, nnz)
+		for k := range vals {
+			if vals[k], err = r.Float64(); err != nil {
+				return nil, err
+			}
+		}
+		out[i] = Labeled{X: Vector{Indices: idx, Values: vals}, Y: y}
+	}
+	return out, nil
+}

@@ -1,0 +1,420 @@
+// Package exec is HELIX's execution engine (§2.3): it runs a physical plan
+// (a per-node {load, compute, prune} assignment) over a workflow DAG with a
+// bounded worker pool, measures per-node runtimes and sizes, and makes
+// online materialization decisions through a pluggable policy the moment
+// each result becomes available.
+//
+// The paper executes on Spark; here independent DAG nodes within a level run
+// on goroutines, and the materialization store is local disk. All costs the
+// optimizers consume (compute nanoseconds, load nanoseconds, serialized
+// bytes) are measured, not modeled.
+package exec
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/dag"
+	"repro/internal/opt"
+	"repro/internal/store"
+)
+
+// Task binds a DAG node to its executable operator and store key. Tasks are
+// indexed by node ID: tasks[i] drives node i.
+type Task struct {
+	// Key is the node's result signature — its content address in the store.
+	Key string
+	// Run computes the node's value from its parents' values (ordered as
+	// g.Parents). Must be safe to call from any goroutine.
+	Run func(inputs []any) (any, error)
+}
+
+// NodeRun records what happened to one node during an Execute call.
+type NodeRun struct {
+	Name     string
+	State    opt.State
+	Duration time.Duration
+	// Size is the serialized size, known only if the engine encoded the
+	// value (for a materialization decision).
+	Size int64
+	// Materialized reports whether the result was persisted this run.
+	Materialized bool
+	// MatReward is the online heuristic's r_i (0 for other policies).
+	MatReward int64
+	// MatDuration is the time spent serializing + writing the result; it is
+	// part of Duration (the paper's cost model prices the write like one
+	// load, and the engine measures it for real).
+	MatDuration time.Duration
+}
+
+// Result is the outcome of one Execute call (one workflow iteration).
+type Result struct {
+	// Values holds every non-pruned node's value.
+	Values map[dag.NodeID]any
+	// Nodes is per-node accounting, indexed by node ID.
+	Nodes []NodeRun
+	// Wall is the end-to-end latency of the iteration.
+	Wall time.Duration
+}
+
+// Value returns the value of the named node, if present.
+func (r *Result) Value(g *dag.Graph, name string) (any, bool) {
+	id := g.Lookup(name)
+	if id == dag.InvalidNode {
+		return nil, false
+	}
+	v, ok := r.Values[id]
+	return v, ok
+}
+
+// History accumulates per-node runtime statistics across iterations
+// ("runtime statistics from the current and prior executions", §2.3),
+// keyed by node name. Safe for concurrent use.
+type History struct {
+	mu      sync.Mutex
+	compute map[string]time.Duration
+	size    map[string]int64
+}
+
+// NewHistory returns an empty history.
+func NewHistory() *History {
+	return &History{compute: make(map[string]time.Duration), size: make(map[string]int64)}
+}
+
+// ObserveCompute records a measured compute duration and size for a node.
+func (h *History) ObserveCompute(name string, d time.Duration, size int64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.compute[name] = d
+	if size > 0 {
+		h.size[name] = size
+	}
+}
+
+// Compute returns the last observed compute duration for name.
+func (h *History) Compute(name string) (time.Duration, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	d, ok := h.compute[name]
+	return d, ok
+}
+
+// Size returns the last observed serialized size for name.
+func (h *History) Size(name string) (int64, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s, ok := h.size[name]
+	return s, ok
+}
+
+// historySnapshot is the JSON persistence format for History.
+type historySnapshot struct {
+	ComputeNanos map[string]int64 `json:"compute_nanos"`
+	SizeBytes    map[string]int64 `json:"size_bytes"`
+}
+
+// Save writes the statistics to path so a future session can warm-start
+// ("runtime statistics from the current and prior executions", §2.3).
+func (h *History) Save(path string) error {
+	h.mu.Lock()
+	snap := historySnapshot{
+		ComputeNanos: make(map[string]int64, len(h.compute)),
+		SizeBytes:    make(map[string]int64, len(h.size)),
+	}
+	for k, v := range h.compute {
+		snap.ComputeNanos[k] = v.Nanoseconds()
+	}
+	for k, v := range h.size {
+		snap.SizeBytes[k] = v
+	}
+	h.mu.Unlock()
+	raw, err := json.Marshal(snap)
+	if err != nil {
+		return fmt.Errorf("exec: marshal history: %w", err)
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+		return fmt.Errorf("exec: write history: %w", err)
+	}
+	return os.Rename(tmp, path)
+}
+
+// Load merges previously saved statistics into the history. A missing file
+// is not an error (first session); a corrupt file is.
+func (h *History) Load(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return fmt.Errorf("exec: read history: %w", err)
+	}
+	var snap historySnapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		return fmt.Errorf("exec: parse history %s: %w", path, err)
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for k, v := range snap.ComputeNanos {
+		h.compute[k] = time.Duration(v)
+	}
+	for k, v := range snap.SizeBytes {
+		h.size[k] = v
+	}
+	return nil
+}
+
+// Engine executes plans. Configure once, reuse across iterations.
+type Engine struct {
+	// Store is the materialization store; nil disables loads and stores.
+	Store *store.Store
+	// Policy decides online materialization; nil means never materialize.
+	Policy opt.MatPolicy
+	// Workers bounds per-level parallelism; <=0 means 4.
+	Workers int
+	// History receives compute-time observations and supplies estimates for
+	// nodes not computed this run; nil disables both.
+	History *History
+}
+
+func (e *Engine) workers() int {
+	if e.Workers <= 0 {
+		return 4
+	}
+	return e.Workers
+}
+
+// BuildCostModel assembles the recomputation optimizer's inputs for the
+// graph: compute costs from history (0 for never-seen nodes — optimistic,
+// so new operators are computed, never awaited from a store they are not
+// in), and load costs from the store's measured entries.
+func (e *Engine) BuildCostModel(g *dag.Graph, tasks []Task) (*opt.CostModel, error) {
+	if len(tasks) != g.Len() {
+		return nil, fmt.Errorf("exec: %d tasks for %d nodes", len(tasks), g.Len())
+	}
+	cm := opt.NewCostModel(g.Len())
+	for i := 0; i < g.Len(); i++ {
+		name := g.Node(dag.NodeID(i)).Name
+		if e.History != nil {
+			if d, ok := e.History.Compute(name); ok {
+				cm.Compute[i] = d.Nanoseconds()
+			}
+		}
+		if e.Store != nil && tasks[i].Key != "" {
+			if entry, ok := e.Store.Lookup(tasks[i].Key); ok {
+				cm.Loadable[i] = true
+				cm.Load[i] = entry.LoadCost.Nanoseconds()
+				if cm.Load[i] <= 0 {
+					cm.Load[i] = 1 // loads are never free
+				}
+			}
+		}
+	}
+	return cm, nil
+}
+
+// Execute runs the plan over the graph. Nodes in the same DAG level run
+// concurrently (bounded by Workers); the first error aborts subsequent
+// levels. The returned Result is complete for all levels that ran.
+func (e *Engine) Execute(g *dag.Graph, tasks []Task, plan *opt.Plan) (*Result, error) {
+	if len(tasks) != g.Len() {
+		return nil, fmt.Errorf("exec: %d tasks for %d nodes", len(tasks), g.Len())
+	}
+	if len(plan.States) != g.Len() {
+		return nil, fmt.Errorf("exec: plan has %d states for %d nodes", len(plan.States), g.Len())
+	}
+	levels, err := g.Levels()
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Values: make(map[dag.NodeID]any, g.Len()),
+		Nodes:  make([]NodeRun, g.Len()),
+	}
+	for i := 0; i < g.Len(); i++ {
+		res.Nodes[i] = NodeRun{Name: g.Node(dag.NodeID(i)).Name, State: plan.States[i]}
+	}
+	start := time.Now()
+	var mu sync.Mutex // guards res.Values and res.Nodes during a level
+	sem := make(chan struct{}, e.workers())
+	for _, level := range levels {
+		var wg sync.WaitGroup
+		errCh := make(chan error, len(level))
+		for _, id := range level {
+			if plan.States[id] == opt.Prune {
+				continue
+			}
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(id dag.NodeID) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				if err := e.runNode(g, tasks, plan, id, res, &mu); err != nil {
+					errCh <- err
+				}
+			}(id)
+		}
+		wg.Wait()
+		close(errCh)
+		if err := <-errCh; err != nil {
+			res.Wall = time.Since(start)
+			return res, err
+		}
+	}
+	res.Wall = time.Since(start)
+	return res, nil
+}
+
+// runNode loads or computes one node, then applies the materialization
+// policy for computed nodes.
+func (e *Engine) runNode(g *dag.Graph, tasks []Task, plan *opt.Plan, id dag.NodeID, res *Result, mu *sync.Mutex) error {
+	name := g.Node(id).Name
+	nodeStart := time.Now()
+	switch plan.States[id] {
+	case opt.Load:
+		if e.Store == nil {
+			return fmt.Errorf("exec: plan loads %s but engine has no store", name)
+		}
+		v, err := e.Store.Get(tasks[id].Key)
+		if err != nil {
+			return fmt.Errorf("exec: load %s: %w", name, err)
+		}
+		mu.Lock()
+		res.Values[id] = v
+		res.Nodes[id].Duration = time.Since(nodeStart)
+		mu.Unlock()
+		return nil
+
+	case opt.Compute:
+		parents := g.Parents(id)
+		inputs := make([]any, len(parents))
+		mu.Lock()
+		for i, p := range parents {
+			v, ok := res.Values[p]
+			if !ok {
+				mu.Unlock()
+				return fmt.Errorf("exec: %s needs parent %s which has no value", name, g.Node(p).Name)
+			}
+			inputs[i] = v
+		}
+		mu.Unlock()
+		if tasks[id].Run == nil {
+			return fmt.Errorf("exec: node %s has no Run function", name)
+		}
+		v, err := tasks[id].Run(inputs)
+		if err != nil {
+			return fmt.Errorf("exec: compute %s: %w", name, err)
+		}
+		computeDur := time.Since(nodeStart)
+		matDur, size, materialized, reward := e.maybeMaterialize(g, tasks, plan, id, v, computeDur, res, mu)
+		total := computeDur + matDur
+		if e.History != nil {
+			e.History.ObserveCompute(name, computeDur, size)
+		}
+		mu.Lock()
+		res.Values[id] = v
+		nr := &res.Nodes[id]
+		nr.Duration = total
+		nr.Size = size
+		nr.Materialized = materialized
+		nr.MatReward = reward
+		nr.MatDuration = matDur
+		mu.Unlock()
+		return nil
+
+	default:
+		return fmt.Errorf("exec: runNode called on pruned node %s", name)
+	}
+}
+
+// maybeMaterialize consults the policy and persists the value when told to.
+// Returns the time spent on serialization+write, the serialized size (0 if
+// never encoded), whether the value was stored, and the policy reward.
+func (e *Engine) maybeMaterialize(g *dag.Graph, tasks []Task, plan *opt.Plan, id dag.NodeID, v any, computeDur time.Duration, res *Result, mu *sync.Mutex) (time.Duration, int64, bool, int64) {
+	if e.Policy == nil || e.Store == nil || tasks[id].Key == "" {
+		return 0, 0, false, 0
+	}
+	if e.Store.Has(tasks[id].Key) {
+		return 0, 0, false, 0 // already persisted by an earlier iteration
+	}
+	start := time.Now()
+	var raw []byte
+	var size int64
+	if e.Policy.NeedsSize() {
+		// Prefer the history estimate (same node name, previous iteration)
+		// over serializing now: the paper's cost model must stay "cheap to
+		// compute", and sizes of a node's results are stable across
+		// iterations. Cold nodes are encoded once to learn their size.
+		if hsize, ok := e.historySize(g.Node(id).Name); ok {
+			size = hsize
+		} else {
+			encoded, err := store.Encode(v)
+			if err != nil {
+				// Unencodable values (unregistered types) are simply not
+				// materialization candidates.
+				return time.Since(start), 0, false, 0
+			}
+			raw = encoded
+			size = int64(len(raw))
+		}
+	}
+	ctx := opt.MatContext{
+		Graph:               g,
+		Node:                id,
+		ComputeCost:         computeDur.Nanoseconds(),
+		AncestorComputeCost: e.ancestorCost(g, id, res, mu),
+		LoadCost:            e.Store.EstimateLoad(size).Nanoseconds(),
+		Size:                size,
+		BudgetRemaining:     e.Store.Remaining(),
+	}
+	dec := e.Policy.Decide(ctx)
+	if !dec.Materialize {
+		return time.Since(start), size, false, dec.Reward
+	}
+	if raw == nil {
+		encoded, err := store.Encode(v)
+		if err != nil {
+			return time.Since(start), size, false, dec.Reward
+		}
+		raw = encoded
+		size = int64(len(raw))
+	}
+	if err := e.Store.PutBytes(tasks[id].Key, raw); err != nil {
+		// Budget races or I/O failures degrade to "not materialized".
+		return time.Since(start), size, false, dec.Reward
+	}
+	return time.Since(start), size, true, dec.Reward
+}
+
+// historySize returns the last observed serialized size for a node name.
+func (e *Engine) historySize(name string) (int64, bool) {
+	if e.History == nil {
+		return 0, false
+	}
+	return e.History.Size(name)
+}
+
+// ancestorCost sums the best-known compute costs of id's ancestors: the
+// actual duration if the ancestor computed this run, else the history
+// estimate, else zero.
+func (e *Engine) ancestorCost(g *dag.Graph, id dag.NodeID, res *Result, mu *sync.Mutex) int64 {
+	var total int64
+	for a := range g.Ancestors(id) {
+		mu.Lock()
+		nr := res.Nodes[a]
+		mu.Unlock()
+		if nr.State == opt.Compute && nr.Duration > 0 {
+			total += (nr.Duration - nr.MatDuration).Nanoseconds()
+			continue
+		}
+		if e.History != nil {
+			if d, ok := e.History.Compute(g.Node(a).Name); ok {
+				total += d.Nanoseconds()
+			}
+		}
+	}
+	return total
+}

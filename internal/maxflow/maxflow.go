@@ -1,0 +1,143 @@
+// Package maxflow implements Dinic's maximum-flow algorithm on integer
+// capacities, plus min-cut extraction. It is the algorithmic engine behind
+// HELIX's recomputation optimizer: the paper proves the recomputation
+// problem PTIME-reducible to the PROJECT SELECTION PROBLEM, a classic
+// min-cut application (Kleinberg & Tardos §7.11), solved here exactly.
+package maxflow
+
+import "fmt"
+
+// Inf is a capacity treated as unbounded. It is large enough that no
+// realistic sum of finite costs reaches it, yet small enough that summing a
+// handful of Inf capacities cannot overflow int64.
+const Inf int64 = 1 << 50
+
+type edge struct {
+	to  int
+	cap int64
+	rev int // index of the reverse edge in adj[to]
+}
+
+// Graph is a flow network under construction. Nodes are dense ints; callers
+// allocate them with AddNode or size the graph up front with NewSized.
+type Graph struct {
+	adj [][]edge
+}
+
+// New returns an empty flow network.
+func New() *Graph { return &Graph{} }
+
+// NewSized returns a network with n pre-allocated nodes (0..n-1).
+func NewSized(n int) *Graph { return &Graph{adj: make([][]edge, n)} }
+
+// AddNode allocates a new node and returns its index.
+func (g *Graph) AddNode() int {
+	g.adj = append(g.adj, nil)
+	return len(g.adj) - 1
+}
+
+// Len returns the number of nodes.
+func (g *Graph) Len() int { return len(g.adj) }
+
+// AddEdge adds a directed edge u->v with the given capacity (and an implicit
+// zero-capacity reverse edge). Negative capacities are a caller bug.
+func (g *Graph) AddEdge(u, v int, cap int64) {
+	if cap < 0 {
+		panic(fmt.Sprintf("maxflow: negative capacity %d on edge %d->%d", cap, u, v))
+	}
+	if u < 0 || v < 0 || u >= len(g.adj) || v >= len(g.adj) {
+		panic(fmt.Sprintf("maxflow: edge %d->%d out of range (n=%d)", u, v, len(g.adj)))
+	}
+	g.adj[u] = append(g.adj[u], edge{to: v, cap: cap, rev: len(g.adj[v])})
+	g.adj[v] = append(g.adj[v], edge{to: u, cap: 0, rev: len(g.adj[u]) - 1})
+}
+
+// MaxFlow computes the maximum s-t flow with Dinic's algorithm, mutating the
+// residual network in place. Calling it twice continues from the previous
+// residual state, so callers wanting a fresh run must rebuild the graph.
+func (g *Graph) MaxFlow(s, t int) int64 {
+	if s == t {
+		return 0
+	}
+	var total int64
+	level := make([]int, len(g.adj))
+	iter := make([]int, len(g.adj))
+	for g.bfs(s, t, level) {
+		for i := range iter {
+			iter[i] = 0
+		}
+		for {
+			f := g.dfs(s, t, Inf, level, iter)
+			if f == 0 {
+				break
+			}
+			total += f
+		}
+	}
+	return total
+}
+
+// bfs layers the residual graph; returns whether t is reachable.
+func (g *Graph) bfs(s, t int, level []int) bool {
+	for i := range level {
+		level[i] = -1
+	}
+	queue := make([]int, 0, len(g.adj))
+	level[s] = 0
+	queue = append(queue, s)
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, e := range g.adj[u] {
+			if e.cap > 0 && level[e.to] < 0 {
+				level[e.to] = level[u] + 1
+				queue = append(queue, e.to)
+			}
+		}
+	}
+	return level[t] >= 0
+}
+
+// dfs sends blocking flow along level-increasing residual edges.
+func (g *Graph) dfs(u, t int, f int64, level, iter []int) int64 {
+	if u == t {
+		return f
+	}
+	for ; iter[u] < len(g.adj[u]); iter[u]++ {
+		e := &g.adj[u][iter[u]]
+		if e.cap <= 0 || level[e.to] != level[u]+1 {
+			continue
+		}
+		d := f
+		if e.cap < d {
+			d = e.cap
+		}
+		got := g.dfs(e.to, t, d, level, iter)
+		if got > 0 {
+			e.cap -= got
+			g.adj[e.to][e.rev].cap += got
+			return got
+		}
+	}
+	return 0
+}
+
+// MinCutSourceSide returns, after MaxFlow has run, the set of nodes
+// reachable from s in the residual network — the source side of a minimum
+// cut.
+func (g *Graph) MinCutSourceSide(s int) []bool {
+	side := make([]bool, len(g.adj))
+	stack := []int{s}
+	side[s] = true
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range g.adj[u] {
+			if e.cap > 0 && !side[e.to] {
+				side[e.to] = true
+				stack = append(stack, e.to)
+			}
+		}
+	}
+	return side
+}

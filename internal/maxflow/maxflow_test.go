@@ -1,0 +1,301 @@
+package maxflow
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMaxFlowSimplePath(t *testing.T) {
+	g := NewSized(3)
+	g.AddEdge(0, 1, 5)
+	g.AddEdge(1, 2, 3)
+	if got := g.MaxFlow(0, 2); got != 3 {
+		t.Errorf("flow = %d, want 3", got)
+	}
+}
+
+func TestMaxFlowParallelPaths(t *testing.T) {
+	g := NewSized(4)
+	g.AddEdge(0, 1, 4)
+	g.AddEdge(0, 2, 6)
+	g.AddEdge(1, 3, 5)
+	g.AddEdge(2, 3, 2)
+	if got := g.MaxFlow(0, 3); got != 6 {
+		t.Errorf("flow = %d, want 6", got)
+	}
+}
+
+// Classic CLRS example network.
+func TestMaxFlowCLRS(t *testing.T) {
+	g := NewSized(6)
+	g.AddEdge(0, 1, 16)
+	g.AddEdge(0, 2, 13)
+	g.AddEdge(1, 2, 10)
+	g.AddEdge(2, 1, 4)
+	g.AddEdge(1, 3, 12)
+	g.AddEdge(3, 2, 9)
+	g.AddEdge(2, 4, 14)
+	g.AddEdge(4, 3, 7)
+	g.AddEdge(3, 5, 20)
+	g.AddEdge(4, 5, 4)
+	if got := g.MaxFlow(0, 5); got != 23 {
+		t.Errorf("flow = %d, want 23", got)
+	}
+}
+
+func TestMaxFlowDisconnected(t *testing.T) {
+	g := NewSized(4)
+	g.AddEdge(0, 1, 10)
+	g.AddEdge(2, 3, 10)
+	if got := g.MaxFlow(0, 3); got != 0 {
+		t.Errorf("flow = %d, want 0", got)
+	}
+}
+
+func TestMaxFlowSameSourceSink(t *testing.T) {
+	g := NewSized(2)
+	g.AddEdge(0, 1, 10)
+	if got := g.MaxFlow(0, 0); got != 0 {
+		t.Errorf("flow s==t = %d, want 0", got)
+	}
+}
+
+func TestMinCutSourceSide(t *testing.T) {
+	// Bottleneck edge 1->2: cut must separate {0,1} from {2,3}.
+	g := NewSized(4)
+	g.AddEdge(0, 1, 100)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(2, 3, 100)
+	if got := g.MaxFlow(0, 3); got != 1 {
+		t.Fatalf("flow = %d, want 1", got)
+	}
+	side := g.MinCutSourceSide(0)
+	want := []bool{true, true, false, false}
+	for i := range want {
+		if side[i] != want[i] {
+			t.Errorf("side[%d] = %v, want %v", i, side[i], want[i])
+		}
+	}
+}
+
+func TestAddEdgePanics(t *testing.T) {
+	g := NewSized(2)
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("negative cap", func() { g.AddEdge(0, 1, -1) })
+	mustPanic("out of range", func() { g.AddEdge(0, 5, 1) })
+}
+
+// bruteMinCut enumerates all 2^n node partitions to find the minimum s-t cut
+// value on a small capacity matrix.
+func bruteMinCut(n int, capMat [][]int64, s, t int) int64 {
+	best := int64(1) << 60
+	for mask := 0; mask < 1<<n; mask++ {
+		if mask&(1<<s) == 0 || mask&(1<<t) != 0 {
+			continue
+		}
+		var cut int64
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if mask&(1<<u) != 0 && mask&(1<<v) == 0 {
+					cut += capMat[u][v]
+				}
+			}
+		}
+		if cut < best {
+			best = cut
+		}
+	}
+	return best
+}
+
+// Property: max-flow equals brute-force min-cut on random small graphs
+// (max-flow min-cut theorem as an executable oracle).
+func TestQuickMaxFlowEqualsMinCut(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(6) // up to 7 nodes: 2^7 partitions
+		capMat := make([][]int64, n)
+		for i := range capMat {
+			capMat[i] = make([]int64, n)
+		}
+		g := NewSized(n)
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if u != v && r.Float64() < 0.4 {
+					c := int64(r.Intn(20))
+					capMat[u][v] += c
+					g.AddEdge(u, v, c)
+				}
+			}
+		}
+		s, tt := 0, n-1
+		return g.MaxFlow(s, tt) == bruteMinCut(n, capMat, s, tt)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProjectSelectionTextbook(t *testing.T) {
+	// Project 0 profits 10 but requires 1 (cost 5) and 2 (cost 3).
+	// Selecting all three yields 2 > 0, so all are selected.
+	ps := NewProjectSelection(3)
+	ps.SetProfit(0, 10)
+	ps.SetProfit(1, -5)
+	ps.SetProfit(2, -3)
+	ps.Require(0, 1)
+	ps.Require(0, 2)
+	sel, profit, err := ps.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if profit != 2 {
+		t.Errorf("profit = %d, want 2", profit)
+	}
+	for i, want := range []bool{true, true, true} {
+		if sel[i] != want {
+			t.Errorf("sel[%d] = %v, want %v", i, sel[i], want)
+		}
+	}
+}
+
+func TestProjectSelectionUnprofitable(t *testing.T) {
+	// Prerequisite too expensive: select nothing.
+	ps := NewProjectSelection(2)
+	ps.SetProfit(0, 4)
+	ps.SetProfit(1, -9)
+	ps.Require(0, 1)
+	sel, profit, err := ps.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if profit != 0 || sel[0] || sel[1] {
+		t.Errorf("sel=%v profit=%d, want none selected", sel, profit)
+	}
+}
+
+func TestProjectSelectionForced(t *testing.T) {
+	// Project 1 costs 9 but is forced; its prerequisite chain must come too.
+	ps := NewProjectSelection(2)
+	ps.SetProfit(0, -2)
+	ps.SetProfit(1, -9)
+	ps.Require(1, 0)
+	ps.Force(1)
+	sel, profit, err := ps.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sel[0] || !sel[1] {
+		t.Errorf("forced selection incomplete: %v", sel)
+	}
+	if profit != -11 {
+		t.Errorf("profit = %d, want -11", profit)
+	}
+}
+
+func TestProjectSelectionSelfRequireIgnored(t *testing.T) {
+	ps := NewProjectSelection(1)
+	ps.SetProfit(0, 5)
+	ps.Require(0, 0)
+	sel, profit, err := ps.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sel[0] || profit != 5 {
+		t.Errorf("sel=%v profit=%d", sel, profit)
+	}
+}
+
+// bruteProjectSelection enumerates all subsets.
+func bruteProjectSelection(profits []int64, prereqs [][2]int, forced []int) int64 {
+	n := len(profits)
+	best := int64(-1) << 60
+	for mask := 0; mask < 1<<n; mask++ {
+		ok := true
+		for _, f := range forced {
+			if mask&(1<<f) == 0 {
+				ok = false
+				break
+			}
+		}
+		for _, pq := range prereqs {
+			if mask&(1<<pq[0]) != 0 && mask&(1<<pq[1]) == 0 {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		var p int64
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				p += profits[i]
+			}
+		}
+		if p > best {
+			best = p
+		}
+	}
+	return best
+}
+
+// Property: the min-cut solver matches exhaustive search on random
+// project-selection instances.
+func TestQuickProjectSelectionOptimal(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(9)
+		ps := NewProjectSelection(n)
+		profits := make([]int64, n)
+		for i := range profits {
+			profits[i] = int64(r.Intn(41) - 20)
+			ps.SetProfit(i, profits[i])
+		}
+		var prereqs [][2]int
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i != j && r.Float64() < 0.15 {
+					// Only i<j prerequisites to keep instances feasible
+					// (acyclic requirement graph).
+					if i < j {
+						ps.Require(i, j)
+						prereqs = append(prereqs, [2]int{i, j})
+					}
+				}
+			}
+		}
+		var forced []int
+		if r.Float64() < 0.3 {
+			f0 := r.Intn(n)
+			ps.Force(f0)
+			forced = append(forced, f0)
+		}
+		sel, profit, err := ps.Solve()
+		if err != nil {
+			return false
+		}
+		// Verify closure and profit consistency.
+		var check int64
+		for i, s := range sel {
+			if s {
+				check += profits[i]
+			}
+		}
+		if check != profit {
+			return false
+		}
+		return profit == bruteProjectSelection(profits, prereqs, forced)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,103 @@
+package ml
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/data"
+)
+
+// bowData generates a bag-of-words-style dataset where class 1 prefers the
+// first half of the vocabulary.
+func bowData(n, dim int, seed int64) []data.Labeled {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]data.Labeled, n)
+	for i := range out {
+		y := float64(rng.Intn(2))
+		var v data.Vector
+		for k := 0; k < 6; k++ {
+			var j int
+			if (y == 1) == (rng.Float64() < 0.8) {
+				j = rng.Intn(dim / 2) // class-1 vocabulary
+			} else {
+				j = dim/2 + rng.Intn(dim/2)
+			}
+			v.Indices = append(v.Indices, j)
+			v.Values = append(v.Values, 1)
+		}
+		// Canonicalize: sort+merge duplicates.
+		merged := map[int]float64{}
+		for k, j := range v.Indices {
+			merged[j] += v.Values[k]
+		}
+		v = data.Vector{}
+		for j := 0; j < dim; j++ {
+			if c, ok := merged[j]; ok {
+				v.Indices = append(v.Indices, j)
+				v.Values = append(v.Values, c)
+			}
+		}
+		out[i] = data.Labeled{X: v, Y: y}
+	}
+	return out
+}
+
+func TestNaiveBayesLearns(t *testing.T) {
+	train := bowData(500, 40, 1)
+	nb, err := TrainNaiveBayes(train, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	test := bowData(200, 40, 2)
+	met, err := Evaluate(nb, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if met.Accuracy < 0.8 {
+		t.Errorf("naive bayes accuracy = %v, want >= 0.8", met.Accuracy)
+	}
+}
+
+func TestNaiveBayesValidation(t *testing.T) {
+	good := bowData(10, 8, 3)
+	if _, err := TrainNaiveBayes(good, 0); err == nil {
+		t.Error("dim=0 accepted")
+	}
+	if _, err := TrainNaiveBayes(nil, 8); err == nil {
+		t.Error("empty training set accepted")
+	}
+	bad := []data.Labeled{{X: data.Vector{Indices: []int{0}, Values: []float64{-1}}, Y: 1}}
+	if _, err := TrainNaiveBayes(bad, 8); err == nil {
+		t.Error("negative feature accepted")
+	}
+}
+
+func TestNaiveBayesSingleClass(t *testing.T) {
+	// All-positive training data: smoothing must keep it from degenerating.
+	train := make([]data.Labeled, 10)
+	for i := range train {
+		train[i] = data.Labeled{X: data.Vector{Indices: []int{0}, Values: []float64{1}}, Y: 1}
+	}
+	nb, err := TrainNaiveBayes(train, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nb.Predict(train[0].X) != 1 {
+		t.Error("single-class model mispredicts its own data")
+	}
+}
+
+func TestNaiveBayesOutOfRangeIndices(t *testing.T) {
+	// Feature indices beyond dim are ignored consistently at train and test.
+	train := []data.Labeled{
+		{X: data.Vector{Indices: []int{0, 99}, Values: []float64{1, 1}}, Y: 1},
+		{X: data.Vector{Indices: []int{1}, Values: []float64{1}}, Y: 0},
+	}
+	nb, err := TrainNaiveBayes(train, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := nb.Predict(data.Vector{Indices: []int{0, 99}, Values: []float64{1, 5}}); got != 1 {
+		t.Errorf("prediction with out-of-range index = %v", got)
+	}
+}

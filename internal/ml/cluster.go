@@ -1,0 +1,169 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/data"
+)
+
+// KMeans supports the DSL's unsupervised-learning path (§2.1: "both
+// supervised and unsupervised learning"). Lloyd's algorithm over dense
+// projections of the sparse vectors.
+type KMeans struct {
+	// Centers[c] is the dense centroid for cluster c.
+	Centers [][]float64
+}
+
+// KMeansConfig parameterizes clustering.
+type KMeansConfig struct {
+	K        int
+	MaxIters int
+	Seed     int64
+	Dim      int
+}
+
+// TrainKMeans clusters the vectors; deterministic given the seed
+// (k-means++-style seeding with a fixed RNG).
+func TrainKMeans(xs []data.Vector, cfg KMeansConfig) (*KMeans, error) {
+	if cfg.K <= 0 || cfg.Dim <= 0 || cfg.MaxIters <= 0 {
+		return nil, fmt.Errorf("ml: kmeans config invalid: k=%d dim=%d iters=%d", cfg.K, cfg.Dim, cfg.MaxIters)
+	}
+	if len(xs) < cfg.K {
+		return nil, fmt.Errorf("ml: kmeans needs >=k points, got %d < %d", len(xs), cfg.K)
+	}
+	dense := make([][]float64, len(xs))
+	for i, x := range xs {
+		dense[i] = densify(x, cfg.Dim)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	centers := seedPlusPlus(dense, cfg.K, rng)
+	assign := make([]int, len(dense))
+	for iter := 0; iter < cfg.MaxIters; iter++ {
+		changed := false
+		for i, p := range dense {
+			best, bestD := 0, math.Inf(1)
+			for c, ctr := range centers {
+				if d := sqDist(p, ctr); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+		// Recompute centers; empty clusters keep their previous centroid.
+		counts := make([]int, cfg.K)
+		sums := make([][]float64, cfg.K)
+		for c := range sums {
+			sums[c] = make([]float64, cfg.Dim)
+		}
+		for i, p := range dense {
+			counts[assign[i]]++
+			for j, v := range p {
+				sums[assign[i]][j] += v
+			}
+		}
+		for c := range centers {
+			if counts[c] == 0 {
+				continue
+			}
+			for j := range centers[c] {
+				centers[c][j] = sums[c][j] / float64(counts[c])
+			}
+		}
+	}
+	return &KMeans{Centers: centers}, nil
+}
+
+// Assign returns the nearest-center index for x.
+func (k *KMeans) Assign(x data.Vector) int {
+	p := densify(x, len(k.Centers[0]))
+	best, bestD := 0, math.Inf(1)
+	for c, ctr := range k.Centers {
+		if d := sqDist(p, ctr); d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best
+}
+
+// Inertia returns the total within-cluster squared distance, the standard
+// clustering quality metric.
+func (k *KMeans) Inertia(xs []data.Vector) float64 {
+	var total float64
+	dim := len(k.Centers[0])
+	for _, x := range xs {
+		p := densify(x, dim)
+		best := math.Inf(1)
+		for _, ctr := range k.Centers {
+			if d := sqDist(p, ctr); d < best {
+				best = d
+			}
+		}
+		total += best
+	}
+	return total
+}
+
+func densify(x data.Vector, dim int) []float64 {
+	p := make([]float64, dim)
+	for k, i := range x.Indices {
+		if i < dim {
+			p[i] = x.Values[k]
+		}
+	}
+	return p
+}
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// seedPlusPlus picks initial centers with k-means++ weighting.
+func seedPlusPlus(points [][]float64, k int, rng *rand.Rand) [][]float64 {
+	centers := make([][]float64, 0, k)
+	first := points[rng.Intn(len(points))]
+	centers = append(centers, append([]float64(nil), first...))
+	d2 := make([]float64, len(points))
+	for len(centers) < k {
+		var sum float64
+		for i, p := range points {
+			best := math.Inf(1)
+			for _, c := range centers {
+				if d := sqDist(p, c); d < best {
+					best = d
+				}
+			}
+			d2[i] = best
+			sum += best
+		}
+		if sum == 0 {
+			// All points coincide with centers: duplicate one.
+			centers = append(centers, append([]float64(nil), points[0]...))
+			continue
+		}
+		r := rng.Float64() * sum
+		var acc float64
+		pick := len(points) - 1
+		for i, d := range d2 {
+			acc += d
+			if acc >= r {
+				pick = i
+				break
+			}
+		}
+		centers = append(centers, append([]float64(nil), points[pick]...))
+	}
+	return centers
+}

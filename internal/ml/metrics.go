@@ -1,0 +1,135 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/data"
+)
+
+// Confusion is a binary confusion matrix.
+type Confusion struct {
+	TP, FP, TN, FN int
+}
+
+// Add records one (gold, predicted) pair.
+func (c *Confusion) Add(gold, pred float64) {
+	switch {
+	case gold == 1 && pred == 1:
+		c.TP++
+	case gold == 0 && pred == 1:
+		c.FP++
+	case gold == 0 && pred == 0:
+		c.TN++
+	default:
+		c.FN++
+	}
+}
+
+// Accuracy returns (TP+TN)/total, 0 on an empty matrix.
+func (c *Confusion) Accuracy() float64 {
+	n := c.TP + c.FP + c.TN + c.FN
+	if n == 0 {
+		return 0
+	}
+	return float64(c.TP+c.TN) / float64(n)
+}
+
+// Precision returns TP/(TP+FP), 0 when nothing was predicted positive.
+func (c *Confusion) Precision() float64 {
+	if c.TP+c.FP == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FP)
+}
+
+// Recall returns TP/(TP+FN), 0 when there are no gold positives.
+func (c *Confusion) Recall() float64 {
+	if c.TP+c.FN == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// F1 returns the harmonic mean of precision and recall.
+func (c *Confusion) F1() float64 {
+	p, r := c.Precision(), c.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// Metrics aggregates an evaluation pass — the values the demo's Metrics tab
+// plots per workflow version.
+type Metrics struct {
+	Accuracy  float64
+	Precision float64
+	Recall    float64
+	F1        float64
+	LogLoss   float64
+	N         int
+}
+
+// String renders the metrics in the fixed format used by the CLI tools.
+func (m Metrics) String() string {
+	return fmt.Sprintf("acc=%.4f p=%.4f r=%.4f f1=%.4f logloss=%.4f n=%d",
+		m.Accuracy, m.Precision, m.Recall, m.F1, m.LogLoss, m.N)
+}
+
+// Evaluate scores a model on labeled data. LogLoss uses the logistic link
+// regardless of learner kind (standard practice for margin models).
+func Evaluate(m Model, test []data.Labeled) (Metrics, error) {
+	if len(test) == 0 {
+		return Metrics{}, fmt.Errorf("ml: empty test set")
+	}
+	var conf Confusion
+	var ll float64
+	for _, ex := range test {
+		pred := m.Predict(ex.X)
+		conf.Add(ex.Y, pred)
+		p := Sigmoid(m.Score(ex.X))
+		// Clamp to avoid log(0).
+		const eps = 1e-12
+		p = math.Min(math.Max(p, eps), 1-eps)
+		if ex.Y == 1 {
+			ll -= math.Log(p)
+		} else {
+			ll -= math.Log(1 - p)
+		}
+	}
+	return Metrics{
+		Accuracy:  conf.Accuracy(),
+		Precision: conf.Precision(),
+		Recall:    conf.Recall(),
+		F1:        conf.F1(),
+		LogLoss:   ll / float64(len(test)),
+		N:         len(test),
+	}, nil
+}
+
+// TrainTestSplit deterministically splits examples: every k-th example goes
+// to test where k = round(1/testFrac). A modular split (rather than a
+// shuffle) keeps the assignment stable when upstream feature edits change
+// example content but not count — important for iteration-over-iteration
+// metric comparability.
+func TrainTestSplit(all []data.Labeled, testFrac float64) (train, test []data.Labeled, err error) {
+	if testFrac <= 0 || testFrac >= 1 {
+		return nil, nil, fmt.Errorf("ml: test fraction must be in (0,1), got %v", testFrac)
+	}
+	k := int(math.Round(1 / testFrac))
+	if k < 2 {
+		k = 2
+	}
+	for i, ex := range all {
+		if i%k == 0 {
+			test = append(test, ex)
+		} else {
+			train = append(train, ex)
+		}
+	}
+	if len(train) == 0 || len(test) == 0 {
+		return nil, nil, fmt.Errorf("ml: split produced empty partition (n=%d)", len(all))
+	}
+	return train, test, nil
+}

@@ -1,0 +1,96 @@
+package opt
+
+import (
+	"fmt"
+	"sync"
+)
+
+// ProbabilisticHeuristic extends the paper's online cost model with the
+// future-work direction §2.3 sketches: "Our ongoing work investigates
+// predicting reuse probability based on user studies and workflow features."
+//
+// The base model assumes every materialized result is reusable next
+// iteration. In reality a node is reusable only if no upstream edit
+// invalidates it, and edit locations are predictable: developers overturn ML
+// hyperparameters far more often than raw-data scans, so results high in the
+// DAG survive more iterations than results near the edit frontier. This
+// policy tracks, per operator category, the empirical fraction of iterations
+// in which the node's result stayed valid, and scales the recomputation-
+// saving term accordingly:
+//
+//	r_i = 2*l_i − p_reuse(cat) * (c_i + Σ_{a∈A(i)} c_a)
+//
+// With p_reuse ≡ 1 it degenerates to the paper's OnlineHeuristic.
+type ProbabilisticHeuristic struct {
+	mu sync.Mutex
+	// valid[cat] / total[cat] estimate the category's survival rate.
+	valid map[string]int
+	total map[string]int
+	// Prior smooths early estimates toward full reuse (the base model's
+	// assumption), in pseudo-observations.
+	Prior int
+	// CategoryAttr selects the node attribute holding the category; defaults
+	// to "category".
+	CategoryAttr string
+}
+
+// NewProbabilisticHeuristic returns a policy with a prior of 3
+// pseudo-observations of survival per category.
+func NewProbabilisticHeuristic() *ProbabilisticHeuristic {
+	return &ProbabilisticHeuristic{
+		valid: make(map[string]int),
+		total: make(map[string]int),
+		Prior: 3,
+	}
+}
+
+// Name implements MatPolicy.
+func (p *ProbabilisticHeuristic) Name() string { return "helix-probabilistic" }
+
+// NeedsSize implements MatPolicy.
+func (p *ProbabilisticHeuristic) NeedsSize() bool { return true }
+
+// Observe records one iteration's outcome for a category: whether results of
+// that category survived (their signatures were unchanged). The session
+// driver calls this after change detection.
+func (p *ProbabilisticHeuristic) Observe(category string, survived bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.total[category]++
+	if survived {
+		p.valid[category]++
+	}
+}
+
+// ReuseProbability returns the smoothed survival estimate for a category.
+func (p *ProbabilisticHeuristic) ReuseProbability(category string) float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return float64(p.valid[category]+p.Prior) / float64(p.total[category]+p.Prior)
+}
+
+// Decide implements MatPolicy.
+func (p *ProbabilisticHeuristic) Decide(ctx MatContext) MatDecision {
+	cat := ""
+	if ctx.Graph != nil {
+		attr := p.CategoryAttr
+		if attr == "" {
+			attr = "category"
+		}
+		cat = ctx.Graph.Node(ctx.Node).Attrs[attr]
+	}
+	prob := p.ReuseProbability(cat)
+	saving := float64(ctx.ComputeCost + ctx.AncestorComputeCost)
+	r := int64(float64(2*ctx.LoadCost) - prob*saving)
+	return MatDecision{
+		Materialize: r < 0 && ctx.Size <= ctx.BudgetRemaining,
+		Reward:      r,
+	}
+}
+
+// String aids debugging of learned survival rates.
+func (p *ProbabilisticHeuristic) String() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return fmt.Sprintf("probabilistic{valid=%v total=%v prior=%d}", p.valid, p.total, p.Prior)
+}

@@ -1,0 +1,153 @@
+package opt
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/dag"
+)
+
+func probCtx(g *dag.Graph, node dag.NodeID, load, compute, ancestors int64) MatContext {
+	return MatContext{
+		Graph:               g,
+		Node:                node,
+		LoadCost:            load,
+		ComputeCost:         compute,
+		AncestorComputeCost: ancestors,
+		Size:                100,
+		BudgetRemaining:     1 << 30,
+	}
+}
+
+func catGraph(t *testing.T) (*dag.Graph, dag.NodeID, dag.NodeID) {
+	t.Helper()
+	g := dag.New()
+	prep := g.MustAddNode("prep", "scan")
+	g.Node(prep).Attrs["category"] = "prep"
+	mlNode := g.MustAddNode("model", "learner")
+	g.Node(mlNode).Attrs["category"] = "ml"
+	g.MustAddEdge(prep, mlNode)
+	return g, prep, mlNode
+}
+
+func TestProbabilisticDefaultsToBaseModel(t *testing.T) {
+	// With no observations the prior gives p=1, so decisions match the
+	// paper's OnlineHeuristic exactly.
+	g, prep, _ := catGraph(t)
+	p := NewProbabilisticHeuristic()
+	base := OnlineHeuristic{}
+	for _, tc := range []struct{ load, compute, anc int64 }{
+		{10, 50, 100}, {100, 5, 10}, {50, 50, 50},
+	} {
+		ctx := probCtx(g, prep, tc.load, tc.compute, tc.anc)
+		if p.Decide(ctx).Materialize != base.Decide(ctx).Materialize {
+			t.Errorf("prior-only decision diverges from base at %+v", tc)
+		}
+	}
+}
+
+func TestProbabilisticLearnsLowSurvival(t *testing.T) {
+	// A category that is edited every iteration: survival estimate drops,
+	// and a marginal materialization flips to "skip".
+	g, _, mlNode := catGraph(t)
+	p := NewProbabilisticHeuristic()
+	// Marginal case: 2*l = 80, chain = 100 → base model materializes.
+	ctx := probCtx(g, mlNode, 40, 50, 50)
+	if !p.Decide(ctx).Materialize {
+		t.Fatal("marginal case should materialize under the prior")
+	}
+	for i := 0; i < 30; i++ {
+		p.Observe("ml", false)
+	}
+	if p.Decide(ctx).Materialize {
+		t.Error("low-survival category still materialized")
+	}
+	// Clearly profitable cases still materialize (p never hits zero with a
+	// positive prior).
+	big := probCtx(g, mlNode, 1, 1000, 10000)
+	if !p.Decide(big).Materialize {
+		t.Error("hugely profitable materialization skipped")
+	}
+}
+
+func TestProbabilisticPerCategoryIsolation(t *testing.T) {
+	g, prep, mlNode := catGraph(t)
+	p := NewProbabilisticHeuristic()
+	for i := 0; i < 30; i++ {
+		p.Observe("ml", false)
+		p.Observe("prep", true)
+	}
+	ctx := probCtx(g, prep, 40, 50, 50)
+	if !p.Decide(ctx).Materialize {
+		t.Error("high-survival category penalized by another category's edits")
+	}
+	ctxML := probCtx(g, mlNode, 40, 50, 50)
+	if p.Decide(ctxML).Materialize {
+		t.Error("low-survival category not penalized")
+	}
+}
+
+func TestReuseProbabilityEstimate(t *testing.T) {
+	p := NewProbabilisticHeuristic()
+	if got := p.ReuseProbability("prep"); got != 1 {
+		t.Errorf("prior probability = %v, want 1", got)
+	}
+	p.Observe("prep", true)
+	p.Observe("prep", false)
+	p.Observe("prep", false)
+	// (1 valid + 3 prior) / (3 total + 3 prior) = 4/6.
+	if got := p.ReuseProbability("prep"); math.Abs(got-4.0/6.0) > 1e-12 {
+		t.Errorf("probability = %v, want %v", got, 4.0/6.0)
+	}
+}
+
+func TestProbabilisticBudgetStillEnforced(t *testing.T) {
+	g, prep, _ := catGraph(t)
+	p := NewProbabilisticHeuristic()
+	ctx := probCtx(g, prep, 1, 1000, 10000)
+	ctx.Size = 200
+	ctx.BudgetRemaining = 100
+	if p.Decide(ctx).Materialize {
+		t.Error("budget ignored")
+	}
+}
+
+func TestProbabilisticConcurrentObserve(t *testing.T) {
+	p := NewProbabilisticHeuristic()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				p.Observe("prep", i%2 == 0)
+				p.ReuseProbability("prep")
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := p.ReuseProbability("prep"); got <= 0 || got > 1 {
+		t.Errorf("probability out of range after concurrent use: %v", got)
+	}
+}
+
+func TestProbabilisticNameAndNeedsSize(t *testing.T) {
+	p := NewProbabilisticHeuristic()
+	if p.Name() != "helix-probabilistic" || !p.NeedsSize() {
+		t.Error("policy metadata wrong")
+	}
+	if p.String() == "" {
+		t.Error("String empty")
+	}
+}
+
+func TestProbabilisticNilGraph(t *testing.T) {
+	// Contexts without a graph (unit harnesses) fall back to the empty
+	// category rather than panicking.
+	p := NewProbabilisticHeuristic()
+	ctx := MatContext{LoadCost: 10, ComputeCost: 100, AncestorComputeCost: 100, Size: 1, BudgetRemaining: 10}
+	if !p.Decide(ctx).Materialize {
+		t.Error("nil-graph context mishandled")
+	}
+}

@@ -1,0 +1,360 @@
+package opt
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dag"
+)
+
+// chainGraph builds a -> b -> c with c as output.
+func chainGraph(t *testing.T) *dag.Graph {
+	t.Helper()
+	g := dag.New()
+	a := g.MustAddNode("a", "scan")
+	b := g.MustAddNode("b", "extract")
+	c := g.MustAddNode("c", "learner")
+	g.MustAddEdge(a, b)
+	g.MustAddEdge(b, c)
+	g.Node(c).Output = true
+	return g
+}
+
+func TestOptimalNoMaterialization(t *testing.T) {
+	// Nothing loadable: must compute the whole chain.
+	g := chainGraph(t)
+	cm := NewCostModel(3)
+	cm.Compute = []int64{10, 20, 30}
+	plan, err := Optimal(g, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Cost != 60 {
+		t.Errorf("cost = %d, want 60", plan.Cost)
+	}
+	for i, s := range plan.States {
+		if s != Compute {
+			t.Errorf("state[%d] = %v, want compute", i, s)
+		}
+	}
+}
+
+func TestOptimalLoadsCheapIntermediate(t *testing.T) {
+	// b materialized with tiny load cost: load b, prune a, compute c.
+	g := chainGraph(t)
+	cm := NewCostModel(3)
+	cm.Compute = []int64{100, 100, 10}
+	cm.Loadable[1] = true
+	cm.Load[1] = 5
+	plan, err := Optimal(g, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []State{Prune, Load, Compute}
+	for i, s := range plan.States {
+		if s != want[i] {
+			t.Errorf("state[%d] = %v, want %v", i, s, want[i])
+		}
+	}
+	if plan.Cost != 15 {
+		t.Errorf("cost = %d, want 15", plan.Cost)
+	}
+}
+
+func TestOptimalPrefersComputeOverExpensiveLoad(t *testing.T) {
+	// The paper's l_k >> c_k example: b's load is pricier than recomputing
+	// it from a, which itself is cheap to load.
+	g := chainGraph(t)
+	cm := NewCostModel(3)
+	cm.Compute = []int64{100, 2, 10}
+	cm.Loadable[0] = true
+	cm.Load[0] = 3
+	cm.Loadable[1] = true
+	cm.Load[1] = 50
+	plan, err := Optimal(g, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []State{Load, Compute, Compute} // 3 + 2 + 10 = 15 < 50+10
+	for i, s := range plan.States {
+		if s != want[i] {
+			t.Errorf("state[%d] = %v, want %v", i, s, want[i])
+		}
+	}
+	if plan.Cost != 15 {
+		t.Errorf("cost = %d, want 15", plan.Cost)
+	}
+}
+
+func TestOptimalLoadsOutputDirectly(t *testing.T) {
+	// Output itself materialized cheaply: everything else prunes.
+	g := chainGraph(t)
+	cm := NewCostModel(3)
+	cm.Compute = []int64{100, 100, 100}
+	cm.Loadable[2] = true
+	cm.Load[2] = 1
+	plan, err := Optimal(g, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []State{Prune, Prune, Load}
+	for i, s := range plan.States {
+		if s != want[i] {
+			t.Errorf("state[%d] = %v, want %v", i, s, want[i])
+		}
+	}
+	if plan.Cost != 1 {
+		t.Errorf("cost = %d, want 1", plan.Cost)
+	}
+}
+
+func TestOptimalDiamondSharedAncestor(t *testing.T) {
+	// a -> {b, c} -> d(out). Loading b lets a prune only if c also avoids a.
+	g := dag.New()
+	a := g.MustAddNode("a", "scan")
+	b := g.MustAddNode("b", "x")
+	c := g.MustAddNode("c", "y")
+	d := g.MustAddNode("d", "out")
+	g.MustAddEdge(a, b)
+	g.MustAddEdge(a, c)
+	g.MustAddEdge(b, d)
+	g.MustAddEdge(c, d)
+	g.Node(d).Output = true
+	cm := NewCostModel(4)
+	cm.Compute = []int64{50, 10, 10, 5}
+	cm.Loadable[int(b)] = true
+	cm.Load[int(b)] = 1
+	// Only b loadable: a must still compute for c. Expected: compute a, load
+	// b (1 < 10), compute c, compute d = 50+1+10+5 = 66.
+	plan, err := Optimal(g, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Cost != 66 {
+		t.Errorf("cost = %d, want 66 (states %v)", plan.Cost, plan.States)
+	}
+	if plan.States[b] != Load {
+		t.Errorf("b = %v, want load", plan.States[b])
+	}
+	if plan.States[a] != Compute {
+		t.Errorf("a = %v, want compute (needed by c)", plan.States[a])
+	}
+}
+
+func TestOptimalPrunesDeadBranch(t *testing.T) {
+	g := chainGraph(t)
+	dead := g.MustAddNode("dead", "extract")
+	g.MustAddEdge(g.Lookup("a"), dead)
+	cm := NewCostModel(4)
+	cm.Compute = []int64{1, 1, 1, 1000}
+	plan, err := Optimal(g, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.States[dead] != Prune {
+		t.Errorf("dead branch state = %v, want prune", plan.States[dead])
+	}
+	if plan.Cost != 3 {
+		t.Errorf("cost = %d, want 3", plan.Cost)
+	}
+}
+
+func TestOptimalMultipleOutputs(t *testing.T) {
+	// a -> b(out), a -> c(out); b loadable. a must still compute for c.
+	g := dag.New()
+	a := g.MustAddNode("a", "scan")
+	b := g.MustAddNode("b", "out1")
+	c := g.MustAddNode("c", "out2")
+	g.MustAddEdge(a, b)
+	g.MustAddEdge(a, c)
+	g.Node(b).Output = true
+	g.Node(c).Output = true
+	cm := NewCostModel(3)
+	cm.Compute = []int64{10, 5, 5}
+	cm.Loadable[int(b)] = true
+	cm.Load[int(b)] = 1
+	plan, err := Optimal(g, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// load b (1), compute a (10), compute c (5) = 16.
+	if plan.Cost != 16 {
+		t.Errorf("cost = %d, want 16 (states %v)", plan.Cost, plan.States)
+	}
+}
+
+func TestOptimalRejectsCycle(t *testing.T) {
+	g := dag.New()
+	a := g.MustAddNode("a", "x")
+	b := g.MustAddNode("b", "x")
+	g.MustAddEdge(a, b)
+	g.MustAddEdge(b, a)
+	if _, err := Optimal(g, NewCostModel(2)); err == nil {
+		t.Fatal("cycle accepted")
+	}
+}
+
+func TestOptimalRejectsBadModel(t *testing.T) {
+	g := chainGraph(t)
+	if _, err := Optimal(g, NewCostModel(2)); err == nil {
+		t.Error("mis-sized model accepted")
+	}
+	cm := NewCostModel(3)
+	cm.Compute[0] = -1
+	if _, err := Optimal(g, cm); err == nil {
+		t.Error("negative cost accepted")
+	}
+}
+
+func TestPlanCostInfeasible(t *testing.T) {
+	g := chainGraph(t)
+	cm := NewCostModel(3)
+	cm.Compute = []int64{1, 1, 1}
+	// Output pruned.
+	if _, err := PlanCost(g, cm, []State{Compute, Compute, Prune}); err == nil {
+		t.Error("pruned output accepted")
+	}
+	// Computed child of pruned parent.
+	if _, err := PlanCost(g, cm, []State{Prune, Compute, Compute}); err == nil {
+		t.Error("compute with pruned parent accepted")
+	}
+	// Load without materialization.
+	if _, err := PlanCost(g, cm, []State{Compute, Load, Compute}); err == nil {
+		t.Error("load of unmaterialized node accepted")
+	}
+}
+
+func TestGreedyLoadAllSuboptimal(t *testing.T) {
+	// Expensive load on b vs cheap recompute from loadable a: greedy loads
+	// b anyway; optimal does not.
+	g := chainGraph(t)
+	cm := NewCostModel(3)
+	cm.Compute = []int64{100, 2, 10}
+	cm.Loadable[0] = true
+	cm.Load[0] = 3
+	cm.Loadable[1] = true
+	cm.Load[1] = 50
+	greedy, err := GreedyLoadAll(g, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optimal, err := Optimal(g, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if greedy.Cost != 60 { // load b (50) + compute c (10)
+		t.Errorf("greedy cost = %d, want 60", greedy.Cost)
+	}
+	if optimal.Cost >= greedy.Cost {
+		t.Errorf("optimal (%d) not better than greedy (%d)", optimal.Cost, greedy.Cost)
+	}
+}
+
+func TestComputeAllMatchesSlice(t *testing.T) {
+	g := chainGraph(t)
+	dead := g.MustAddNode("dead", "x")
+	g.MustAddEdge(g.Lookup("a"), dead)
+	cm := NewCostModel(4)
+	cm.Compute = []int64{1, 2, 3, 999}
+	plan, err := ComputeAll(g, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Cost != 6 {
+		t.Errorf("cost = %d, want 6", plan.Cost)
+	}
+	if plan.States[dead] != Prune {
+		t.Errorf("dead = %v, want prune", plan.States[dead])
+	}
+}
+
+// randomInstance builds a random DAG + cost model for oracle testing.
+func randomInstance(r *rand.Rand) (*dag.Graph, *CostModel) {
+	n := 2 + r.Intn(8) // brute force handles up to ~10 quickly
+	g := dag.New()
+	for i := 0; i < n; i++ {
+		g.MustAddNode(string(rune('a'+i)), "op")
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if r.Float64() < 0.35 {
+				g.MustAddEdge(dag.NodeID(u), dag.NodeID(v))
+			}
+		}
+	}
+	// Random outputs; guarantee at least one.
+	for i := 0; i < n; i++ {
+		if r.Float64() < 0.25 {
+			g.Node(dag.NodeID(i)).Output = true
+		}
+	}
+	g.Node(dag.NodeID(n - 1)).Output = true
+	cm := NewCostModel(n)
+	for i := 0; i < n; i++ {
+		cm.Compute[i] = int64(r.Intn(100))
+		if r.Float64() < 0.5 {
+			cm.Loadable[i] = true
+			cm.Load[i] = int64(r.Intn(100))
+		}
+	}
+	return g, cm
+}
+
+// Property: the PSP reduction matches exhaustive enumeration on random
+// instances — the core correctness claim of §2.2.
+func TestQuickOptimalMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g, cm := randomInstance(r)
+		optPlan, err := Optimal(g, cm)
+		if err != nil {
+			t.Logf("seed %d: optimal failed: %v", seed, err)
+			return false
+		}
+		brute, err := BruteForce(g, cm)
+		if err != nil {
+			t.Logf("seed %d: brute failed: %v", seed, err)
+			return false
+		}
+		if optPlan.Cost != brute.Cost {
+			t.Logf("seed %d: optimal=%d brute=%d states=%v", seed, optPlan.Cost, brute.Cost, optPlan.States)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Optimal never exceeds either baseline.
+func TestQuickOptimalDominatesBaselines(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g, cm := randomInstance(r)
+		optPlan, err := Optimal(g, cm)
+		if err != nil {
+			return false
+		}
+		if ga, err := GreedyLoadAll(g, cm); err == nil && optPlan.Cost > ga.Cost {
+			return false
+		}
+		if ca, err := ComputeAll(g, cm); err == nil && optPlan.Cost > ca.Cost {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStateString(t *testing.T) {
+	cases := map[State]string{Prune: "prune", Compute: "compute", Load: "load", State(9): "State(9)"}
+	for s, want := range cases {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q, want %q", s, s.String(), want)
+		}
+	}
+}

@@ -1,0 +1,323 @@
+package seq
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestTagName(t *testing.T) {
+	for tag, want := range map[int]string{TagO: "O", TagB: "B", TagI: "I", 7: "T7"} {
+		if got := TagName(tag); got != want {
+			t.Errorf("TagName(%d) = %q, want %q", tag, got, want)
+		}
+	}
+}
+
+func TestSpansFromTags(t *testing.T) {
+	cases := []struct {
+		tags []int
+		want []Span
+	}{
+		{[]int{TagO, TagB, TagI, TagO}, []Span{{1, 3}}},
+		{[]int{TagB, TagB}, []Span{{0, 1}, {1, 2}}},
+		{[]int{TagB, TagI, TagI}, []Span{{0, 3}}},
+		{[]int{TagO, TagO}, nil},
+		{[]int{TagI, TagI, TagO}, []Span{{0, 2}}}, // lenient I-start
+		{nil, nil},
+	}
+	for _, tc := range cases {
+		if got := SpansFromTags(tc.tags); !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("SpansFromTags(%v) = %v, want %v", tc.tags, got, tc.want)
+		}
+	}
+}
+
+func TestTagsFromSpansRoundTrip(t *testing.T) {
+	spans := []Span{{1, 3}, {4, 5}}
+	tags, err := TagsFromSpans(spans, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{TagO, TagB, TagI, TagO, TagB, TagO}
+	if !reflect.DeepEqual(tags, want) {
+		t.Errorf("tags = %v, want %v", tags, want)
+	}
+	back := SpansFromTags(tags)
+	if !reflect.DeepEqual(back, spans) {
+		t.Errorf("round trip = %v, want %v", back, spans)
+	}
+}
+
+func TestTagsFromSpansErrors(t *testing.T) {
+	if _, err := TagsFromSpans([]Span{{2, 1}}, 5); err == nil {
+		t.Error("inverted span accepted")
+	}
+	if _, err := TagsFromSpans([]Span{{0, 9}}, 5); err == nil {
+		t.Error("out-of-range span accepted")
+	}
+	if _, err := TagsFromSpans([]Span{{0, 3}, {2, 4}}, 5); err == nil {
+		t.Error("overlap accepted")
+	}
+}
+
+func TestSpanF1Perfect(t *testing.T) {
+	gold := [][]Span{{{0, 2}}, {{1, 3}, {4, 5}}}
+	p, r, f1, err := SpanF1(gold, gold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 1 || r != 1 || f1 != 1 {
+		t.Errorf("perfect match: p=%v r=%v f1=%v", p, r, f1)
+	}
+}
+
+func TestSpanF1Partial(t *testing.T) {
+	gold := [][]Span{{{0, 2}, {3, 4}}}
+	pred := [][]Span{{{0, 2}, {5, 6}}}
+	p, r, f1, err := SpanF1(gold, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 0.5 || r != 0.5 || f1 != 0.5 {
+		t.Errorf("p=%v r=%v f1=%v, want 0.5 each", p, r, f1)
+	}
+}
+
+func TestSpanF1Empty(t *testing.T) {
+	p, r, f1, err := SpanF1([][]Span{nil}, [][]Span{nil})
+	if err != nil || p != 0 || r != 0 || f1 != 0 {
+		t.Errorf("empty: p=%v r=%v f1=%v err=%v", p, r, f1, err)
+	}
+	if _, _, _, err := SpanF1([][]Span{nil}, nil); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestSpanF1DuplicatePredictions(t *testing.T) {
+	// The same correct span predicted twice: one TP, one FP.
+	gold := [][]Span{{{0, 1}}}
+	pred := [][]Span{{{0, 1}, {0, 1}}}
+	p, r, _, err := SpanF1(gold, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 0.5 || r != 1 {
+		t.Errorf("p=%v r=%v, want 0.5, 1", p, r)
+	}
+}
+
+func TestFeatureDict(t *testing.T) {
+	d := NewFeatureDict()
+	a := d.Add("x")
+	if d.Add("x") != a {
+		t.Error("re-add changed index")
+	}
+	d.Add("y")
+	if d.Len() != 2 {
+		t.Errorf("Len = %d", d.Len())
+	}
+	d.Freeze()
+	if d.Add("z") != -1 {
+		t.Error("frozen dict grew")
+	}
+	got := d.Map([]string{"x", "z", "y"})
+	if len(got) != 2 {
+		t.Errorf("Map = %v", got)
+	}
+}
+
+func TestDecodeEmpty(t *testing.T) {
+	m := NewModel(4)
+	if got := m.Decode(nil); got != nil {
+		t.Errorf("Decode(nil) = %v", got)
+	}
+}
+
+func TestDecodeBIOValidity(t *testing.T) {
+	// Even with emission weights pushing hard toward I, decoding never
+	// produces an O->I transition or sentence-initial I.
+	m := NewModel(1)
+	m.Emit[TagI][0] = 100
+	m.Emit[TagO][0] = 99 // competitive O
+	feats := [][]int{{0}, {0}, {0}}
+	tags := m.Decode(feats)
+	if tags[0] == TagI {
+		t.Errorf("sentence-initial I: %v", tags)
+	}
+	for i := 1; i < len(tags); i++ {
+		if tags[i] == TagI && tags[i-1] == TagO {
+			t.Errorf("O->I transition at %d: %v", i, tags)
+		}
+	}
+}
+
+// synthCorpus builds sentences where tokens with feature "name" form
+// mentions: B if previous token is not a name, I otherwise.
+func synthCorpus(n int, dict *FeatureDict, rng *rand.Rand) []Instance {
+	nameFeat := dict.Add("name")
+	wordFeats := make([]int, 20)
+	for i := range wordFeats {
+		wordFeats[i] = dict.Add("w" + string(rune('a'+i)))
+	}
+	insts := make([]Instance, n)
+	for k := range insts {
+		ln := 3 + rng.Intn(8)
+		in := Instance{Feats: make([][]int, ln), Tags: make([]int, ln)}
+		prevName := false
+		for i := 0; i < ln; i++ {
+			isName := rng.Float64() < 0.3
+			if isName {
+				in.Feats[i] = []int{nameFeat, wordFeats[rng.Intn(len(wordFeats))]}
+				if prevName {
+					in.Tags[i] = TagI
+				} else {
+					in.Tags[i] = TagB
+				}
+			} else {
+				in.Feats[i] = []int{wordFeats[rng.Intn(len(wordFeats))]}
+				in.Tags[i] = TagO
+			}
+			prevName = isName
+		}
+		insts[k] = in
+	}
+	return insts
+}
+
+func TestTrainLearnsSynthetic(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	dict := NewFeatureDict()
+	insts := synthCorpus(200, dict, rng)
+	m, err := Train(insts, TrainConfig{Epochs: 5, Seed: 1, Dim: dict.Len()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Token-level accuracy on held-out data with the same generator.
+	test := synthCorpus(50, dict, rng)
+	correct, total := 0, 0
+	for _, in := range test {
+		pred := m.Decode(in.Feats)
+		for i := range pred {
+			if pred[i] == in.Tags[i] {
+				correct++
+			}
+			total++
+		}
+	}
+	acc := float64(correct) / float64(total)
+	if acc < 0.97 {
+		t.Errorf("synthetic tagging accuracy = %v, want >= 0.97", acc)
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	good := Instance{Feats: [][]int{{0}}, Tags: []int{TagO}}
+	if _, err := Train([]Instance{good}, TrainConfig{Epochs: 1, Dim: 0}); err == nil {
+		t.Error("dim=0 accepted")
+	}
+	if _, err := Train([]Instance{good}, TrainConfig{Epochs: 0, Dim: 1}); err == nil {
+		t.Error("epochs=0 accepted")
+	}
+	if _, err := Train(nil, TrainConfig{Epochs: 1, Dim: 1}); err == nil {
+		t.Error("empty corpus accepted")
+	}
+	bad := Instance{Feats: [][]int{{0}}, Tags: []int{TagO, TagB}}
+	if _, err := Train([]Instance{bad}, TrainConfig{Epochs: 1, Dim: 1}); err == nil {
+		t.Error("tag/token mismatch accepted")
+	}
+	badTag := Instance{Feats: [][]int{{0}}, Tags: []int{9}}
+	if _, err := Train([]Instance{badTag}, TrainConfig{Epochs: 1, Dim: 1}); err == nil {
+		t.Error("invalid tag accepted")
+	}
+}
+
+func TestTrainDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	dict := NewFeatureDict()
+	insts := synthCorpus(30, dict, rng)
+	cfg := TrainConfig{Epochs: 3, Seed: 7, Dim: dict.Len()}
+	m1, err := Train(insts, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Train(insts, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tg := 0; tg < NumTags; tg++ {
+		if !reflect.DeepEqual(m1.Emit[tg], m2.Emit[tg]) {
+			t.Fatalf("emission weights differ for tag %d", tg)
+		}
+	}
+	if m1.Trans != m2.Trans {
+		t.Error("transition weights differ")
+	}
+}
+
+// Property: SpansFromTags output spans are disjoint, ordered, in-range.
+func TestQuickSpansWellFormed(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := r.Intn(20)
+		tags := make([]int, n)
+		for i := range tags {
+			tags[i] = r.Intn(NumTags)
+		}
+		spans := SpansFromTags(tags)
+		prevEnd := 0
+		for _, s := range spans {
+			if s.Start < prevEnd || s.End <= s.Start || s.End > n {
+				return false
+			}
+			prevEnd = s.End
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: decoding always yields BIO-valid sequences for random models.
+func TestQuickDecodeValid(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		dim := 1 + r.Intn(6)
+		m := NewModel(dim)
+		for tg := 0; tg < NumTags; tg++ {
+			for f := 0; f < dim; f++ {
+				m.Emit[tg][f] = r.NormFloat64() * 10
+			}
+		}
+		for p := 0; p <= NumTags; p++ {
+			for tg := 0; tg < NumTags; tg++ {
+				m.Trans[p][tg] = r.NormFloat64() * 10
+			}
+		}
+		n := 1 + r.Intn(12)
+		feats := make([][]int, n)
+		for i := range feats {
+			for j := 0; j < r.Intn(4); j++ {
+				feats[i] = append(feats[i], r.Intn(dim))
+			}
+		}
+		tags := m.Decode(feats)
+		if len(tags) != n {
+			return false
+		}
+		if tags[0] == TagI {
+			return false
+		}
+		for i := 1; i < n; i++ {
+			if tags[i] == TagI && tags[i-1] == TagO {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,192 @@
+package sig
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dag"
+)
+
+func TestOperatorSignatureStability(t *testing.T) {
+	a := Operator("learner", map[string]string{"reg": "0.1", "type": "lr"}, "v1")
+	b := Operator("learner", map[string]string{"type": "lr", "reg": "0.1"}, "v1")
+	if a != b {
+		t.Error("parameter order changed the signature")
+	}
+	if a == Operator("learner", map[string]string{"reg": "0.2", "type": "lr"}, "v1") {
+		t.Error("parameter value change not detected")
+	}
+	if a == Operator("learner", map[string]string{"reg": "0.1", "type": "lr"}, "v2") {
+		t.Error("UDF version change not detected")
+	}
+	if a == Operator("scanner", map[string]string{"reg": "0.1", "type": "lr"}, "v1") {
+		t.Error("operator type change not detected")
+	}
+}
+
+func TestOperatorSignatureNoCollisionOnSeparators(t *testing.T) {
+	// Key/value confusion must not collide.
+	a := Operator("op", map[string]string{"ab": "c"}, "")
+	b := Operator("op", map[string]string{"a": "bc"}, "")
+	if a == b {
+		t.Error("separator collision")
+	}
+}
+
+func TestResultFoldsParents(t *testing.T) {
+	op := Operator("x", nil, "")
+	p1 := Operator("p1", nil, "")
+	p2 := Operator("p2", nil, "")
+	if Result(op, []Signature{p1, p2}) == Result(op, []Signature{p2, p1}) {
+		t.Error("parent order ignored (inputs are positional)")
+	}
+	if Result(op, nil) == Result(op, []Signature{p1}) {
+		t.Error("parent presence ignored")
+	}
+}
+
+// buildChain returns a 3-node chain graph and its operator signatures.
+func buildChain(params map[string]string) (*dag.Graph, []Signature) {
+	g := dag.New()
+	a := g.MustAddNode("a", "scan")
+	b := g.MustAddNode("b", "extract")
+	c := g.MustAddNode("c", "learner")
+	g.MustAddEdge(a, b)
+	g.MustAddEdge(b, c)
+	ops := []Signature{
+		Operator("scan", nil, ""),
+		Operator("extract", params, ""),
+		Operator("learner", map[string]string{"reg": "0.1"}, ""),
+	}
+	return g, ops
+}
+
+func TestAnnotatePropagation(t *testing.T) {
+	g1, ops1 := buildChain(map[string]string{"col": "age"})
+	s1, err := Annotate(g1, ops1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Change the middle operator: its result and the child's must change,
+	// the parent's must not.
+	g2, ops2 := buildChain(map[string]string{"col": "education"})
+	s2, err := Annotate(g2, ops2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1[0] != s2[0] {
+		t.Error("unchanged root signature changed")
+	}
+	if s1[1] == s2[1] {
+		t.Error("modified node signature unchanged")
+	}
+	if s1[2] == s2[2] {
+		t.Error("descendant of modified node not invalidated")
+	}
+	// Attrs were written.
+	if g1.Node(0).Attrs[AttrKey] != string(s1[0]) {
+		t.Error("AttrKey not written")
+	}
+}
+
+func TestAnnotateValidation(t *testing.T) {
+	g, ops := buildChain(nil)
+	if _, err := Annotate(g, ops[:1]); err == nil {
+		t.Error("mis-sized signatures accepted")
+	}
+	cyc := dag.New()
+	a := cyc.MustAddNode("a", "x")
+	b := cyc.MustAddNode("b", "x")
+	cyc.MustAddEdge(a, b)
+	cyc.MustAddEdge(b, a)
+	if _, err := Annotate(cyc, []Signature{"s1", "s2"}); err == nil {
+		t.Error("cyclic graph accepted")
+	}
+}
+
+func TestDiff(t *testing.T) {
+	g1, ops1 := buildChain(map[string]string{"col": "age"})
+	if _, err := Annotate(g1, ops1); err != nil {
+		t.Fatal(err)
+	}
+	// New version: modify extract, add a node, and the old graph has no
+	// removed nodes yet.
+	g2, ops2 := buildChain(map[string]string{"col": "education"})
+	d := g2.MustAddNode("new", "reducer")
+	g2.MustAddEdge(g2.Lookup("c"), d)
+	ops2 = append(ops2, Operator("reducer", nil, "v1"))
+	if _, err := Annotate(g2, ops2); err != nil {
+		t.Fatal(err)
+	}
+	changes := Diff(g1, g2)
+	got := map[string]ChangeKind{}
+	for _, c := range changes {
+		got[c.Name] = c.Kind
+	}
+	if got["b"] != Modified || got["c"] != Modified {
+		t.Errorf("expected b,c modified: %v", changes)
+	}
+	if got["new"] != Added {
+		t.Errorf("expected new added: %v", changes)
+	}
+	if _, ok := got["a"]; ok {
+		t.Errorf("a should be unchanged: %v", changes)
+	}
+	// Reverse direction: "new" is removed.
+	rev := Diff(g2, g1)
+	found := false
+	for _, c := range rev {
+		if c.Name == "new" && c.Kind == Removed {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("reverse diff missing removal: %v", rev)
+	}
+}
+
+func TestDiffIdentical(t *testing.T) {
+	g1, ops := buildChain(nil)
+	if _, err := Annotate(g1, ops); err != nil {
+		t.Fatal(err)
+	}
+	g2, ops2 := buildChain(nil)
+	if _, err := Annotate(g2, ops2); err != nil {
+		t.Fatal(err)
+	}
+	if changes := Diff(g1, g2); len(changes) != 0 {
+		t.Errorf("identical graphs diff: %v", changes)
+	}
+}
+
+func TestChangeKindString(t *testing.T) {
+	for k, want := range map[ChangeKind]string{Added: "added", Removed: "removed", Modified: "modified", ChangeKind(9): "ChangeKind(9)"} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q", int(k), k.String())
+		}
+	}
+}
+
+// Property: annotating twice with identical inputs yields identical
+// signatures (pure function of the DAG + operator sigs).
+func TestQuickAnnotateDeterministic(t *testing.T) {
+	f := func(regA, regB string) bool {
+		params := map[string]string{"a": regA, "b": regB}
+		g1, ops1 := buildChain(params)
+		g2, ops2 := buildChain(params)
+		s1, err1 := Annotate(g1, ops1)
+		s2, err2 := Annotate(g2, ops2)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for i := range s1 {
+			if s1[i] != s2[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

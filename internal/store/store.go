@@ -1,0 +1,312 @@
+// Package store is HELIX's materialization store (§2.3): a disk-backed,
+// content-addressed repository of intermediate results under a maximum
+// storage budget. Results are keyed by their Merkle result signature
+// (internal/sig), so a stored value is valid for reuse exactly when a later
+// iteration derives the same signature — the store itself never needs an
+// invalidation protocol.
+//
+// Values are gob-encoded. The store tracks measured write/read throughput so
+// the optimizer can estimate load costs for results it has not touched yet.
+package store
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// ErrBudgetExceeded is returned by Put when a value does not fit in the
+// remaining storage budget.
+var ErrBudgetExceeded = errors.New("store: storage budget exceeded")
+
+// ErrNotFound is returned by Get for unknown keys.
+var ErrNotFound = errors.New("store: key not found")
+
+// Entry describes one stored result.
+type Entry struct {
+	Key  string
+	Size int64
+	// LoadCost is the measured wall-clock of the last Get, or an estimate
+	// from throughput if never loaded.
+	LoadCost time.Duration
+	// Stored is when the entry was written (monotonic ordering only).
+	Stored time.Time
+}
+
+// Store is a budgeted, content-addressed disk store. Safe for concurrent
+// use.
+type Store struct {
+	mu      sync.Mutex
+	dir     string
+	budget  int64 // bytes; <=0 means unlimited
+	used    int64
+	entries map[string]*Entry
+
+	// Throughput estimates (bytes/sec), exponentially smoothed.
+	readBps  float64
+	writeBps float64
+}
+
+// DefaultThroughput seeds the load-cost estimate before any I/O has been
+// measured: 500 MB/s, a conservative figure for buffered local disk reads.
+const DefaultThroughput = 500e6
+
+// Open creates or reuses a store rooted at dir with the given budget in
+// bytes (<=0 disables the budget). Existing files in dir are adopted.
+func Open(dir string, budget int64) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: create dir: %w", err)
+	}
+	s := &Store{
+		dir:      dir,
+		budget:   budget,
+		entries:  make(map[string]*Entry),
+		readBps:  DefaultThroughput,
+		writeBps: DefaultThroughput,
+	}
+	files, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: scan dir: %w", err)
+	}
+	for _, f := range files {
+		if f.IsDir() {
+			continue
+		}
+		info, err := f.Info()
+		if err != nil {
+			continue // file vanished between ReadDir and Info
+		}
+		e := &Entry{Key: f.Name(), Size: info.Size(), Stored: info.ModTime()}
+		e.LoadCost = s.estimateLoad(e.Size)
+		s.entries[f.Name()] = e
+		s.used += info.Size()
+	}
+	return s, nil
+}
+
+// estimateLoad predicts a Get duration from size and smoothed throughput.
+// Callers must hold mu or be in single-threaded setup.
+func (s *Store) estimateLoad(size int64) time.Duration {
+	return time.Duration(float64(size) / s.readBps * float64(time.Second))
+}
+
+// EstimateLoad predicts the load cost for a value of the given size.
+func (s *Store) EstimateLoad(size int64) time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.estimateLoad(size)
+}
+
+func (s *Store) path(key string) string {
+	// Keys are hex signatures; filepath.Base defends against traversal if a
+	// caller ever passes something else.
+	return filepath.Join(s.dir, filepath.Base(key))
+}
+
+// Register makes a concrete type encodable through the store's interface-
+// typed codec. Every value type a workflow operator can produce must be
+// registered once (the core package registers the built-in ones).
+func Register(value any) { gob.Register(value) }
+
+// Encode gob-encodes a value, returning its serialized bytes. Exposed so
+// the execution engine can learn a result's size (for the budget check)
+// before committing to a Put.
+func Encode(value any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&value); err != nil {
+		return nil, fmt.Errorf("store: encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode reverses Encode.
+func Decode(raw []byte) (any, error) {
+	var value any
+	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&value); err != nil {
+		return nil, fmt.Errorf("store: decode: %w", err)
+	}
+	return value, nil
+}
+
+// PutBytes stores pre-encoded bytes under key, enforcing the budget.
+// Overwrites of an existing key are idempotent no-ops (content addressing
+// makes re-writes byte-identical).
+func (s *Store) PutBytes(key string, raw []byte) error {
+	s.mu.Lock()
+	if _, exists := s.entries[key]; exists {
+		s.mu.Unlock()
+		return nil
+	}
+	size := int64(len(raw))
+	if s.budget > 0 && s.used+size > s.budget {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: need %d, have %d of %d", ErrBudgetExceeded, size, s.budget-s.used, s.budget)
+	}
+	// Reserve before the write so concurrent Puts cannot oversubscribe.
+	s.used += size
+	s.mu.Unlock()
+
+	start := time.Now()
+	tmp := s.path(key) + ".tmp"
+	err := os.WriteFile(tmp, raw, 0o644)
+	if err == nil {
+		err = os.Rename(tmp, s.path(key))
+	}
+	elapsed := time.Since(start)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err != nil {
+		s.used -= size
+		os.Remove(tmp)
+		return fmt.Errorf("store: write %s: %w", key, err)
+	}
+	s.observeWrite(size, elapsed)
+	s.entries[key] = &Entry{Key: key, Size: size, LoadCost: s.estimateLoad(size), Stored: time.Now()}
+	return nil
+}
+
+// Put encodes and stores a value.
+func (s *Store) Put(key string, value any) error {
+	raw, err := Encode(value)
+	if err != nil {
+		return err
+	}
+	return s.PutBytes(key, raw)
+}
+
+// Get loads and decodes the value for key, recording the measured load cost
+// on the entry (the l_i the next iteration's optimizer will use).
+func (s *Store) Get(key string) (any, error) {
+	s.mu.Lock()
+	e, ok := s.entries[key]
+	path := s.path(key)
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, key)
+	}
+	start := time.Now()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("store: read %s: %w", key, err)
+	}
+	value, err := Decode(raw)
+	if err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(start)
+	s.mu.Lock()
+	e.LoadCost = elapsed
+	s.observeRead(int64(len(raw)), elapsed)
+	s.mu.Unlock()
+	return value, nil
+}
+
+// Has reports whether key is stored.
+func (s *Store) Has(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.entries[key]
+	return ok
+}
+
+// Lookup returns the entry metadata for key.
+func (s *Store) Lookup(key string) (Entry, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.entries[key]; ok {
+		return *e, true
+	}
+	return Entry{}, false
+}
+
+// Delete removes a stored entry, releasing its budget.
+func (s *Store) Delete(key string) error {
+	s.mu.Lock()
+	e, ok := s.entries[key]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrNotFound, key)
+	}
+	delete(s.entries, key)
+	s.used -= e.Size
+	path := s.path(key)
+	s.mu.Unlock()
+	if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("store: delete %s: %w", key, err)
+	}
+	return nil
+}
+
+// Clear removes every entry.
+func (s *Store) Clear() error {
+	s.mu.Lock()
+	keys := make([]string, 0, len(s.entries))
+	for k := range s.entries {
+		keys = append(keys, k)
+	}
+	s.mu.Unlock()
+	for _, k := range keys {
+		if err := s.Delete(k); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Used returns the bytes currently consumed.
+func (s *Store) Used() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.used
+}
+
+// Budget returns the configured budget (<=0 means unlimited).
+func (s *Store) Budget() int64 { return s.budget }
+
+// Remaining returns the budget headroom, or a very large value if unlimited.
+func (s *Store) Remaining() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.budget <= 0 {
+		return 1 << 60
+	}
+	return s.budget - s.used
+}
+
+// Entries returns a snapshot of all entries sorted by key.
+func (s *Store) Entries() []Entry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Entry, 0, len(s.entries))
+	for _, e := range s.entries {
+		out = append(out, *e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// observeRead updates the smoothed read throughput; mu held.
+func (s *Store) observeRead(size int64, d time.Duration) {
+	s.readBps = smooth(s.readBps, size, d)
+}
+
+// observeWrite updates the smoothed write throughput; mu held.
+func (s *Store) observeWrite(size int64, d time.Duration) {
+	s.writeBps = smooth(s.writeBps, size, d)
+}
+
+func smooth(prev float64, size int64, d time.Duration) float64 {
+	if d <= 0 || size <= 0 {
+		return prev
+	}
+	obs := float64(size) / d.Seconds()
+	const alpha = 0.3
+	return alpha*obs + (1-alpha)*prev
+}

@@ -1,0 +1,325 @@
+package store
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func init() {
+	Register(map[string]float64{})
+	Register([]int{})
+}
+
+func openTemp(t *testing.T, budget int64) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir(), budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := openTemp(t, 0)
+	want := map[string]float64{"acc": 0.9, "f1": 0.8}
+	if err := s.Put("k1", want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get("k1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, ok := got.(map[string]float64)
+	if !ok {
+		t.Fatalf("decoded type %T", got)
+	}
+	if m["acc"] != 0.9 || m["f1"] != 0.8 {
+		t.Errorf("round trip = %v", m)
+	}
+}
+
+func TestGetNotFound(t *testing.T) {
+	s := openTemp(t, 0)
+	if _, err := s.Get("missing"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestBudgetEnforced(t *testing.T) {
+	s := openTemp(t, 64)
+	big := make([]byte, 1000)
+	err := s.PutBytes("big", big)
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want ErrBudgetExceeded", err)
+	}
+	if s.Used() != 0 {
+		t.Errorf("failed put consumed budget: %d", s.Used())
+	}
+	// Small value fits.
+	if err := s.PutBytes("small", make([]byte, 32)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Used() != 32 || s.Remaining() != 32 {
+		t.Errorf("used=%d remaining=%d", s.Used(), s.Remaining())
+	}
+}
+
+func TestUnlimitedBudget(t *testing.T) {
+	s := openTemp(t, 0)
+	if err := s.PutBytes("x", make([]byte, 1<<20)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Remaining() < 1<<50 {
+		t.Errorf("unlimited remaining = %d", s.Remaining())
+	}
+}
+
+func TestPutIdempotent(t *testing.T) {
+	s := openTemp(t, 100)
+	if err := s.PutBytes("k", make([]byte, 40)); err != nil {
+		t.Fatal(err)
+	}
+	// Second put of same key: no-op, no double budget charge.
+	if err := s.PutBytes("k", make([]byte, 40)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Used() != 40 {
+		t.Errorf("used = %d after idempotent put", s.Used())
+	}
+}
+
+func TestDelete(t *testing.T) {
+	s := openTemp(t, 100)
+	if err := s.PutBytes("k", make([]byte, 50)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete("k"); err != nil {
+		t.Fatal(err)
+	}
+	if s.Has("k") || s.Used() != 0 {
+		t.Error("delete did not release entry")
+	}
+	if err := s.Delete("k"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("double delete err = %v", err)
+	}
+	// Budget is reusable after delete.
+	if err := s.PutBytes("k2", make([]byte, 90)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClear(t *testing.T) {
+	s := openTemp(t, 0)
+	for _, k := range []string{"a", "b", "c"} {
+		if err := s.PutBytes(k, []byte("data")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Clear(); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Entries()) != 0 || s.Used() != 0 {
+		t.Error("clear incomplete")
+	}
+}
+
+func TestReopenAdoptsFiles(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Put("persist", "hello"); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s2.Has("persist") {
+		t.Fatal("reopened store lost entry")
+	}
+	got, err := s2.Get("persist")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.(string) != "hello" {
+		t.Errorf("got %v", got)
+	}
+	if s2.Used() == 0 {
+		t.Error("reopened store shows zero usage")
+	}
+}
+
+func TestEntriesSorted(t *testing.T) {
+	s := openTemp(t, 0)
+	for _, k := range []string{"zz", "aa", "mm"} {
+		if err := s.PutBytes(k, []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	es := s.Entries()
+	if len(es) != 3 || es[0].Key != "aa" || es[2].Key != "zz" {
+		t.Errorf("entries = %v", es)
+	}
+}
+
+func TestLookupMetadata(t *testing.T) {
+	s := openTemp(t, 0)
+	if err := s.PutBytes("k", make([]byte, 123)); err != nil {
+		t.Fatal(err)
+	}
+	e, ok := s.Lookup("k")
+	if !ok || e.Size != 123 {
+		t.Errorf("lookup = %+v, %v", e, ok)
+	}
+	if _, ok := s.Lookup("none"); ok {
+		t.Error("phantom lookup")
+	}
+}
+
+func TestEstimateLoadPositive(t *testing.T) {
+	s := openTemp(t, 0)
+	if d := s.EstimateLoad(1 << 20); d <= 0 {
+		t.Errorf("estimate = %v", d)
+	}
+	// Larger size, larger estimate.
+	if s.EstimateLoad(1<<24) <= s.EstimateLoad(1<<10) {
+		t.Error("estimate not monotone in size")
+	}
+}
+
+func TestGetMeasuresLoadCost(t *testing.T) {
+	s := openTemp(t, 0)
+	if err := s.Put("k", make([]byte, 1<<16)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get("k"); err != nil {
+		t.Fatal(err)
+	}
+	e, _ := s.Lookup("k")
+	if e.LoadCost <= 0 {
+		t.Errorf("measured load cost = %v", e.LoadCost)
+	}
+}
+
+// Failure injection: corrupt the underlying file; Get must fail cleanly.
+func TestGetCorruptFile(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("k", []int{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "k"), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get("k"); err == nil {
+		t.Error("corrupt file decoded successfully")
+	}
+}
+
+// Failure injection: file removed behind the store's back.
+func TestGetVanishedFile(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("k", 42); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, "k")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get("k"); err == nil {
+		t.Error("vanished file read successfully")
+	}
+}
+
+func TestPathTraversalDefense(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("../escape", "x"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "escape")); err != nil {
+		t.Errorf("key not sanitized into dir: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(filepath.Dir(dir), "escape")); err == nil {
+		t.Error("file escaped the store directory")
+	}
+}
+
+func TestConcurrentPutsRespectBudget(t *testing.T) {
+	s := openTemp(t, 1000)
+	var wg sync.WaitGroup
+	errs := make([]error, 50)
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = s.PutBytes(string(rune('a'+i%26))+string(rune('0'+i/26)), make([]byte, 100))
+		}(i)
+	}
+	wg.Wait()
+	if s.Used() > 1000 {
+		t.Errorf("budget oversubscribed: %d", s.Used())
+	}
+	okCount := 0
+	for _, err := range errs {
+		if err == nil {
+			okCount++
+		} else if !errors.Is(err, ErrBudgetExceeded) {
+			t.Errorf("unexpected error: %v", err)
+		}
+	}
+	if okCount != 10 {
+		t.Errorf("%d puts succeeded, want 10 (1000/100)", okCount)
+	}
+}
+
+func TestConcurrentGetPut(t *testing.T) {
+	s := openTemp(t, 0)
+	if err := s.Put("shared", "v"); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if i%2 == 0 {
+				if _, err := s.Get("shared"); err != nil {
+					t.Errorf("get: %v", err)
+				}
+			} else {
+				if err := s.Put("k"+string(rune('0'+i)), i); err != nil {
+					t.Errorf("put: %v", err)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestSmoothThroughput(t *testing.T) {
+	got := smooth(100, 1000, time.Second) // obs = 1000 B/s
+	want := 0.3*1000 + 0.7*100
+	if got != want {
+		t.Errorf("smooth = %v, want %v", got, want)
+	}
+	// Degenerate observations leave the estimate unchanged.
+	if smooth(100, 0, time.Second) != 100 || smooth(100, 10, 0) != 100 {
+		t.Error("degenerate observation changed estimate")
+	}
+}

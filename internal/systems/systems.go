@@ -1,0 +1,88 @@
+// Package systems configures the comparator systems of the paper's Figure 2
+// as core.Session presets. All four share the same compiler and execution
+// engine — only the reuse and materialization *policies* differ, so the
+// benchmark isolates exactly the design decisions the paper credits:
+//
+//   - HELIX: optimal recomputation (PSP/max-flow) + online cost-based
+//     materialization under a storage budget.
+//   - HELIX-unopt (the demo's "unoptimized HELIX" toggle, §3.2): same DSL
+//     and engine, no cross-iteration reuse, no materialization.
+//   - DeepDive-sim: materializes every intermediate ("materializes the
+//     results of all feature extraction and engineering steps") and reuses
+//     data-prep results, but its ML and evaluation components are not
+//     user-configurable and rerun every iteration.
+//   - KeystoneML-sim: one-shot optimizer; never materializes across
+//     iterations, so every iteration recomputes its full program slice.
+package systems
+
+import (
+	"fmt"
+	"path/filepath"
+
+	"repro/internal/core"
+	"repro/internal/opt"
+)
+
+// Kind names a comparator system.
+type Kind string
+
+// The four systems reproduced from the paper's evaluation.
+const (
+	Helix      Kind = "helix"
+	HelixUnopt Kind = "helix-unopt"
+	DeepDive   Kind = "deepdive"
+	KeystoneML Kind = "keystoneml"
+	// HelixProb is HELIX with the reuse-probability-learning extension of
+	// the paper's future work (§2.3): the materialization model discounts
+	// the recomputation saving by each operator category's observed
+	// survival rate across iterations.
+	HelixProb Kind = "helix-prob"
+)
+
+// All lists every system in presentation order.
+var All = []Kind{Helix, HelixProb, HelixUnopt, DeepDive, KeystoneML}
+
+// Options tune a system instance.
+type Options struct {
+	// BaseDir is where the system's materialization store lives; each
+	// system gets its own subdirectory. Required for systems that persist.
+	BaseDir string
+	// BudgetBytes caps the materialization store (<=0 = unlimited).
+	BudgetBytes int64
+	// Workers bounds intra-iteration parallelism.
+	Workers int
+}
+
+// New builds a configured session for the named system.
+func New(kind Kind, o Options) (*core.Session, error) {
+	cfg := core.Config{SystemName: string(kind), BudgetBytes: o.BudgetBytes, Workers: o.Workers}
+	switch kind {
+	case Helix:
+		cfg.StoreDir = filepath.Join(o.BaseDir, "helix-store")
+		cfg.Policy = opt.OnlineHeuristic{}
+		cfg.Reuse = true
+	case HelixProb:
+		cfg.StoreDir = filepath.Join(o.BaseDir, "helix-prob-store")
+		cfg.Policy = opt.NewProbabilisticHeuristic()
+		cfg.Reuse = true
+	case HelixUnopt:
+		// No store directory at all: the unoptimized toggle disables both
+		// reuse and materialization.
+		cfg.Policy = opt.MaterializeNone{}
+		cfg.Reuse = false
+	case DeepDive:
+		cfg.StoreDir = filepath.Join(o.BaseDir, "deepdive-store")
+		cfg.Policy = opt.MaterializeAll{}
+		cfg.Reuse = true
+		cfg.NeverReuse = []core.Category{core.CatML, core.CatEval}
+	case KeystoneML:
+		cfg.Policy = opt.MaterializeNone{}
+		cfg.Reuse = false
+	default:
+		return nil, fmt.Errorf("systems: unknown system %q", kind)
+	}
+	if cfg.StoreDir != "" && o.BaseDir == "" {
+		return nil, fmt.Errorf("systems: %s requires Options.BaseDir for its store", kind)
+	}
+	return core.NewSession(cfg)
+}

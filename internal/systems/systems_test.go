@@ -1,0 +1,184 @@
+package systems
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ml"
+	"repro/internal/workload"
+)
+
+// runScenarioMetrics replays a scenario on one system and returns the
+// headline metrics per iteration.
+func runScenarioMetrics(t *testing.T, kind Kind, sc *workload.Scenario) []ml.Metrics {
+	t.Helper()
+	sess, err := New(kind, Options{BaseDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []ml.Metrics
+	for i, step := range sc.Steps {
+		rep, err := sess.Run(step.Workflow)
+		if err != nil {
+			t.Fatalf("%s iteration %d: %v", kind, i+1, err)
+		}
+		met, ok := rep.Outputs["checked"].(ml.Metrics)
+		if !ok {
+			t.Fatalf("%s iteration %d: checked output type %T", kind, i+1, rep.Outputs["checked"])
+		}
+		out = append(out, met)
+	}
+	return out
+}
+
+// The load/compute/prune plan is an optimization, never a semantics change:
+// every system must produce bit-identical metrics on every iteration of the
+// census scenario.
+func TestReuseDoesNotChangeResultsCensus(t *testing.T) {
+	sc := workload.CensusScenario(workload.GenerateCensus(500, 150, 11))
+	reference := runScenarioMetrics(t, KeystoneML, sc) // recomputes everything
+	for _, kind := range []Kind{Helix, HelixProb, DeepDive, HelixUnopt} {
+		got := runScenarioMetrics(t, kind, sc)
+		for i := range reference {
+			if !metricsEqual(got[i], reference[i]) {
+				t.Errorf("%s iteration %d: metrics %+v != reference %+v", kind, i+1, got[i], reference[i])
+			}
+		}
+	}
+}
+
+// Same invariant on the IE scenario (UDF operators, sequence models).
+func TestReuseDoesNotChangeResultsIE(t *testing.T) {
+	sc := workload.IEScenario(workload.GenerateNews(40, 12, 11))
+	reference := runScenarioMetrics(t, KeystoneML, sc)
+	got := runScenarioMetrics(t, Helix, sc)
+	for i := range reference {
+		if !metricsEqual(got[i], reference[i]) {
+			t.Errorf("helix iteration %d: metrics %+v != reference %+v", i+1, got[i], reference[i])
+		}
+	}
+}
+
+func metricsEqual(a, b ml.Metrics) bool {
+	eq := func(x, y float64) bool {
+		return math.Abs(x-y) < 1e-12 || (math.IsNaN(x) && math.IsNaN(y))
+	}
+	return eq(a.Accuracy, b.Accuracy) && eq(a.Precision, b.Precision) &&
+		eq(a.Recall, b.Recall) && eq(a.F1, b.F1) && eq(a.LogLoss, b.LogLoss) && a.N == b.N
+}
+
+func TestHelixStaysWithinBudget(t *testing.T) {
+	const budget = 64 << 10 // 64 KiB: far too small for everything
+	sess, err := New(Helix, Options{BaseDir: t.TempDir(), BudgetBytes: budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := workload.CensusScenario(workload.GenerateCensus(800, 200, 3))
+	for i, step := range sc.Steps {
+		rep, err := sess.Run(step.Workflow)
+		if err != nil {
+			t.Fatalf("iteration %d: %v", i+1, err)
+		}
+		if rep.StoreUsed > budget {
+			t.Fatalf("iteration %d: store used %d > budget %d", i+1, rep.StoreUsed, budget)
+		}
+	}
+}
+
+func TestHelixUnoptNeverPersists(t *testing.T) {
+	sess, err := New(HelixUnopt, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := workload.DefaultCensusParams(workload.GenerateCensus(200, 50, 5))
+	for i := 0; i < 2; i++ {
+		rep, err := sess.Run(p.Build())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.StoreUsed != 0 {
+			t.Errorf("iteration %d persisted %d bytes", i+1, rep.StoreUsed)
+		}
+		computed, loaded, _ := rep.Counts()
+		if loaded != 0 {
+			t.Errorf("iteration %d loaded %d nodes", i+1, loaded)
+		}
+		if computed == 0 {
+			t.Errorf("iteration %d computed nothing", i+1)
+		}
+	}
+}
+
+func TestDeepDiveRerunsMLEveryIteration(t *testing.T) {
+	sess, err := New(DeepDive, Options{BaseDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := workload.DefaultCensusParams(workload.GenerateCensus(200, 50, 5))
+	var last *core.Report
+	for i := 0; i < 3; i++ {
+		rep, err := sess.Run(p.Build())
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = rep
+	}
+	// Even on a fully unchanged workflow, DeepDive recomputes ML + eval.
+	g := last.Graph
+	for _, name := range []string{"model", "predictions", "checked"} {
+		id := g.Lookup(name)
+		if last.Nodes[id].State.String() != "compute" {
+			t.Errorf("%s state = %v, want compute", name, last.Nodes[id].State)
+		}
+	}
+}
+
+func TestSessionsAreIsolated(t *testing.T) {
+	// Two helix sessions over different BaseDirs must not share stores.
+	p := workload.DefaultCensusParams(workload.GenerateCensus(200, 50, 5))
+	s1, err := New(Helix, Options{BaseDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s1.Run(p.Build()); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := New(Helix, Options{BaseDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s2.Run(p.Build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, loaded, _ := rep.Counts(); loaded != 0 {
+		t.Errorf("fresh session loaded %d nodes from a foreign store", loaded)
+	}
+}
+
+// Sharing a BaseDir lets a new session warm-start from a previous one's
+// materializations — the cross-session reuse the content-addressed store
+// enables for free.
+func TestWarmStartAcrossSessions(t *testing.T) {
+	dir := t.TempDir()
+	p := workload.DefaultCensusParams(workload.GenerateCensus(200, 50, 5))
+	s1, err := New(Helix, Options{BaseDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s1.Run(p.Build()); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := New(Helix, Options{BaseDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s2.Run(p.Build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, loaded, _ := rep.Counts(); loaded == 0 {
+		t.Error("warm-started session loaded nothing")
+	}
+}

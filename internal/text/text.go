@@ -1,0 +1,190 @@
+// Package text is the NLP substrate for the information-extraction
+// application: tokenization, sentence splitting, per-token feature templates
+// and a name gazetteer. The paper's IE pipeline runs over news articles with
+// "more data pre-processing steps to enable learning" (§3); these operators
+// are those steps.
+package text
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Token is one token with its character offsets in the source text.
+type Token struct {
+	Text  string
+	Start int // byte offset, inclusive
+	End   int // byte offset, exclusive
+}
+
+// Tokenize splits text into word and punctuation tokens with offsets.
+// Contiguous letters/digits form one token; each punctuation rune is its own
+// token; whitespace separates.
+func Tokenize(text string) []Token {
+	var out []Token
+	start := -1
+	flush := func(end int) {
+		if start >= 0 {
+			out = append(out, Token{Text: text[start:end], Start: start, End: end})
+			start = -1
+		}
+	}
+	for i, r := range text {
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r) || r == '\'':
+			if start < 0 {
+				start = i
+			}
+		case unicode.IsSpace(r):
+			flush(i)
+		default: // punctuation
+			flush(i)
+			end := i + len(string(r))
+			out = append(out, Token{Text: text[i:end], Start: i, End: end})
+		}
+	}
+	flush(len(text))
+	return out
+}
+
+// Sentence is a contiguous token span.
+type Sentence struct {
+	Tokens []Token
+}
+
+// SplitSentences groups tokens into sentences at ., ! and ? boundaries.
+// The terminator stays with its sentence.
+func SplitSentences(tokens []Token) []Sentence {
+	var out []Sentence
+	var cur []Token
+	for _, t := range tokens {
+		cur = append(cur, t)
+		if t.Text == "." || t.Text == "!" || t.Text == "?" {
+			out = append(out, Sentence{Tokens: cur})
+			cur = nil
+		}
+	}
+	if len(cur) > 0 {
+		out = append(out, Sentence{Tokens: cur})
+	}
+	return out
+}
+
+// Shape returns the orthographic shape of a token: uppercase→X,
+// lowercase→x, digit→d, other→p, with runs collapsed ("McDonald" → "XxXx").
+func Shape(s string) string {
+	var b strings.Builder
+	var prev rune
+	for _, r := range s {
+		var c rune
+		switch {
+		case unicode.IsUpper(r):
+			c = 'X'
+		case unicode.IsLower(r):
+			c = 'x'
+		case unicode.IsDigit(r):
+			c = 'd'
+		default:
+			c = 'p'
+		}
+		if c != prev {
+			b.WriteRune(c)
+			prev = c
+		}
+	}
+	return b.String()
+}
+
+// IsCapitalized reports whether the token starts with an uppercase letter.
+func IsCapitalized(s string) bool {
+	for _, r := range s {
+		return unicode.IsUpper(r)
+	}
+	return false
+}
+
+// Gazetteer is a case-sensitive set of known names (first or last), the
+// classic external-knowledge feature for person-mention extraction.
+type Gazetteer struct {
+	entries map[string]bool
+}
+
+// NewGazetteer builds a gazetteer from entries.
+func NewGazetteer(entries ...string) *Gazetteer {
+	g := &Gazetteer{entries: make(map[string]bool, len(entries))}
+	for _, e := range entries {
+		g.entries[e] = true
+	}
+	return g
+}
+
+// Contains reports membership.
+func (g *Gazetteer) Contains(s string) bool { return g.entries[s] }
+
+// Len returns the number of entries.
+func (g *Gazetteer) Len() int { return len(g.entries) }
+
+// FeatureConfig selects which token feature templates fire. Each flag is a
+// workflow knob the IE iteration script toggles (a "data pre-processing"
+// edit in Figure 2's color coding).
+type FeatureConfig struct {
+	// Lowercased token identity.
+	Word bool
+	// Orthographic shape (capitalization pattern).
+	Shape bool
+	// Prefix/suffix up to 3 chars.
+	Affixes bool
+	// Previous/next token identity.
+	Context bool
+	// Gazetteer membership (requires Gazetteer non-nil).
+	Gazetteer bool
+	// Token position features (sentence start).
+	Position bool
+}
+
+// DefaultFeatures is the initial IE workflow configuration.
+func DefaultFeatures() FeatureConfig {
+	return FeatureConfig{Word: true, Shape: true, Position: true}
+}
+
+// TokenFeatures emits feature strings for token i of a sentence under the
+// config. Feature strings feed the sequence model's sparse representation.
+func TokenFeatures(sent []Token, i int, cfg FeatureConfig, gaz *Gazetteer) []string {
+	t := sent[i].Text
+	var fs []string
+	if cfg.Word {
+		fs = append(fs, "w="+strings.ToLower(t))
+	}
+	if cfg.Shape {
+		fs = append(fs, "shape="+Shape(t))
+		if IsCapitalized(t) {
+			fs = append(fs, "cap")
+		}
+	}
+	if cfg.Affixes {
+		lower := strings.ToLower(t)
+		for n := 1; n <= 3 && n <= len(lower); n++ {
+			fs = append(fs, "pre"+string(rune('0'+n))+"="+lower[:n])
+			fs = append(fs, "suf"+string(rune('0'+n))+"="+lower[len(lower)-n:])
+		}
+	}
+	if cfg.Context {
+		if i > 0 {
+			fs = append(fs, "prev="+strings.ToLower(sent[i-1].Text))
+		} else {
+			fs = append(fs, "prev=<s>")
+		}
+		if i+1 < len(sent) {
+			fs = append(fs, "next="+strings.ToLower(sent[i+1].Text))
+		} else {
+			fs = append(fs, "next=</s>")
+		}
+	}
+	if cfg.Gazetteer && gaz != nil && gaz.Contains(t) {
+		fs = append(fs, "gaz")
+	}
+	if cfg.Position && i == 0 {
+		fs = append(fs, "sent_start")
+	}
+	return fs
+}

@@ -1,0 +1,174 @@
+package text
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func tokenTexts(ts []Token) []string {
+	if len(ts) == 0 {
+		return nil
+	}
+	out := make([]string, len(ts))
+	for i, t := range ts {
+		out[i] = t.Text
+	}
+	return out
+}
+
+func TestTokenize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"Alice met Bob.", []string{"Alice", "met", "Bob", "."}},
+		{"", nil},
+		{"  spaced   out  ", []string{"spaced", "out"}},
+		{"don't stop", []string{"don't", "stop"}},
+		{"a,b;c", []string{"a", ",", "b", ";", "c"}},
+		{"v2.0 rocks", []string{"v2", ".", "0", "rocks"}},
+	}
+	for _, tc := range cases {
+		got := tokenTexts(Tokenize(tc.in))
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("Tokenize(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestTokenizeOffsets(t *testing.T) {
+	in := "Hi, Bob!"
+	for _, tok := range Tokenize(in) {
+		if in[tok.Start:tok.End] != tok.Text {
+			t.Errorf("offset mismatch: %q vs %q", in[tok.Start:tok.End], tok.Text)
+		}
+	}
+}
+
+func TestSplitSentences(t *testing.T) {
+	toks := Tokenize("One two. Three! Four")
+	sents := SplitSentences(toks)
+	if len(sents) != 3 {
+		t.Fatalf("sentences = %d, want 3", len(sents))
+	}
+	if got := tokenTexts(sents[0].Tokens); !reflect.DeepEqual(got, []string{"One", "two", "."}) {
+		t.Errorf("sent 0 = %v", got)
+	}
+	if got := tokenTexts(sents[2].Tokens); !reflect.DeepEqual(got, []string{"Four"}) {
+		t.Errorf("trailing sentence = %v", got)
+	}
+	if got := SplitSentences(nil); len(got) != 0 {
+		t.Errorf("empty input gave %v", got)
+	}
+}
+
+func TestShape(t *testing.T) {
+	cases := map[string]string{
+		"Alice":    "Xx",
+		"McDonald": "XxXx",
+		"USA":      "X",
+		"abc123":   "xd",
+		"3.14":     "dpd",
+		"":         "",
+	}
+	for in, want := range cases {
+		if got := Shape(in); got != want {
+			t.Errorf("Shape(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestIsCapitalized(t *testing.T) {
+	if !IsCapitalized("Bob") || IsCapitalized("bob") || IsCapitalized("") || IsCapitalized("9am") {
+		t.Error("IsCapitalized wrong")
+	}
+}
+
+func TestGazetteer(t *testing.T) {
+	g := NewGazetteer("Alice", "Bob")
+	if !g.Contains("Alice") || g.Contains("alice") || g.Contains("Eve") {
+		t.Error("gazetteer membership wrong")
+	}
+	if g.Len() != 2 {
+		t.Errorf("Len = %d", g.Len())
+	}
+}
+
+func TestTokenFeaturesTemplates(t *testing.T) {
+	sent := Tokenize("Alice met Bob")
+	gaz := NewGazetteer("Alice")
+	cfg := FeatureConfig{Word: true, Shape: true, Affixes: true, Context: true, Gazetteer: true, Position: true}
+	fs := TokenFeatures(sent, 0, cfg, gaz)
+	has := func(f string) bool {
+		for _, x := range fs {
+			if x == f {
+				return true
+			}
+		}
+		return false
+	}
+	for _, want := range []string{"w=alice", "shape=Xx", "cap", "pre1=a", "suf3=ice", "prev=<s>", "next=met", "gaz", "sent_start"} {
+		if !has(want) {
+			t.Errorf("missing feature %q in %v", want, fs)
+		}
+	}
+	// Middle token: no sent_start, prev/next filled.
+	fs = TokenFeatures(sent, 1, cfg, gaz)
+	if has("sent_start") || !has("prev=alice") || !has("next=bob") {
+		t.Errorf("middle token features wrong: %v", fs)
+	}
+	// Last token: next sentinel.
+	fs = TokenFeatures(sent, 2, cfg, gaz)
+	if !has("next=</s>") {
+		t.Errorf("last token missing </s>: %v", fs)
+	}
+}
+
+func TestTokenFeaturesMinimalConfig(t *testing.T) {
+	sent := Tokenize("Alice")
+	fs := TokenFeatures(sent, 0, FeatureConfig{Word: true}, nil)
+	if len(fs) != 1 || fs[0] != "w=alice" {
+		t.Errorf("minimal config = %v", fs)
+	}
+	// Gazetteer flag without gazetteer: no panic, no feature.
+	fs = TokenFeatures(sent, 0, FeatureConfig{Gazetteer: true}, nil)
+	if len(fs) != 0 {
+		t.Errorf("gazetteer-without-gaz = %v", fs)
+	}
+}
+
+// Property: tokenization offsets are monotone, non-overlapping, and each
+// token's text matches its span.
+func TestQuickTokenizeOffsets(t *testing.T) {
+	alphabet := []rune("ab C.!x 9,")
+	f := func(seed int64) bool {
+		n := int(seed%97+97)%97 + 1
+		rs := make([]rune, n)
+		s := seed
+		for i := range rs {
+			s = s*1103515245 + 12345
+			idx := int(s % int64(len(alphabet)))
+			if idx < 0 {
+				idx = -idx
+			}
+			rs[i] = alphabet[idx]
+		}
+		in := string(rs)
+		toks := Tokenize(in)
+		prevEnd := 0
+		for _, tok := range toks {
+			if tok.Start < prevEnd || tok.End <= tok.Start {
+				return false
+			}
+			if in[tok.Start:tok.End] != tok.Text {
+				return false
+			}
+			prevEnd = tok.End
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,101 @@
+package version
+
+import "testing"
+
+func TestLinearParents(t *testing.T) {
+	s := NewStore()
+	v1 := s.Commit(Version{Message: "v1"})
+	v2 := s.Commit(Version{Message: "v2"})
+	v3 := s.Commit(Version{Message: "v3"})
+	if v1.Parent != 0 || v2.Parent != 1 || v3.Parent != 2 {
+		t.Errorf("linear parents: %d %d %d", v1.Parent, v2.Parent, v3.Parent)
+	}
+}
+
+func TestCheckoutBranches(t *testing.T) {
+	s := NewStore()
+	s.Commit(Version{Message: "v1"})
+	s.Commit(Version{Message: "v2"})
+	s.Commit(Version{Message: "v3"})
+	// Roll back to v1 and branch out.
+	got, err := s.Checkout(1)
+	if err != nil || got.Number != 1 {
+		t.Fatalf("checkout: %+v, %v", got, err)
+	}
+	v4 := s.Commit(Version{Message: "v4 (branch)"})
+	if v4.Parent != 1 {
+		t.Errorf("branch parent = %d, want 1", v4.Parent)
+	}
+	// Next commit follows the new branch tip, not the old one.
+	v5 := s.Commit(Version{Message: "v5"})
+	if v5.Parent != 4 {
+		t.Errorf("post-branch parent = %d, want 4", v5.Parent)
+	}
+	// v1 now has two children: v2 and v4.
+	kids := s.Children(1)
+	if len(kids) != 2 || kids[0].Number != 2 || kids[1].Number != 4 {
+		t.Errorf("children of v1: %v", numbers(kids))
+	}
+}
+
+func TestCheckoutInvalid(t *testing.T) {
+	s := NewStore()
+	s.Commit(Version{Message: "v1"})
+	if _, err := s.Checkout(5); err == nil {
+		t.Error("checkout of missing version accepted")
+	}
+	// Failed checkout must not corrupt the head.
+	v2 := s.Commit(Version{Message: "v2"})
+	if v2.Parent != 1 {
+		t.Errorf("parent after failed checkout = %d", v2.Parent)
+	}
+}
+
+func TestLineage(t *testing.T) {
+	s := NewStore()
+	s.Commit(Version{Message: "v1"})
+	s.Commit(Version{Message: "v2"})
+	if _, err := s.Checkout(1); err != nil {
+		t.Fatal(err)
+	}
+	s.Commit(Version{Message: "v3 (branch)"})
+	s.Commit(Version{Message: "v4"})
+	chain, err := s.Lineage(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 3, 4}
+	if len(chain) != len(want) {
+		t.Fatalf("lineage = %v", numbers(chain))
+	}
+	for i, v := range chain {
+		if v.Number != want[i] {
+			t.Errorf("lineage[%d] = %d, want %d", i, v.Number, want[i])
+		}
+	}
+	// The abandoned branch is not in the lineage.
+	for _, v := range chain {
+		if v.Number == 2 {
+			t.Error("abandoned branch in lineage")
+		}
+	}
+	if _, err := s.Lineage(99); err == nil {
+		t.Error("lineage of missing version accepted")
+	}
+}
+
+func TestChildrenOfLeaf(t *testing.T) {
+	s := NewStore()
+	s.Commit(Version{Message: "v1"})
+	if kids := s.Children(1); len(kids) != 0 {
+		t.Errorf("leaf has children: %v", numbers(kids))
+	}
+}
+
+func numbers(vs []*Version) []int {
+	out := make([]int, len(vs))
+	for i, v := range vs {
+		out[i] = v.Number
+	}
+	return out
+}

@@ -1,0 +1,317 @@
+// Package version implements HELIX's workflow versioning tool (§3.1): a
+// commit-log-style store of workflow versions with their DSL source, DAG,
+// executed plan and evaluation metrics, plus git-like comparison between any
+// two versions. The demo renders these in a web GUI; here they render as
+// text for the CLI tools.
+package version
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/dag"
+	"repro/internal/sig"
+)
+
+// Version is one iteration's snapshot.
+type Version struct {
+	// Number is the 1-based iteration index.
+	Number int
+	// Parent is the version this one was derived from (0 for the first).
+	// Committing after a Checkout records the checked-out version here, so
+	// the history forms a tree when the developer branches out.
+	Parent int
+	// Message is the developer's description of the edit (benchmark scripts
+	// use the scripted modification's description).
+	Message string
+	// Kind classifies the edit ("prep", "ml", "eval", "initial").
+	Kind string
+	// Source is the DSL source text.
+	Source string
+	// Graph is the annotated DAG (with signatures).
+	Graph *dag.Graph
+	// Wall is the measured iteration latency.
+	Wall time.Duration
+	// Metrics are the evaluation results by metric name ("accuracy", ...).
+	Metrics map[string]float64
+	// At is the commit timestamp.
+	At time.Time
+}
+
+// Store accumulates versions for one workflow. Not safe for concurrent use;
+// a development session is single-threaded.
+type Store struct {
+	versions []*Version
+	// head is the version the next commit descends from; 0 = latest.
+	head int
+}
+
+// NewStore returns an empty version store.
+func NewStore() *Store { return &Store{} }
+
+// Commit appends a version, assigning its number and parent (the current
+// head — the latest version unless Checkout moved it). The graph is cloned
+// so later mutation by the caller cannot corrupt history.
+func (s *Store) Commit(v Version) *Version {
+	v.Number = len(s.versions) + 1
+	v.Parent = s.head
+	if s.head == 0 && len(s.versions) > 0 {
+		v.Parent = s.versions[len(s.versions)-1].Number
+	}
+	if v.At.IsZero() {
+		v.At = time.Now()
+	}
+	if v.Graph != nil {
+		v.Graph = v.Graph.Clone()
+	}
+	cp := v
+	s.versions = append(s.versions, &cp)
+	s.head = 0 // back to tracking the latest
+	return &cp
+}
+
+// Checkout moves the commit head to an earlier version: the next Commit
+// records it as parent, branching the history (the demo's "roll back to a
+// past version and branch out in another direction"). Returns the version
+// so the caller can rebuild the workflow from its source.
+func (s *Store) Checkout(n int) (*Version, error) {
+	v, err := s.Get(n)
+	if err != nil {
+		return nil, err
+	}
+	s.head = n
+	return v, nil
+}
+
+// Children returns the versions directly derived from version n, in commit
+// order — the branch structure of the history tree.
+func (s *Store) Children(n int) []*Version {
+	var out []*Version
+	for _, v := range s.versions {
+		if v.Parent == n {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Lineage returns the path from the first version to version n following
+// parent links (inclusive).
+func (s *Store) Lineage(n int) ([]*Version, error) {
+	var chain []*Version
+	for n != 0 {
+		v, err := s.Get(n)
+		if err != nil {
+			return nil, err
+		}
+		chain = append([]*Version{v}, chain...)
+		n = v.Parent
+	}
+	return chain, nil
+}
+
+// Len returns the number of committed versions.
+func (s *Store) Len() int { return len(s.versions) }
+
+// Get returns version n (1-based).
+func (s *Store) Get(n int) (*Version, error) {
+	if n < 1 || n > len(s.versions) {
+		return nil, fmt.Errorf("version: no version %d (have %d)", n, len(s.versions))
+	}
+	return s.versions[n-1], nil
+}
+
+// Latest returns the most recent version, or nil when empty.
+func (s *Store) Latest() *Version {
+	if len(s.versions) == 0 {
+		return nil
+	}
+	return s.versions[len(s.versions)-1]
+}
+
+// Best returns the version maximizing the named metric — the demo's
+// "shortcut to the version with the best evaluation metrics".
+func (s *Store) Best(metric string) (*Version, error) {
+	var best *Version
+	for _, v := range s.versions {
+		val, ok := v.Metrics[metric]
+		if !ok {
+			continue
+		}
+		if best == nil || val > best.Metrics[metric] {
+			best = v
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("version: no version has metric %q", metric)
+	}
+	return best, nil
+}
+
+// Log renders the commit-log view (newest first), mirroring the Versions
+// tab.
+func (s *Store) Log() string {
+	var b strings.Builder
+	for i := len(s.versions) - 1; i >= 0; i-- {
+		v := s.versions[i]
+		fmt.Fprintf(&b, "version %d  [%s]  wall=%v\n", v.Number, v.Kind, v.Wall.Round(time.Microsecond))
+		fmt.Fprintf(&b, "    %s\n", v.Message)
+		if len(v.Metrics) > 0 {
+			names := make([]string, 0, len(v.Metrics))
+			for n := range v.Metrics {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			parts := make([]string, len(names))
+			for j, n := range names {
+				parts[j] = fmt.Sprintf("%s=%.4f", n, v.Metrics[n])
+			}
+			fmt.Fprintf(&b, "    %s\n", strings.Join(parts, " "))
+		}
+	}
+	return b.String()
+}
+
+// MetricSeries returns (iteration, value) points for one metric across all
+// versions that report it — the Metrics-tab trend line (Figure 3).
+func (s *Store) MetricSeries(metric string) (iters []int, values []float64) {
+	for _, v := range s.versions {
+		if val, ok := v.Metrics[metric]; ok {
+			iters = append(iters, v.Number)
+			values = append(values, val)
+		}
+	}
+	return iters, values
+}
+
+// PlotMetric renders an ASCII trend chart of the metric across versions —
+// the text analogue of Figure 3's plots.
+func (s *Store) PlotMetric(metric string, width int) string {
+	iters, values := s.MetricSeries(metric)
+	if len(values) == 0 {
+		return fmt.Sprintf("no data for metric %q\n", metric)
+	}
+	if width <= 0 {
+		width = 40
+	}
+	lo, hi := values[0], values[0]
+	for _, v := range values {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	span := hi - lo
+	if span == 0 {
+		span = 1
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (min=%.4f max=%.4f)\n", metric, lo, hi)
+	for i, v := range values {
+		n := int(float64(width) * (v - lo) / span)
+		fmt.Fprintf(&b, "  v%-3d %7.4f |%s\n", iters[i], v, strings.Repeat("#", n))
+	}
+	return b.String()
+}
+
+// Compare renders the git-like comparison between versions a and b: the
+// node-level DAG diff (from signatures) and the source-text line diff —
+// the demo's version-comparison view.
+func (s *Store) Compare(a, b int) (string, error) {
+	va, err := s.Get(a)
+	if err != nil {
+		return "", err
+	}
+	vb, err := s.Get(b)
+	if err != nil {
+		return "", err
+	}
+	var out strings.Builder
+	fmt.Fprintf(&out, "comparing version %d -> %d\n", a, b)
+	if va.Graph != nil && vb.Graph != nil {
+		changes := sig.Diff(va.Graph, vb.Graph)
+		if len(changes) == 0 {
+			out.WriteString("  DAG: no changes\n")
+		}
+		for _, ch := range changes {
+			marker := map[sig.ChangeKind]string{sig.Added: "+", sig.Removed: "-", sig.Modified: "~"}[ch.Kind]
+			fmt.Fprintf(&out, "  DAG: %s %s (%s)\n", marker, ch.Name, ch.Kind)
+		}
+	}
+	out.WriteString(DiffText(va.Source, vb.Source))
+	// Metric deltas.
+	names := map[string]bool{}
+	for n := range va.Metrics {
+		names[n] = true
+	}
+	for n := range vb.Metrics {
+		names[n] = true
+	}
+	sorted := make([]string, 0, len(names))
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+	for _, n := range sorted {
+		fmt.Fprintf(&out, "  metric %s: %.4f -> %.4f (%+.4f)\n", n, va.Metrics[n], vb.Metrics[n], vb.Metrics[n]-va.Metrics[n])
+	}
+	return out.String(), nil
+}
+
+// DiffText produces a minimal line diff (LCS-based) in unified-ish format
+// with +/- markers, the Github-style highlighting of Figure 1a.
+func DiffText(a, b string) string {
+	al := splitLines(a)
+	bl := splitLines(b)
+	// LCS table.
+	n, m := len(al), len(bl)
+	lcs := make([][]int, n+1)
+	for i := range lcs {
+		lcs[i] = make([]int, m+1)
+	}
+	for i := n - 1; i >= 0; i-- {
+		for j := m - 1; j >= 0; j-- {
+			if al[i] == bl[j] {
+				lcs[i][j] = lcs[i+1][j+1] + 1
+			} else if lcs[i+1][j] >= lcs[i][j+1] {
+				lcs[i][j] = lcs[i+1][j]
+			} else {
+				lcs[i][j] = lcs[i][j+1]
+			}
+		}
+	}
+	var out strings.Builder
+	i, j := 0, 0
+	for i < n && j < m {
+		switch {
+		case al[i] == bl[j]:
+			fmt.Fprintf(&out, "    %s\n", al[i])
+			i++
+			j++
+		case lcs[i+1][j] >= lcs[i][j+1]:
+			fmt.Fprintf(&out, "  - %s\n", al[i])
+			i++
+		default:
+			fmt.Fprintf(&out, "  + %s\n", bl[j])
+			j++
+		}
+	}
+	for ; i < n; i++ {
+		fmt.Fprintf(&out, "  - %s\n", al[i])
+	}
+	for ; j < m; j++ {
+		fmt.Fprintf(&out, "  + %s\n", bl[j])
+	}
+	return out.String()
+}
+
+func splitLines(s string) []string {
+	if s == "" {
+		return nil
+	}
+	return strings.Split(strings.TrimRight(s, "\n"), "\n")
+}

@@ -1,0 +1,174 @@
+package version
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/dag"
+	"repro/internal/sig"
+)
+
+func annotated(t *testing.T, extra bool, param string) *dag.Graph {
+	t.Helper()
+	g := dag.New()
+	a := g.MustAddNode("a", "scan")
+	b := g.MustAddNode("b", "learner")
+	g.MustAddEdge(a, b)
+	sigs := []sig.Signature{
+		sig.Operator("scan", nil, ""),
+		sig.Operator("learner", map[string]string{"reg": param}, ""),
+	}
+	if extra {
+		c := g.MustAddNode("c", "eval")
+		g.MustAddEdge(b, c)
+		sigs = append(sigs, sig.Operator("eval", nil, ""))
+	}
+	if _, err := sig.Annotate(g, sigs); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestCommitAndGet(t *testing.T) {
+	s := NewStore()
+	v1 := s.Commit(Version{Message: "initial", Kind: "initial", Wall: time.Second})
+	if v1.Number != 1 {
+		t.Errorf("number = %d", v1.Number)
+	}
+	v2 := s.Commit(Version{Message: "tune reg", Kind: "ml"})
+	if v2.Number != 2 || s.Len() != 2 {
+		t.Errorf("second commit: %d, len %d", v2.Number, s.Len())
+	}
+	got, err := s.Get(1)
+	if err != nil || got.Message != "initial" {
+		t.Errorf("Get(1) = %+v, %v", got, err)
+	}
+	if _, err := s.Get(0); err == nil {
+		t.Error("Get(0) accepted")
+	}
+	if _, err := s.Get(3); err == nil {
+		t.Error("Get(3) accepted")
+	}
+	if s.Latest().Number != 2 {
+		t.Error("Latest wrong")
+	}
+}
+
+func TestLatestEmpty(t *testing.T) {
+	if NewStore().Latest() != nil {
+		t.Error("Latest on empty store should be nil")
+	}
+}
+
+func TestCommitClonesGraph(t *testing.T) {
+	s := NewStore()
+	g := annotated(t, false, "0.1")
+	s.Commit(Version{Message: "v1", Graph: g})
+	g.MustAddNode("mutant", "x")
+	got, err := s.Get(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Graph.Len() != 2 {
+		t.Error("stored graph shares storage with caller")
+	}
+}
+
+func TestBest(t *testing.T) {
+	s := NewStore()
+	s.Commit(Version{Message: "v1", Metrics: map[string]float64{"accuracy": 0.8}})
+	s.Commit(Version{Message: "v2", Metrics: map[string]float64{"accuracy": 0.92}})
+	s.Commit(Version{Message: "v3", Metrics: map[string]float64{"accuracy": 0.85}})
+	best, err := s.Best("accuracy")
+	if err != nil || best.Number != 2 {
+		t.Errorf("Best = %+v, %v", best, err)
+	}
+	if _, err := s.Best("f1"); err == nil {
+		t.Error("missing metric accepted")
+	}
+}
+
+func TestLogNewestFirst(t *testing.T) {
+	s := NewStore()
+	s.Commit(Version{Message: "first", Kind: "initial", Metrics: map[string]float64{"accuracy": 0.8}})
+	s.Commit(Version{Message: "second", Kind: "ml"})
+	log := s.Log()
+	if !strings.Contains(log, "first") || !strings.Contains(log, "second") {
+		t.Fatalf("log incomplete:\n%s", log)
+	}
+	if strings.Index(log, "second") > strings.Index(log, "first") {
+		t.Error("log not newest-first")
+	}
+	if !strings.Contains(log, "accuracy=0.8000") {
+		t.Errorf("log missing metrics:\n%s", log)
+	}
+}
+
+func TestMetricSeriesAndPlot(t *testing.T) {
+	s := NewStore()
+	s.Commit(Version{Metrics: map[string]float64{"accuracy": 0.5}})
+	s.Commit(Version{Metrics: map[string]float64{"f1": 0.4}}) // no accuracy
+	s.Commit(Version{Metrics: map[string]float64{"accuracy": 0.9}})
+	iters, vals := s.MetricSeries("accuracy")
+	if len(iters) != 2 || iters[0] != 1 || iters[1] != 3 || vals[1] != 0.9 {
+		t.Errorf("series = %v %v", iters, vals)
+	}
+	plot := s.PlotMetric("accuracy", 20)
+	if !strings.Contains(plot, "v1") || !strings.Contains(plot, "v3") || !strings.Contains(plot, "#") {
+		t.Errorf("plot:\n%s", plot)
+	}
+	if got := s.PlotMetric("nope", 20); !strings.Contains(got, "no data") {
+		t.Errorf("missing metric plot: %q", got)
+	}
+	// Constant series doesn't divide by zero.
+	s2 := NewStore()
+	s2.Commit(Version{Metrics: map[string]float64{"m": 1}})
+	s2.Commit(Version{Metrics: map[string]float64{"m": 1}})
+	if got := s2.PlotMetric("m", 10); got == "" {
+		t.Error("constant plot empty")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	s := NewStore()
+	s.Commit(Version{
+		Message: "v1", Source: "a\nb reg=0.1\n", Graph: annotated(t, false, "0.1"),
+		Metrics: map[string]float64{"accuracy": 0.8},
+	})
+	s.Commit(Version{
+		Message: "v2", Source: "a\nb reg=0.5\nc\n", Graph: annotated(t, true, "0.5"),
+		Metrics: map[string]float64{"accuracy": 0.9},
+	})
+	out, err := s.Compare(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"~ b (modified)", "+ c (added)", "- b reg=0.1", "+ b reg=0.5", "accuracy: 0.8000 -> 0.9000 (+0.1000)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("compare missing %q:\n%s", want, out)
+		}
+	}
+	if _, err := s.Compare(1, 9); err == nil {
+		t.Error("bad version accepted")
+	}
+}
+
+func TestDiffText(t *testing.T) {
+	out := DiffText("keep\nold\n", "keep\nnew\n")
+	for _, want := range []string{"    keep", "  - old", "  + new"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("diff missing %q:\n%s", want, out)
+		}
+	}
+	if got := DiffText("", ""); got != "" {
+		t.Errorf("empty diff = %q", got)
+	}
+	// Pure insertion and deletion.
+	if got := DiffText("", "x\n"); !strings.Contains(got, "+ x") {
+		t.Errorf("insert diff = %q", got)
+	}
+	if got := DiffText("x\n", ""); !strings.Contains(got, "- x") {
+		t.Errorf("delete diff = %q", got)
+	}
+}

@@ -1,0 +1,248 @@
+package workload
+
+import (
+	"repro/internal/codec"
+	"repro/internal/seq"
+)
+
+// Custom gob encodings for the IE pipeline values (see internal/codec).
+// Token text is heavily repetitive, so sentences go through an interned
+// string table; feature-index tensors encode as flat varint arrays.
+
+func encodeSents(w *codec.Writer, table *codec.StringTable, sents [][]string) {
+	w.Int(len(sents))
+	for _, sent := range sents {
+		w.Int(len(sent))
+		for _, tok := range sent {
+			table.Write(w, tok)
+		}
+	}
+}
+
+func decodeSents(r *codec.Reader, table *codec.ReadStringTable) ([][]string, error) {
+	n, err := r.Len()
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]string, n)
+	for i := range out {
+		k, err := r.Len()
+		if err != nil {
+			return nil, err
+		}
+		sent := make([]string, k)
+		for j := range sent {
+			if sent[j], err = table.Read(r); err != nil {
+				return nil, err
+			}
+		}
+		out[i] = sent
+	}
+	return out, nil
+}
+
+func encodeInts2(w *codec.Writer, rows [][]int) {
+	w.Int(len(rows))
+	for _, row := range rows {
+		w.Int(len(row))
+		for _, v := range row {
+			w.Int(v)
+		}
+	}
+}
+
+func decodeInts2(r *codec.Reader) ([][]int, error) {
+	n, err := r.Len()
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]int, n)
+	for i := range out {
+		k, err := r.Len()
+		if err != nil {
+			return nil, err
+		}
+		row := make([]int, k)
+		for j := range row {
+			if row[j], err = r.Int(); err != nil {
+				return nil, err
+			}
+		}
+		out[i] = row
+	}
+	return out, nil
+}
+
+func encodeInts3(w *codec.Writer, t [][][]int) {
+	w.Int(len(t))
+	for _, m := range t {
+		encodeInts2(w, m)
+	}
+}
+
+func decodeInts3(r *codec.Reader) ([][][]int, error) {
+	n, err := r.Len()
+	if err != nil {
+		return nil, err
+	}
+	out := make([][][]int, n)
+	for i := range out {
+		m, err := decodeInts2(r)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = m
+	}
+	return out, nil
+}
+
+func encodeSpans2(w *codec.Writer, spans [][]seq.Span) {
+	w.Int(len(spans))
+	for _, ss := range spans {
+		w.Int(len(ss))
+		for _, s := range ss {
+			w.Int(s.Start)
+			w.Int(s.End)
+		}
+	}
+}
+
+func decodeSpans2(r *codec.Reader) ([][]seq.Span, error) {
+	n, err := r.Len()
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]seq.Span, n)
+	for i := range out {
+		k, err := r.Len()
+		if err != nil {
+			return nil, err
+		}
+		ss := make([]seq.Span, k)
+		for j := range ss {
+			if ss[j].Start, err = r.Int(); err != nil {
+				return nil, err
+			}
+			if ss[j].End, err = r.Int(); err != nil {
+				return nil, err
+			}
+		}
+		out[i] = ss
+	}
+	return out, nil
+}
+
+// GobEncode implements the interned encoding for TokenizedCorpus.
+func (tc TokenizedCorpus) GobEncode() ([]byte, error) {
+	var w codec.Writer
+	table := codec.NewStringTable()
+	encodeSents(&w, table, tc.TrainSents)
+	encodeSents(&w, table, tc.TestSents)
+	encodeSents(&w, table, tc.TrainPersons)
+	encodeSents(&w, table, tc.TestPersons)
+	return w.Bytes(), nil
+}
+
+// GobDecode reverses GobEncode.
+func (tc *TokenizedCorpus) GobDecode(raw []byte) error {
+	r := codec.NewReader(raw)
+	table := codec.NewReadStringTable()
+	var err error
+	if tc.TrainSents, err = decodeSents(r, table); err != nil {
+		return err
+	}
+	if tc.TestSents, err = decodeSents(r, table); err != nil {
+		return err
+	}
+	if tc.TrainPersons, err = decodeSents(r, table); err != nil {
+		return err
+	}
+	tc.TestPersons, err = decodeSents(r, table)
+	return err
+}
+
+// GobEncode implements the interned encoding for LabeledCorpus.
+func (lc LabeledCorpus) GobEncode() ([]byte, error) {
+	var w codec.Writer
+	table := codec.NewStringTable()
+	encodeSents(&w, table, lc.TrainSents)
+	encodeSents(&w, table, lc.TestSents)
+	encodeInts2(&w, lc.TrainTags)
+	encodeSpans2(&w, lc.TrainGold)
+	encodeSpans2(&w, lc.TestGold)
+	return w.Bytes(), nil
+}
+
+// GobDecode reverses GobEncode.
+func (lc *LabeledCorpus) GobDecode(raw []byte) error {
+	r := codec.NewReader(raw)
+	table := codec.NewReadStringTable()
+	var err error
+	if lc.TrainSents, err = decodeSents(r, table); err != nil {
+		return err
+	}
+	if lc.TestSents, err = decodeSents(r, table); err != nil {
+		return err
+	}
+	if lc.TrainTags, err = decodeInts2(r); err != nil {
+		return err
+	}
+	if lc.TrainGold, err = decodeSpans2(r); err != nil {
+		return err
+	}
+	lc.TestGold, err = decodeSpans2(r)
+	return err
+}
+
+// GobEncode implements the flat encoding for SeqDataset.
+func (ds SeqDataset) GobEncode() ([]byte, error) {
+	var w codec.Writer
+	w.Int(len(ds.TrainInsts))
+	for _, in := range ds.TrainInsts {
+		encodeInts2(&w, in.Feats)
+		w.Int(len(in.Tags))
+		for _, t := range in.Tags {
+			w.Int(t)
+		}
+	}
+	encodeInts3(&w, ds.TestFeats)
+	encodeSpans2(&w, ds.TestGold)
+	w.Int(ds.Dim)
+	return w.Bytes(), nil
+}
+
+// GobDecode reverses GobEncode.
+func (ds *SeqDataset) GobDecode(raw []byte) error {
+	r := codec.NewReader(raw)
+	n, err := r.Len()
+	if err != nil {
+		return err
+	}
+	insts := make([]seq.Instance, n)
+	for i := range insts {
+		feats, err := decodeInts2(r)
+		if err != nil {
+			return err
+		}
+		k, err := r.Len()
+		if err != nil {
+			return err
+		}
+		tags := make([]int, k)
+		for j := range tags {
+			if tags[j], err = r.Int(); err != nil {
+				return err
+			}
+		}
+		insts[i] = seq.Instance{Feats: feats, Tags: tags}
+	}
+	ds.TrainInsts = insts
+	if ds.TestFeats, err = decodeInts3(r); err != nil {
+		return err
+	}
+	if ds.TestGold, err = decodeSpans2(r); err != nil {
+		return err
+	}
+	ds.Dim, err = r.Int()
+	return err
+}

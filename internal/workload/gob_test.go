@@ -1,0 +1,113 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/seq"
+	"repro/internal/store"
+)
+
+func roundTrip(t *testing.T, v any) any {
+	t.Helper()
+	raw, err := store.Encode(v)
+	if err != nil {
+		t.Fatalf("encode %T: %v", v, err)
+	}
+	got, err := store.Decode(raw)
+	if err != nil {
+		t.Fatalf("decode %T: %v", v, err)
+	}
+	return got
+}
+
+func TestTokenizedCorpusRoundTrip(t *testing.T) {
+	tc := TokenizedCorpus{
+		TrainSents:   [][]string{{"Mary", "Smith", "spoke", "."}, {"Hello"}},
+		TestSents:    [][]string{{"Bob", "ran", "."}},
+		TrainPersons: [][]string{{"Mary Smith"}, nil},
+		TestPersons:  [][]string{{"Bob Jones"}},
+	}
+	got := roundTrip(t, tc).(TokenizedCorpus)
+	if !reflect.DeepEqual(got.TrainSents, tc.TrainSents) ||
+		!reflect.DeepEqual(got.TestSents, tc.TestSents) ||
+		!reflect.DeepEqual(got.TestPersons, tc.TestPersons) {
+		t.Errorf("round trip mismatch:\n%+v\n%+v", got, tc)
+	}
+	// nil inner slice decodes as empty — semantically identical.
+	if len(got.TrainPersons[1]) != 0 {
+		t.Errorf("persons[1] = %v", got.TrainPersons[1])
+	}
+}
+
+func TestLabeledCorpusRoundTrip(t *testing.T) {
+	lc := LabeledCorpus{
+		TrainSents: [][]string{{"Mary", "Smith", "spoke"}},
+		TestSents:  [][]string{{"Bob", "ran"}},
+		TrainTags:  [][]int{{seq.TagB, seq.TagI, seq.TagO}},
+		TrainGold:  [][]seq.Span{{{Start: 0, End: 2}}},
+		TestGold:   [][]seq.Span{{{Start: 0, End: 1}}},
+	}
+	got := roundTrip(t, lc).(LabeledCorpus)
+	if !reflect.DeepEqual(got.TrainTags, lc.TrainTags) ||
+		!reflect.DeepEqual(got.TrainGold, lc.TrainGold) ||
+		!reflect.DeepEqual(got.TestGold, lc.TestGold) {
+		t.Errorf("round trip mismatch:\n%+v\n%+v", got, lc)
+	}
+}
+
+func TestSeqDatasetRoundTrip(t *testing.T) {
+	ds := SeqDataset{
+		TrainInsts: []seq.Instance{
+			{Feats: [][]int{{1, 2}, {3}}, Tags: []int{seq.TagB, seq.TagO}},
+		},
+		TestFeats: [][][]int{{{4}, {5, 6}}},
+		TestGold:  [][]seq.Span{{{Start: 1, End: 2}}},
+		Dim:       7,
+	}
+	got := roundTrip(t, ds).(SeqDataset)
+	if got.Dim != 7 ||
+		!reflect.DeepEqual(got.TrainInsts, ds.TrainInsts) ||
+		!reflect.DeepEqual(got.TestFeats, ds.TestFeats) ||
+		!reflect.DeepEqual(got.TestGold, ds.TestGold) {
+		t.Errorf("round trip mismatch:\n%+v\n%+v", got, ds)
+	}
+}
+
+func TestSeqModelRoundTrip(t *testing.T) {
+	m := seq.NewModel(3)
+	m.Emit[seq.TagB][1] = 2.5
+	m.Trans[seq.NumTags][seq.TagB] = -1
+	got := roundTrip(t, m).(*seq.Model)
+	if got.Dim != 3 || got.Emit[seq.TagB][1] != 2.5 || got.Trans[seq.NumTags][seq.TagB] != -1 {
+		t.Errorf("model round trip: %+v", got)
+	}
+}
+
+func TestWorkloadGobCorrupt(t *testing.T) {
+	bad := []byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff}
+	var tc TokenizedCorpus
+	if err := tc.GobDecode(bad); err == nil {
+		t.Error("corrupt TokenizedCorpus accepted")
+	}
+	var lc LabeledCorpus
+	if err := lc.GobDecode(bad); err == nil {
+		t.Error("corrupt LabeledCorpus accepted")
+	}
+	var ds SeqDataset
+	if err := ds.GobDecode(bad); err == nil {
+		t.Error("corrupt SeqDataset accepted")
+	}
+}
+
+// End-to-end: a full IE iteration's intermediates all survive the store.
+func TestIEIntermediatesStorable(t *testing.T) {
+	data := GenerateNews(20, 5, 1)
+	trS, trP := tokenizeDocs(data.Train)
+	teS, teP := tokenizeDocs(data.Test)
+	tc := TokenizedCorpus{TrainSents: trS, TestSents: teS, TrainPersons: trP, TestPersons: teP}
+	got := roundTrip(t, tc).(TokenizedCorpus)
+	if len(got.TrainSents) != len(tc.TrainSents) {
+		t.Errorf("sentences lost: %d vs %d", len(got.TrainSents), len(tc.TrainSents))
+	}
+}

@@ -1,0 +1,119 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Synthetic news vocabulary. First/last name pools drive both generation
+// and the (partial) gazetteer feature, mirroring how real IE systems carry
+// external name lists.
+var (
+	firstNames = []string{
+		"James", "Mary", "Robert", "Patricia", "John", "Jennifer", "Michael",
+		"Linda", "David", "Elizabeth", "William", "Barbara", "Richard",
+		"Susan", "Joseph", "Jessica", "Thomas", "Sarah", "Charles", "Karen",
+	}
+	lastNames = []string{
+		"Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller",
+		"Davis", "Rodriguez", "Martinez", "Hernandez", "Lopez", "Gonzalez",
+		"Wilson", "Anderson", "Taylor", "Moore", "Jackson", "Martin", "Lee",
+	}
+	orgs = []string{
+		"Acme Corp", "Globex", "Initech", "Umbrella Industries", "Stark Labs",
+		"Wayne Enterprises", "Hooli", "Vandelay Industries",
+	}
+	cities = []string{
+		"Springfield", "Riverton", "Lakewood", "Fairview", "Centerville",
+		"Georgetown", "Ashland", "Dover",
+	}
+	verbs = []string{
+		"announced", "criticized", "praised", "met with", "interviewed",
+		"appointed", "succeeded", "defended", "supported", "questioned",
+	}
+	topics = []string{
+		"the merger", "the new policy", "quarterly earnings", "the lawsuit",
+		"the election results", "the product launch", "the investigation",
+	}
+)
+
+// Document is one synthetic news article with its gold person names (full
+// "First Last" strings). Gold token spans are derived downstream by the
+// label-alignment operator — the distant-supervision-style ETL step typical
+// of DeepDive applications.
+type Document struct {
+	Text string
+	// Persons are the full names mentioned in Text, in order of first
+	// appearance (duplicates allowed).
+	Persons []string
+}
+
+// NewsData is a generated train/test corpus.
+type NewsData struct {
+	Train, Test []Document
+}
+
+// GenerateNews produces a deterministic synthetic news corpus. Each document
+// has 2–5 sentences built from templates that interleave person mentions
+// with organizations, cities and lowercase-but-capitalized sentence starts,
+// so the tagging task has genuine ambiguity (capitalization alone is not
+// enough).
+func GenerateNews(trainDocs, testDocs int, seed int64) NewsData {
+	rng := rand.New(rand.NewSource(seed))
+	gen := func(n int) []Document {
+		docs := make([]Document, n)
+		for i := range docs {
+			docs[i] = generateDoc(rng)
+		}
+		return docs
+	}
+	return NewsData{Train: gen(trainDocs), Test: gen(testDocs)}
+}
+
+func randomName(rng *rand.Rand) string {
+	return firstNames[rng.Intn(len(firstNames))] + " " + lastNames[rng.Intn(len(lastNames))]
+}
+
+func generateDoc(rng *rand.Rand) Document {
+	var b strings.Builder
+	var persons []string
+	sentences := 2 + rng.Intn(4)
+	for s := 0; s < sentences; s++ {
+		switch rng.Intn(5) {
+		case 0: // person verb topic
+			p := randomName(rng)
+			persons = append(persons, p)
+			fmt.Fprintf(&b, "%s %s %s. ", p, verbs[rng.Intn(len(verbs))], topics[rng.Intn(len(topics))])
+		case 1: // org sentence, no person
+			fmt.Fprintf(&b, "%s reported progress on %s in %s. ",
+				orgs[rng.Intn(len(orgs))], topics[rng.Intn(len(topics))], cities[rng.Intn(len(cities))])
+		case 2: // two persons interacting
+			p1 := randomName(rng)
+			p2 := randomName(rng)
+			persons = append(persons, p1, p2)
+			fmt.Fprintf(&b, "%s %s %s at the %s office. ",
+				p1, verbs[rng.Intn(len(verbs))], p2, cities[rng.Intn(len(cities))])
+		case 3: // person with title
+			p := randomName(rng)
+			persons = append(persons, p)
+			fmt.Fprintf(&b, "Chief executive %s of %s %s %s. ",
+				p, orgs[rng.Intn(len(orgs))], verbs[rng.Intn(len(verbs))], topics[rng.Intn(len(topics))])
+		default: // filler sentence with capitalized non-person tokens
+			fmt.Fprintf(&b, "Officials in %s discussed %s on Monday. ",
+				cities[rng.Intn(len(cities))], topics[rng.Intn(len(topics))])
+		}
+	}
+	return Document{Text: strings.TrimSpace(b.String()), Persons: persons}
+}
+
+// GazetteerEntries returns the first `frac` fraction of the name pools —
+// a deliberately partial gazetteer, as real ones are.
+func GazetteerEntries(frac float64) []string {
+	nf := int(frac * float64(len(firstNames)))
+	nl := int(frac * float64(len(lastNames)))
+	out := make([]string, 0, nf+nl)
+	out = append(out, firstNames[:nf]...)
+	out = append(out, lastNames[:nl]...)
+	return out
+}

@@ -1,0 +1,47 @@
+package workload
+
+import "repro/internal/core"
+
+// StepKind classifies a scripted edit with the paper's Figure 2 color
+// coding: purple = data pre-processing, orange = ML, green = evaluation.
+type StepKind string
+
+const (
+	// StepInitial is the first version of a workflow.
+	StepInitial StepKind = "initial"
+	// StepPrep is a data pre-processing change (e.g. adding a feature).
+	StepPrep StepKind = "prep"
+	// StepML is a machine-learning change (e.g. adding regularization).
+	StepML StepKind = "ml"
+	// StepEval is an evaluation change (e.g. changing metrics).
+	StepEval StepKind = "eval"
+)
+
+// Step is one iteration of a scripted development session.
+type Step struct {
+	// Description is the human-readable edit summary (the commit message).
+	Description string
+	// Kind is the Figure-2 color class.
+	Kind StepKind
+	// Workflow is the full program for this iteration.
+	Workflow *core.Workflow
+}
+
+// Scenario is a scripted sequence of workflow versions replayed against each
+// comparator system by the benchmark harness.
+type Scenario struct {
+	// Name identifies the scenario ("census", "ie").
+	Name string
+	// Metric is the headline metric tracked across iterations.
+	Metric string
+	// Steps are the iterations in order.
+	Steps []Step
+}
+
+// Add appends a step.
+func (s *Scenario) Add(description string, kind StepKind, wf *core.Workflow) {
+	s.Steps = append(s.Steps, Step{Description: description, Kind: kind, Workflow: wf})
+}
+
+// Len returns the number of iterations.
+func (s *Scenario) Len() int { return len(s.Steps) }
