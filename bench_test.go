@@ -13,10 +13,12 @@ import (
 	"fmt"
 	"math/rand"
 	"testing"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/dag"
 	"repro/internal/data"
+	"repro/internal/exec"
 	"repro/internal/maxflow"
 	"repro/internal/ml"
 	"repro/internal/opt"
@@ -281,4 +283,80 @@ func BenchmarkViterbiDecode(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		m.Decode(sent)
 	}
+}
+
+// --- dataflow scheduler vs level-barrier reference (§2.3 executor) ---
+//
+// BenchmarkScheduler* run the same synthetic stress DAG under both
+// scheduling strategies at the same worker count; the reproduction target
+// is the dataflow scheduler's wall-time win (≥25% on the straggler-level
+// shape) with byte-identical Result.Values. Tasks sleep rather than spin,
+// so wall-ms is the honest metric (ns/op tracks it).
+
+func assertSchedulersAgree(b *testing.B, sd *bench.SchedDAG, workers int) {
+	b.Helper()
+	df, err := bench.RunSched(sd, exec.Dataflow, workers)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lb, err := bench.RunSched(sd, exec.LevelBarrier, workers)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := bench.SchedValuesEqual(df, lb); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// schedShape pulls one of the canonical stress shapes (shared with
+// helix-bench's -ablation scheduler) by name.
+func schedShape(b *testing.B, name string) *bench.SchedDAG {
+	b.Helper()
+	sd, err := bench.Shape(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sd
+}
+
+func benchSched(b *testing.B, sd *bench.SchedDAG, workers int) {
+	b.Helper()
+	assertSchedulersAgree(b, sd, workers)
+	for _, sched := range []exec.Strategy{exec.Dataflow, exec.LevelBarrier} {
+		b.Run(sched.String(), func(b *testing.B) {
+			var wall time.Duration
+			for i := 0; i < b.N; i++ {
+				res, err := bench.RunSched(sd, sched, workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				wall += res.Wall
+			}
+			b.ReportMetric(float64(wall.Microseconds())/float64(b.N)/1000, "wall-ms")
+		})
+	}
+}
+
+// BenchmarkSchedulerStragglerLevel is the acceptance shape: 4 chains × 4
+// levels with one straggler per level on the diagonal. A level barrier pays
+// every straggler serially; dataflow overlaps them.
+func BenchmarkSchedulerStragglerLevel(b *testing.B) {
+	benchSched(b, schedShape(b, "straggler-level"), 4)
+}
+
+// BenchmarkSchedulerWideDAG stresses dispatch overhead on a flat fan-out.
+func BenchmarkSchedulerWideDAG(b *testing.B) {
+	benchSched(b, schedShape(b, "wide"), 8)
+}
+
+// BenchmarkSchedulerSkewedLevel has one slow node per wave of otherwise
+// cheap nodes; the barrier idles workers behind it every wave.
+func BenchmarkSchedulerSkewedLevel(b *testing.B) {
+	benchSched(b, schedShape(b, "skewed-level"), 4)
+}
+
+// BenchmarkSchedulerStragglerChain is the out-of-order-completion shape: a
+// deep cheap chain beside one shallow expensive node.
+func BenchmarkSchedulerStragglerChain(b *testing.B) {
+	benchSched(b, schedShape(b, "straggler-chain"), 4)
 }

@@ -21,6 +21,8 @@
 //	helix-bench -fig all
 //	helix-bench -ablation optflag
 //	helix-bench -ablation matpolicy
+//	helix-bench -ablation scheduler
+//	helix-bench -fig 2b -sched level-barrier   # A/B the old executor
 package main
 
 import (
@@ -31,6 +33,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/core"
+	"repro/internal/exec"
 	"repro/internal/opt"
 	"repro/internal/systems"
 	"repro/internal/workload"
@@ -38,25 +41,30 @@ import (
 
 func main() {
 	fig := flag.String("fig", "", "figure to regenerate: 2a, 2b, or all")
-	ablation := flag.String("ablation", "", "ablation to run: optflag, matpolicy")
+	ablation := flag.String("ablation", "", "ablation to run: optflag, matpolicy, scheduler")
 	rows := flag.Int("rows", 20000, "census training rows (fig 2b)")
 	docs := flag.Int("docs", 400, "news training documents (fig 2a)")
 	budget := flag.Int64("budget", 0, "storage budget in bytes (0 = unlimited)")
 	workers := flag.Int("workers", 4, "executor worker pool size")
+	schedName := flag.String("sched", "dataflow", "scheduling strategy for figure runs: dataflow or level-barrier")
 	seed := flag.Int64("seed", 2018, "dataset seed")
 	flag.Parse()
 
+	sched, err := parseSched(*schedName)
+	if err != nil {
+		fatal(err)
+	}
 	if *fig == "" && *ablation == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
 	if *fig == "2a" || *fig == "all" {
-		if err := runFig2a(*docs, *budget, *workers, *seed); err != nil {
+		if err := runFig2a(*docs, *budget, *workers, sched, *seed); err != nil {
 			fatal(err)
 		}
 	}
 	if *fig == "2b" || *fig == "all" {
-		if err := runFig2b(*rows, *budget, *workers, *seed); err != nil {
+		if err := runFig2b(*rows, *budget, *workers, sched, *seed); err != nil {
 			fatal(err)
 		}
 	}
@@ -70,8 +78,23 @@ func main() {
 		if err := runMatPolicy(*rows, *workers, *seed); err != nil {
 			fatal(err)
 		}
+	case "scheduler":
+		if err := runScheduler(*workers); err != nil {
+			fatal(err)
+		}
 	default:
 		fatal(fmt.Errorf("unknown ablation %q", *ablation))
+	}
+}
+
+func parseSched(name string) (exec.Strategy, error) {
+	switch name {
+	case "dataflow", "":
+		return exec.Dataflow, nil
+	case "level-barrier":
+		return exec.LevelBarrier, nil
+	default:
+		return 0, fmt.Errorf("unknown scheduler %q (want dataflow or level-barrier)", name)
 	}
 }
 
@@ -88,7 +111,7 @@ func tempBase(label string) (string, func(), error) {
 	return dir, func() { os.RemoveAll(dir) }, nil
 }
 
-func runFig2a(docs int, budget int64, workers int, seed int64) error {
+func runFig2a(docs int, budget int64, workers int, sched exec.Strategy, seed int64) error {
 	fmt.Printf("=== Figure 2(a): IE task, %d train docs ===\n", docs)
 	data := workload.GenerateNews(docs, docs/4, seed)
 	sc := workload.IEScenario(data)
@@ -99,7 +122,7 @@ func runFig2a(docs int, budget int64, workers int, seed int64) error {
 	defer cleanup()
 	cmp, err := bench.RunComparison(sc,
 		[]systems.Kind{systems.Helix, systems.DeepDive, systems.HelixUnopt},
-		systems.Options{BaseDir: base, BudgetBytes: budget, Workers: workers})
+		systems.Options{BaseDir: base, BudgetBytes: budget, Workers: workers, Sched: sched})
 	if err != nil {
 		return err
 	}
@@ -108,7 +131,7 @@ func runFig2a(docs int, budget int64, workers int, seed int64) error {
 	return nil
 }
 
-func runFig2b(rows int, budget int64, workers int, seed int64) error {
+func runFig2b(rows int, budget int64, workers int, sched exec.Strategy, seed int64) error {
 	fmt.Printf("=== Figure 2(b): Census classification, %d train rows ===\n", rows)
 	data := workload.GenerateCensus(rows, rows/4, seed)
 	sc := workload.CensusScenario(data)
@@ -121,7 +144,7 @@ func runFig2b(rows int, budget int64, workers int, seed int64) error {
 	// (as in the paper's plot) its series stops before the first ML edit.
 	cmp, err := bench.RunComparison(sc,
 		[]systems.Kind{systems.Helix, systems.DeepDive, systems.KeystoneML},
-		systems.Options{BaseDir: base, BudgetBytes: budget, Workers: workers},
+		systems.Options{BaseDir: base, BudgetBytes: budget, Workers: workers, Sched: sched},
 		bench.Limits{systems.DeepDive: 2})
 	if err != nil {
 		return err
@@ -221,6 +244,35 @@ func runMatPolicy(rows int, workers int, seed int64) error {
 			fmt.Printf(" %14.1fms", vals[len(vals)-1])
 		}
 		fmt.Println()
+	}
+	fmt.Println()
+	return nil
+}
+
+// runScheduler is the dataflow-vs-level-barrier head-to-head on the
+// synthetic stress shapes (the same ones BenchmarkScheduler* measure):
+// each shape runs under both strategies at the same worker count, values
+// are checked for equality, and the wall-time reduction is reported.
+func runScheduler(workers int) error {
+	fmt.Printf("=== ablation: dataflow scheduler vs level-barrier reference (%d workers) ===\n", workers)
+	fmt.Printf("%-16s %6s %12s %14s %10s\n", "shape", "nodes", "dataflow", "level-barrier", "reduction")
+	for _, sd := range bench.DefaultShapes() {
+		df, err := bench.RunSched(sd, exec.Dataflow, workers)
+		if err != nil {
+			return err
+		}
+		lb, err := bench.RunSched(sd, exec.LevelBarrier, workers)
+		if err != nil {
+			return err
+		}
+		if err := bench.SchedValuesEqual(df, lb); err != nil {
+			return fmt.Errorf("scheduler ablation: %s: %w", sd.Name, err)
+		}
+		fmt.Printf("%-16s %6d %10.2fms %12.2fms %9.0f%%\n",
+			sd.Name, sd.G.Len(),
+			float64(df.Wall.Microseconds())/1000,
+			float64(lb.Wall.Microseconds())/1000,
+			(1-float64(df.Wall)/float64(lb.Wall))*100)
 	}
 	fmt.Println()
 	return nil

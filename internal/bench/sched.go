@@ -1,0 +1,209 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"repro/internal/dag"
+	"repro/internal/exec"
+	"repro/internal/opt"
+	"repro/internal/store"
+)
+
+// SchedDAG bundles a synthetic scheduler-stress graph with its tasks and an
+// all-compute plan. The tasks burn wall-clock with time.Sleep (operator
+// work is opaque to the scheduler; only its duration matters) and produce
+// deterministic integers so two runs can be compared value-for-value.
+type SchedDAG struct {
+	Name  string
+	G     *dag.Graph
+	Tasks []exec.Task
+}
+
+// Plan returns an all-compute plan sized to the DAG.
+func (s *SchedDAG) Plan() *opt.Plan {
+	states := make([]opt.State, s.G.Len())
+	for i := range states {
+		states[i] = opt.Compute
+	}
+	return &opt.Plan{States: states}
+}
+
+// sleepTask returns a deterministic task: sleep d, then emit a value
+// derived from the inputs and the node's own index.
+func sleepTask(idx int, d time.Duration) exec.Task {
+	return exec.Task{Run: func(in []any) (any, error) {
+		time.Sleep(d)
+		sum := idx
+		for _, v := range in {
+			sum += v.(int)
+		}
+		return sum, nil
+	}}
+}
+
+// StragglerLevelDAG is the level-barrier worst case the acceptance
+// benchmark measures: `width` independent chains of depth `levels` hang off
+// one root, and chain w's node at level w (the diagonal) runs for `slow`
+// while every other node runs for `fast`. A level-barrier executor pays the
+// straggler once per level (≈ levels·slow total, because every level
+// contains exactly one slow node); dependency-counting scheduling overlaps
+// the stragglers across chains, so the wall approaches one chain's cost
+// (slow + (levels-1)·fast). width should not exceed the worker count if the
+// comparison is to isolate scheduling rather than queueing.
+func StragglerLevelDAG(levels, width int, slow, fast time.Duration) *SchedDAG {
+	g := dag.New()
+	root := g.MustAddNode("root", "scan")
+	tasks := []exec.Task{sleepTask(0, 0)}
+	for w := 0; w < width; w++ {
+		prev := root
+		for l := 0; l < levels; l++ {
+			id := g.MustAddNode(fmt.Sprintf("c%d_l%d", w, l), "op")
+			g.MustAddEdge(prev, id)
+			d := fast
+			if l == w%levels {
+				d = slow
+			}
+			tasks = append(tasks, sleepTask(int(id), d))
+			prev = id
+		}
+		g.Node(prev).Output = true
+	}
+	return &SchedDAG{Name: "straggler-level", G: g, Tasks: tasks}
+}
+
+// WideDAG is a root fanning out to `width` uniform leaves feeding one join:
+// the shape that stresses ready-queue dispatch and (with the engine's
+// release flag) peak value retention.
+func WideDAG(width int, cost time.Duration) *SchedDAG {
+	g := dag.New()
+	root := g.MustAddNode("root", "scan")
+	tasks := []exec.Task{sleepTask(0, 0)}
+	join := g.MustAddNode("join", "agg")
+	tasks = append(tasks, sleepTask(1, 0))
+	for w := 0; w < width; w++ {
+		id := g.MustAddNode(fmt.Sprintf("leaf%d", w), "op")
+		g.MustAddEdge(root, id)
+		g.MustAddEdge(id, join)
+		tasks = append(tasks, sleepTask(int(id), cost))
+	}
+	g.Node(join).Output = true
+	return &SchedDAG{Name: "wide", G: g, Tasks: tasks}
+}
+
+// SkewedLevelDAG builds `levels` waves of `width` independent nodes (each
+// wired to one hub node of the previous wave) where the first node of each
+// wave costs `slow` and the rest cost `fast` — the "skewed level" shape: a
+// barrier idles width-1 workers per wave while dataflow streams the cheap
+// majority of the next wave through.
+func SkewedLevelDAG(levels, width int, slow, fast time.Duration) *SchedDAG {
+	g := dag.New()
+	root := g.MustAddNode("root", "scan")
+	tasks := []exec.Task{sleepTask(0, 0)}
+	hub := root
+	for l := 0; l < levels; l++ {
+		var nextHub dag.NodeID
+		for w := 0; w < width; w++ {
+			id := g.MustAddNode(fmt.Sprintf("l%d_n%d", l, w), "op")
+			g.MustAddEdge(hub, id)
+			d := fast
+			if w == 0 {
+				d = slow
+			}
+			// The cheap second node is the next wave's hub, so the slow
+			// node never gates the spine the next wave hangs off.
+			if w == 1 || width == 1 {
+				nextHub = id
+			}
+			tasks = append(tasks, sleepTask(int(id), d))
+		}
+		hub = nextHub
+	}
+	g.Node(hub).Output = true
+	for w := 0; w < g.Len(); w++ {
+		if len(g.Children(dag.NodeID(w))) == 0 {
+			g.Node(dag.NodeID(w)).Output = true
+		}
+	}
+	return &SchedDAG{Name: "skewed-level", G: g, Tasks: tasks}
+}
+
+// StragglerChainDAG pairs one shallow expensive node with a deep chain of
+// cheap nodes joining into a final output — the out-of-order-completion
+// shape: the cheap chain must finish ahead of the straggler even though it
+// is many levels deeper.
+func StragglerChainDAG(depth int, slow, fast time.Duration) *SchedDAG {
+	g := dag.New()
+	root := g.MustAddNode("root", "scan")
+	tasks := []exec.Task{sleepTask(0, 0)}
+	straggler := g.MustAddNode("straggler", "learner")
+	g.MustAddEdge(root, straggler)
+	tasks = append(tasks, sleepTask(int(straggler), slow))
+	prev := root
+	for i := 0; i < depth; i++ {
+		id := g.MustAddNode(fmt.Sprintf("chain%d", i), "op")
+		g.MustAddEdge(prev, id)
+		tasks = append(tasks, sleepTask(int(id), fast))
+		prev = id
+	}
+	join := g.MustAddNode("join", "agg")
+	g.MustAddEdge(straggler, join)
+	g.MustAddEdge(prev, join)
+	g.Node(join).Output = true
+	tasks = append(tasks, sleepTask(int(join), 0))
+	return &SchedDAG{Name: "straggler-chain", G: g, Tasks: tasks}
+}
+
+// RunSched executes the DAG once under the given strategy and worker count,
+// returning the result for wall-time and value inspection.
+func RunSched(sd *SchedDAG, sched exec.Strategy, workers int) (*exec.Result, error) {
+	e := &exec.Engine{Workers: workers, Sched: sched}
+	return e.Execute(sd.G, sd.Tasks, sd.Plan())
+}
+
+// DefaultShapes returns the canonical scheduler stress shapes. Both the
+// BenchmarkScheduler* microbenchmarks and helix-bench's
+// `-ablation scheduler` measure exactly this list, so the CI smoke and the
+// CLI report always describe the same workloads.
+func DefaultShapes() []*SchedDAG {
+	return []*SchedDAG{
+		StragglerLevelDAG(4, 4, 8*time.Millisecond, 500*time.Microsecond),
+		WideDAG(64, 500*time.Microsecond),
+		SkewedLevelDAG(4, 4, 6*time.Millisecond, 500*time.Microsecond),
+		StragglerChainDAG(12, 10*time.Millisecond, 300*time.Microsecond),
+	}
+}
+
+// Shape returns the default stress shape with the given name.
+func Shape(name string) (*SchedDAG, error) {
+	for _, sd := range DefaultShapes() {
+		if sd.Name == name {
+			return sd, nil
+		}
+	}
+	return nil, fmt.Errorf("bench: no scheduler shape %q", name)
+}
+
+// SchedValuesEqual checks that two scheduler runs produced byte-identical
+// (gob-encoded) values for every node — the correctness half of a
+// scheduler comparison.
+func SchedValuesEqual(a, b *exec.Result) error {
+	if len(a.Values) != len(b.Values) {
+		return fmt.Errorf("bench: value counts differ: %d vs %d", len(a.Values), len(b.Values))
+	}
+	for id, v := range a.Values {
+		ra, err := store.Encode(v)
+		if err != nil {
+			return fmt.Errorf("bench: encode node %d: %w", id, err)
+		}
+		rb, err := store.Encode(b.Values[id])
+		if err != nil {
+			return fmt.Errorf("bench: encode node %d: %w", id, err)
+		}
+		if !bytes.Equal(ra, rb) {
+			return fmt.Errorf("bench: node %d: values not byte-identical across schedulers", id)
+		}
+	}
+	return nil
+}

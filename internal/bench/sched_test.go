@@ -1,0 +1,57 @@
+package bench
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/exec"
+)
+
+func schedShapes() []*SchedDAG {
+	const us = time.Microsecond
+	return []*SchedDAG{
+		StragglerLevelDAG(3, 3, 200*us, 20*us),
+		WideDAG(8, 50*us),
+		SkewedLevelDAG(3, 3, 200*us, 20*us),
+		StragglerChainDAG(5, 300*us, 20*us),
+	}
+}
+
+// TestSchedDAGsValid: every builder yields an acyclic graph with at least
+// one output and tasks sized to the graph.
+func TestSchedDAGsValid(t *testing.T) {
+	for _, sd := range schedShapes() {
+		if _, err := sd.G.Topo(); err != nil {
+			t.Errorf("%s: %v", sd.Name, err)
+		}
+		if len(sd.Tasks) != sd.G.Len() {
+			t.Errorf("%s: %d tasks for %d nodes", sd.Name, len(sd.Tasks), sd.G.Len())
+		}
+		if len(sd.G.Outputs()) == 0 {
+			t.Errorf("%s: no outputs", sd.Name)
+		}
+		if len(sd.Plan().States) != sd.G.Len() {
+			t.Errorf("%s: plan mis-sized", sd.Name)
+		}
+	}
+}
+
+// TestSchedShapesEquivalentAcrossStrategies: both schedulers compute
+// identical values on every stress shape — the correctness half of the
+// scheduler benchmarks.
+func TestSchedShapesEquivalentAcrossStrategies(t *testing.T) {
+	for _, sd := range schedShapes() {
+		df, err := RunSched(sd, exec.Dataflow, 4)
+		if err != nil {
+			t.Fatalf("%s dataflow: %v", sd.Name, err)
+		}
+		lb, err := RunSched(sd, exec.LevelBarrier, 4)
+		if err != nil {
+			t.Fatalf("%s level-barrier: %v", sd.Name, err)
+		}
+		if !reflect.DeepEqual(df.Values, lb.Values) {
+			t.Errorf("%s: values differ between schedulers", sd.Name)
+		}
+	}
+}

@@ -36,6 +36,10 @@ type Config struct {
 	NeverReuse []Category
 	// Workers bounds intra-iteration parallelism.
 	Workers int
+	// Sched selects the execution scheduling strategy; the zero value is
+	// the dependency-counting dataflow scheduler. LevelBarrier reproduces
+	// the original wave executor for A/B comparisons.
+	Sched exec.Strategy
 }
 
 // Session drives iterative development: one Session per developer working
@@ -75,6 +79,7 @@ func NewSession(cfg Config) (*Session, error) {
 		Policy:  cfg.Policy,
 		Workers: cfg.Workers,
 		History: s.history,
+		Sched:   cfg.Sched,
 	}
 	return s, nil
 }

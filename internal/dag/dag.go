@@ -202,6 +202,51 @@ func (g *Graph) Levels() ([][]NodeID, error) {
 	return levels, nil
 }
 
+// Indegrees returns, for each node, the number of parents for which keep
+// returns true (nil keeps all). These are the initial pending-parent
+// counters of a dependency-counting scheduler: node v becomes runnable when
+// its counter reaches zero.
+func (g *Graph) Indegrees(keep func(NodeID) bool) []int {
+	out := make([]int, len(g.nodes))
+	for v := range g.parents {
+		for _, p := range g.parents[v] {
+			if keep == nil || keep(p) {
+				out[v]++
+			}
+		}
+	}
+	return out
+}
+
+// ConsumerCounts returns, for each node, the number of children for which
+// keep returns true (nil keeps all). These are the initial reference counts
+// for releasing a node's value once its last consumer has run.
+func (g *Graph) ConsumerCounts(keep func(NodeID) bool) []int {
+	out := make([]int, len(g.nodes))
+	for u := range g.childs {
+		for _, c := range g.childs[u] {
+			if keep == nil || keep(c) {
+				out[u]++
+			}
+		}
+	}
+	return out
+}
+
+// ReadySet returns the nodes whose entry in indeg is zero and for which keep
+// returns true (nil keeps all), in ascending ID order — the initial ready
+// set of a dependency-counting scheduler. indeg must have one entry per
+// node, typically from Indegrees.
+func (g *Graph) ReadySet(indeg []int, keep func(NodeID) bool) []NodeID {
+	var out []NodeID
+	for v := 0; v < len(g.nodes) && v < len(indeg); v++ {
+		if indeg[v] == 0 && (keep == nil || keep(NodeID(v))) {
+			out = append(out, NodeID(v))
+		}
+	}
+	return out
+}
+
 // Ancestors returns the set of strict ancestors of v (v excluded).
 func (g *Graph) Ancestors(v NodeID) map[NodeID]bool {
 	seen := make(map[NodeID]bool)

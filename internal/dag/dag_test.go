@@ -317,3 +317,50 @@ func TestQuickLevelsPartition(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestIndegrees(t *testing.T) {
+	g, a, b, c, d := diamond(t)
+	all := g.Indegrees(nil)
+	want := map[NodeID]int{a: 0, b: 1, c: 1, d: 2}
+	for id, w := range want {
+		if all[id] != w {
+			t.Errorf("Indegrees(nil)[%d] = %d, want %d", id, all[id], w)
+		}
+	}
+	// Filtering out b models a pruned parent: d's counter drops to 1.
+	noB := g.Indegrees(func(p NodeID) bool { return p != b })
+	if noB[d] != 1 {
+		t.Errorf("Indegrees(keep!=b)[d] = %d, want 1", noB[d])
+	}
+}
+
+func TestConsumerCounts(t *testing.T) {
+	g, a, b, c, d := diamond(t)
+	all := g.ConsumerCounts(nil)
+	want := map[NodeID]int{a: 2, b: 1, c: 1, d: 0}
+	for id, w := range want {
+		if all[id] != w {
+			t.Errorf("ConsumerCounts(nil)[%d] = %d, want %d", id, all[id], w)
+		}
+	}
+	onlyB := g.ConsumerCounts(func(ch NodeID) bool { return ch == b })
+	if onlyB[a] != 1 || onlyB[b] != 0 {
+		t.Errorf("ConsumerCounts(keep==b) = %v", onlyB)
+	}
+}
+
+func TestReadySet(t *testing.T) {
+	g, a, b, _, _ := diamond(t)
+	indeg := g.Indegrees(nil)
+	ready := g.ReadySet(indeg, nil)
+	if len(ready) != 1 || ready[0] != a {
+		t.Errorf("ReadySet = %v, want [%d]", ready, a)
+	}
+	// Simulate a finishing: b and c become ready; a filter can exclude them.
+	indeg[b]--
+	indeg[2]--
+	got := g.ReadySet(indeg, func(v NodeID) bool { return v != a && v != b })
+	if len(got) != 1 || got[0] != NodeID(2) {
+		t.Errorf("filtered ReadySet = %v, want [2]", got)
+	}
+}

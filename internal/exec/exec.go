@@ -1,13 +1,27 @@
 // Package exec is HELIX's execution engine (§2.3): it runs a physical plan
-// (a per-node {load, compute, prune} assignment) over a workflow DAG with a
-// bounded worker pool, measures per-node runtimes and sizes, and makes
-// online materialization decisions through a pluggable policy the moment
-// each result becomes available.
+// (a per-node {load, compute, prune} assignment) over a workflow DAG,
+// measures per-node runtimes and sizes, and makes online materialization
+// decisions through a pluggable policy the moment each result becomes
+// available.
 //
-// The paper executes on Spark; here independent DAG nodes within a level run
-// on goroutines, and the materialization store is local disk. All costs the
-// optimizers consume (compute nanoseconds, load nanoseconds, serialized
-// bytes) are measured, not modeled.
+// Scheduling is dependency-counting dataflow: every non-pruned node carries
+// a pending-parent counter, a node becomes runnable the instant its last
+// parent finishes, and a fixed worker pool drains a ready queue until the
+// slice completes or the first error cancels all not-yet-dispatched work.
+// There are no level barriers, so a straggler delays only its own
+// descendants, never unrelated branches. Materialization runs off the
+// critical path: each completed value is handed to a bounded pool of
+// background writers that decide, encode and persist it while downstream
+// consumers are already executing; NodeRun.MatDuration records the real
+// write cost, and Execute flushes the pipeline — also on error — before
+// returning. The original wave executor is retained as
+// Engine{Sched: LevelBarrier}, the reference for equivalence tests and the
+// scheduler benchmarks.
+//
+// The paper executes on Spark; here nodes run on goroutines and the
+// materialization store is local disk. All costs the optimizers consume
+// (compute nanoseconds, load nanoseconds, serialized bytes) are measured,
+// not modeled.
 package exec
 
 import (
@@ -34,8 +48,12 @@ type Task struct {
 
 // NodeRun records what happened to one node during an Execute call.
 type NodeRun struct {
-	Name     string
-	State    opt.State
+	Name  string
+	State opt.State
+	// Duration is the node's critical-path time as seen by its consumers:
+	// the load or compute time. The level-barrier reference scheduler
+	// materializes synchronously inside the node's turn, so there Duration
+	// additionally includes MatDuration (the historical accounting).
 	Duration time.Duration
 	// Size is the serialized size, known only if the engine encoded the
 	// value (for a materialization decision).
@@ -44,19 +62,23 @@ type NodeRun struct {
 	Materialized bool
 	// MatReward is the online heuristic's r_i (0 for other policies).
 	MatReward int64
-	// MatDuration is the time spent serializing + writing the result; it is
-	// part of Duration (the paper's cost model prices the write like one
-	// load, and the engine measures it for real).
+	// MatDuration is the measured time spent on the materialization
+	// decision, serialization and write. Under the dataflow scheduler this
+	// work happens on a background writer: it neither extends Duration nor
+	// delays consumers, but it is still real, measured cost.
 	MatDuration time.Duration
 }
 
 // Result is the outcome of one Execute call (one workflow iteration).
 type Result struct {
-	// Values holds every non-pruned node's value.
+	// Values holds every non-pruned node's value — unless the engine ran
+	// with ReleaseIntermediates, which drops a non-output value once its
+	// last consumer has run.
 	Values map[dag.NodeID]any
 	// Nodes is per-node accounting, indexed by node ID.
 	Nodes []NodeRun
-	// Wall is the end-to-end latency of the iteration.
+	// Wall is the end-to-end latency of the iteration, including the flush
+	// of the background materialization pipeline.
 	Wall time.Duration
 }
 
@@ -94,12 +116,41 @@ func (h *History) ObserveCompute(name string, d time.Duration, size int64) {
 	}
 }
 
+// ObserveSize records a measured serialized size for a node. The async
+// materialization writer learns sizes after the compute observation has
+// already been made.
+func (h *History) ObserveSize(name string, size int64) {
+	if size <= 0 {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.size[name] = size
+}
+
 // Compute returns the last observed compute duration for name.
 func (h *History) Compute(name string) (time.Duration, bool) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	d, ok := h.compute[name]
 	return d, ok
+}
+
+// ComputeMany returns the last observed compute durations for names under a
+// single lock acquisition; never-seen names yield zero. The materialization
+// path uses it so a cost snapshot is O(ancestors) work without O(ancestors)
+// lock round-trips.
+func (h *History) ComputeMany(names []string) []time.Duration {
+	if len(names) == 0 {
+		return nil
+	}
+	out := make([]time.Duration, len(names))
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for i, n := range names {
+		out[i] = h.compute[n]
+	}
+	return out
 }
 
 // Size returns the last observed serialized size for name.
@@ -167,17 +218,53 @@ func (h *History) Load(path string) error {
 	return nil
 }
 
+// Strategy selects how Execute schedules runnable nodes.
+type Strategy int
+
+const (
+	// Dataflow is dependency-counting scheduling: a node becomes runnable
+	// the instant its last parent finishes, and materialization is handed
+	// to background writers. The zero value, and the default.
+	Dataflow Strategy = iota
+	// LevelBarrier is the original wave executor: nodes in the same DAG
+	// level run concurrently, a full barrier separates levels, and
+	// materialization runs synchronously inside the node's turn. Retained
+	// as the reference for equivalence tests and scheduler benchmarks.
+	LevelBarrier
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case Dataflow:
+		return "dataflow"
+	case LevelBarrier:
+		return "level-barrier"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
 // Engine executes plans. Configure once, reuse across iterations.
 type Engine struct {
 	// Store is the materialization store; nil disables loads and stores.
 	Store *store.Store
 	// Policy decides online materialization; nil means never materialize.
 	Policy opt.MatPolicy
-	// Workers bounds per-level parallelism; <=0 means 4.
+	// Workers bounds node-level parallelism; <=0 means 4.
 	Workers int
 	// History receives compute-time observations and supplies estimates for
 	// nodes not computed this run; nil disables both.
 	History *History
+	// Sched selects the scheduling strategy; the zero value is Dataflow.
+	Sched Strategy
+	// MatWriters bounds the background materialization writers of the
+	// dataflow scheduler; <=0 means 2.
+	MatWriters int
+	// ReleaseIntermediates drops a non-output node's value from
+	// Result.Values once its last consumer has run, cutting peak memory on
+	// wide DAGs (dataflow scheduler only). Off by default, so Result.Values
+	// holds every non-pruned node's value.
+	ReleaseIntermediates bool
 }
 
 func (e *Engine) workers() int {
@@ -185,6 +272,13 @@ func (e *Engine) workers() int {
 		return 4
 	}
 	return e.Workers
+}
+
+func (e *Engine) matWriters() int {
+	if e.MatWriters <= 0 {
+		return 2
+	}
+	return e.MatWriters
 }
 
 // BuildCostModel assembles the recomputation optimizer's inputs for the
@@ -216,19 +310,18 @@ func (e *Engine) BuildCostModel(g *dag.Graph, tasks []Task) (*opt.CostModel, err
 	return cm, nil
 }
 
-// Execute runs the plan over the graph. Nodes in the same DAG level run
-// concurrently (bounded by Workers); the first error aborts subsequent
-// levels. The returned Result is complete for all levels that ran.
+// Execute runs the plan over the graph using the configured scheduling
+// strategy. The first node error cancels all not-yet-dispatched work;
+// errors from nodes already in flight are collected and joined. The
+// returned Result is complete for every node that ran, and the background
+// materialization pipeline is flushed — also on error — before Execute
+// returns.
 func (e *Engine) Execute(g *dag.Graph, tasks []Task, plan *opt.Plan) (*Result, error) {
 	if len(tasks) != g.Len() {
 		return nil, fmt.Errorf("exec: %d tasks for %d nodes", len(tasks), g.Len())
 	}
 	if len(plan.States) != g.Len() {
 		return nil, fmt.Errorf("exec: plan has %d states for %d nodes", len(plan.States), g.Len())
-	}
-	levels, err := g.Levels()
-	if err != nil {
-		return nil, err
 	}
 	res := &Result{
 		Values: make(map[dag.NodeID]any, g.Len()),
@@ -237,109 +330,68 @@ func (e *Engine) Execute(g *dag.Graph, tasks []Task, plan *opt.Plan) (*Result, e
 	for i := 0; i < g.Len(); i++ {
 		res.Nodes[i] = NodeRun{Name: g.Node(dag.NodeID(i)).Name, State: plan.States[i]}
 	}
-	start := time.Now()
-	var mu sync.Mutex // guards res.Values and res.Nodes during a level
-	sem := make(chan struct{}, e.workers())
-	for _, level := range levels {
-		var wg sync.WaitGroup
-		errCh := make(chan error, len(level))
-		for _, id := range level {
-			if plan.States[id] == opt.Prune {
-				continue
-			}
-			wg.Add(1)
-			sem <- struct{}{}
-			go func(id dag.NodeID) {
-				defer wg.Done()
-				defer func() { <-sem }()
-				if err := e.runNode(g, tasks, plan, id, res, &mu); err != nil {
-					errCh <- err
-				}
-			}(id)
-		}
-		wg.Wait()
-		close(errCh)
-		if err := <-errCh; err != nil {
-			res.Wall = time.Since(start)
-			return res, err
-		}
+	if e.Sched == LevelBarrier {
+		return e.executeLevelBarrier(g, tasks, plan, res)
 	}
-	res.Wall = time.Since(start)
-	return res, nil
+	return e.executeDataflow(g, tasks, plan, res)
 }
 
-// runNode loads or computes one node, then applies the materialization
-// policy for computed nodes.
-func (e *Engine) runNode(g *dag.Graph, tasks []Task, plan *opt.Plan, id dag.NodeID, res *Result, mu *sync.Mutex) error {
+// historySize returns the last observed serialized size for a node name.
+func (e *Engine) historySize(name string) (int64, bool) {
+	if e.History == nil {
+		return 0, false
+	}
+	return e.History.Size(name)
+}
+
+// loadNode is the Load state shared by both schedulers: fetch the value
+// from the store and record it with its measured load time.
+func (e *Engine) loadNode(g *dag.Graph, tasks []Task, id dag.NodeID, res *Result, mu *sync.Mutex) error {
 	name := g.Node(id).Name
 	nodeStart := time.Now()
-	switch plan.States[id] {
-	case opt.Load:
-		if e.Store == nil {
-			return fmt.Errorf("exec: plan loads %s but engine has no store", name)
-		}
-		v, err := e.Store.Get(tasks[id].Key)
-		if err != nil {
-			return fmt.Errorf("exec: load %s: %w", name, err)
-		}
-		mu.Lock()
-		res.Values[id] = v
-		res.Nodes[id].Duration = time.Since(nodeStart)
-		mu.Unlock()
-		return nil
-
-	case opt.Compute:
-		parents := g.Parents(id)
-		inputs := make([]any, len(parents))
-		mu.Lock()
-		for i, p := range parents {
-			v, ok := res.Values[p]
-			if !ok {
-				mu.Unlock()
-				return fmt.Errorf("exec: %s needs parent %s which has no value", name, g.Node(p).Name)
-			}
-			inputs[i] = v
-		}
-		mu.Unlock()
-		if tasks[id].Run == nil {
-			return fmt.Errorf("exec: node %s has no Run function", name)
-		}
-		v, err := tasks[id].Run(inputs)
-		if err != nil {
-			return fmt.Errorf("exec: compute %s: %w", name, err)
-		}
-		computeDur := time.Since(nodeStart)
-		matDur, size, materialized, reward := e.maybeMaterialize(g, tasks, plan, id, v, computeDur, res, mu)
-		total := computeDur + matDur
-		if e.History != nil {
-			e.History.ObserveCompute(name, computeDur, size)
-		}
-		mu.Lock()
-		res.Values[id] = v
-		nr := &res.Nodes[id]
-		nr.Duration = total
-		nr.Size = size
-		nr.Materialized = materialized
-		nr.MatReward = reward
-		nr.MatDuration = matDur
-		mu.Unlock()
-		return nil
-
-	default:
-		return fmt.Errorf("exec: runNode called on pruned node %s", name)
+	if e.Store == nil {
+		return fmt.Errorf("exec: plan loads %s but engine has no store", name)
 	}
+	v, err := e.Store.Get(tasks[id].Key)
+	if err != nil {
+		return fmt.Errorf("exec: load %s: %w", name, err)
+	}
+	mu.Lock()
+	res.Values[id] = v
+	res.Nodes[id].Duration = time.Since(nodeStart)
+	mu.Unlock()
+	return nil
 }
 
-// maybeMaterialize consults the policy and persists the value when told to.
-// Returns the time spent on serialization+write, the serialized size (0 if
-// never encoded), whether the value was stored, and the policy reward.
-func (e *Engine) maybeMaterialize(g *dag.Graph, tasks []Task, plan *opt.Plan, id dag.NodeID, v any, computeDur time.Duration, res *Result, mu *sync.Mutex) (time.Duration, int64, bool, int64) {
-	if e.Policy == nil || e.Store == nil || tasks[id].Key == "" {
-		return 0, 0, false, 0
+// gatherInputs snapshots the parents' values in g.Parents order, erroring
+// on any parent without a value (a pruned producer the plan should not
+// have allowed).
+func gatherInputs(g *dag.Graph, id dag.NodeID, res *Result, mu *sync.Mutex) ([]any, error) {
+	parents := g.Parents(id)
+	inputs := make([]any, len(parents))
+	mu.Lock()
+	defer mu.Unlock()
+	for i, p := range parents {
+		v, ok := res.Values[p]
+		if !ok {
+			return nil, fmt.Errorf("exec: %s needs parent %s which has no value", g.Node(id).Name, g.Node(p).Name)
+		}
+		inputs[i] = v
 	}
-	if e.Store.Has(tasks[id].Key) {
-		return 0, 0, false, 0 // already persisted by an earlier iteration
-	}
+	return inputs, nil
+}
+
+// decideAndPersist is the materialization step shared by both schedulers:
+// probe the size (history-preferred, encoding cold nodes once to learn it),
+// consult the policy, and persist on a yes — degrading to "not
+// materialized" on unencodable values, budget races and I/O failures.
+// ancestorCost is a callback because its snapshot semantics differ per
+// scheduler; it is evaluated once per decision (every MatContext carries
+// the term, whether or not the policy reads it).
+// Callers guarantee Policy and Store are set, key is non-empty and not yet
+// stored. Returns the elapsed decision+write time, the serialized size (0
+// if never encoded), whether the value was stored, and the policy reward.
+func (e *Engine) decideAndPersist(g *dag.Graph, id dag.NodeID, name, key string, v any, computeDur time.Duration, ancestorCost func() int64) (time.Duration, int64, bool, int64) {
 	start := time.Now()
 	var raw []byte
 	var size int64
@@ -348,7 +400,7 @@ func (e *Engine) maybeMaterialize(g *dag.Graph, tasks []Task, plan *opt.Plan, id
 		// over serializing now: the paper's cost model must stay "cheap to
 		// compute", and sizes of a node's results are stable across
 		// iterations. Cold nodes are encoded once to learn their size.
-		if hsize, ok := e.historySize(g.Node(id).Name); ok {
+		if hsize, ok := e.historySize(name); ok {
 			size = hsize
 		} else {
 			encoded, err := store.Encode(v)
@@ -365,7 +417,7 @@ func (e *Engine) maybeMaterialize(g *dag.Graph, tasks []Task, plan *opt.Plan, id
 		Graph:               g,
 		Node:                id,
 		ComputeCost:         computeDur.Nanoseconds(),
-		AncestorComputeCost: e.ancestorCost(g, id, res, mu),
+		AncestorComputeCost: ancestorCost(),
 		LoadCost:            e.Store.EstimateLoad(size).Nanoseconds(),
 		Size:                size,
 		BudgetRemaining:     e.Store.Remaining(),
@@ -382,38 +434,41 @@ func (e *Engine) maybeMaterialize(g *dag.Graph, tasks []Task, plan *opt.Plan, id
 		raw = encoded
 		size = int64(len(raw))
 	}
-	if err := e.Store.PutBytes(tasks[id].Key, raw); err != nil {
+	if err := e.Store.PutBytes(key, raw); err != nil {
 		// Budget races or I/O failures degrade to "not materialized".
 		return time.Since(start), size, false, dec.Reward
 	}
 	return time.Since(start), size, true, dec.Reward
 }
 
-// historySize returns the last observed serialized size for a node name.
-func (e *Engine) historySize(name string) (int64, bool) {
-	if e.History == nil {
-		return 0, false
+// ancestorCost sums the best-known compute costs of the ancestors in
+// closure under a single results-lock acquisition: the measured duration
+// when the ancestor computed this run, else the history estimate, else
+// zero. syncMat is set by the level-barrier path, whose Duration folds the
+// synchronous materialization time in and must be backed out.
+func (e *Engine) ancestorCost(closure []dag.NodeID, res *Result, mu *sync.Mutex, syncMat bool) int64 {
+	if len(closure) == 0 {
+		return 0
 	}
-	return e.History.Size(name)
-}
-
-// ancestorCost sums the best-known compute costs of id's ancestors: the
-// actual duration if the ancestor computed this run, else the history
-// estimate, else zero.
-func (e *Engine) ancestorCost(g *dag.Graph, id dag.NodeID, res *Result, mu *sync.Mutex) int64 {
 	var total int64
-	for a := range g.Ancestors(id) {
-		mu.Lock()
-		nr := res.Nodes[a]
-		mu.Unlock()
+	var unknown []string
+	mu.Lock()
+	for _, a := range closure {
+		nr := &res.Nodes[a]
 		if nr.State == opt.Compute && nr.Duration > 0 {
-			total += (nr.Duration - nr.MatDuration).Nanoseconds()
+			d := nr.Duration
+			if syncMat {
+				d -= nr.MatDuration
+			}
+			total += d.Nanoseconds()
 			continue
 		}
-		if e.History != nil {
-			if d, ok := e.History.Compute(g.Node(a).Name); ok {
-				total += d.Nanoseconds()
-			}
+		unknown = append(unknown, nr.Name)
+	}
+	mu.Unlock()
+	if e.History != nil {
+		for _, d := range e.History.ComputeMany(unknown) {
+			total += d.Nanoseconds()
 		}
 	}
 	return total

@@ -1,0 +1,126 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dag"
+	"repro/internal/opt"
+)
+
+// executeLevelBarrier is the original wave executor, retained as the
+// reference the dataflow scheduler is tested and benchmarked against:
+// nodes in the same DAG level run concurrently (bounded by Workers), a full
+// barrier separates levels, and materialization runs synchronously inside
+// the node's turn, so MatDuration is part of Duration. The first failure
+// stops new dispatches; errors from nodes already in flight are joined.
+func (e *Engine) executeLevelBarrier(g *dag.Graph, tasks []Task, plan *opt.Plan, res *Result) (*Result, error) {
+	levels, err := g.Levels()
+	if err != nil {
+		return nil, err
+	}
+	var closures [][]dag.NodeID
+	if e.Policy != nil && e.Store != nil {
+		closures = opt.AncestorClosures(g)
+	}
+	start := time.Now()
+	var mu sync.Mutex // guards res.Values and res.Nodes during a level
+	sem := make(chan struct{}, e.workers())
+	var failed atomic.Bool
+	for _, level := range levels {
+		var wg sync.WaitGroup
+		errCh := make(chan error, len(level))
+		for _, id := range level {
+			if plan.States[id] == opt.Prune {
+				continue
+			}
+			if failed.Load() {
+				break // a node already failed; dispatch nothing new
+			}
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(id dag.NodeID) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				if err := e.runNodeSync(g, tasks, plan, id, res, &mu, closures); err != nil {
+					failed.Store(true)
+					errCh <- err
+				}
+			}(id)
+		}
+		wg.Wait()
+		close(errCh)
+		var errs []error
+		for err := range errCh {
+			errs = append(errs, err)
+		}
+		if len(errs) > 0 {
+			res.Wall = time.Since(start)
+			return res, errors.Join(errs...)
+		}
+	}
+	res.Wall = time.Since(start)
+	return res, nil
+}
+
+// runNodeSync loads or computes one node, then applies the materialization
+// policy synchronously for computed nodes.
+func (e *Engine) runNodeSync(g *dag.Graph, tasks []Task, plan *opt.Plan, id dag.NodeID, res *Result, mu *sync.Mutex, closures [][]dag.NodeID) error {
+	name := g.Node(id).Name
+	nodeStart := time.Now()
+	switch plan.States[id] {
+	case opt.Load:
+		return e.loadNode(g, tasks, id, res, mu)
+
+	case opt.Compute:
+		inputs, err := gatherInputs(g, id, res, mu)
+		if err != nil {
+			return err
+		}
+		if tasks[id].Run == nil {
+			return fmt.Errorf("exec: node %s has no Run function", name)
+		}
+		v, err := tasks[id].Run(inputs)
+		if err != nil {
+			return fmt.Errorf("exec: compute %s: %w", name, err)
+		}
+		computeDur := time.Since(nodeStart)
+		matDur, size, materialized, reward := e.maybeMaterialize(g, tasks, id, v, computeDur, res, mu, closures)
+		total := computeDur + matDur
+		if e.History != nil {
+			e.History.ObserveCompute(name, computeDur, size)
+		}
+		mu.Lock()
+		res.Values[id] = v
+		nr := &res.Nodes[id]
+		nr.Duration = total
+		nr.Size = size
+		nr.Materialized = materialized
+		nr.MatReward = reward
+		nr.MatDuration = matDur
+		mu.Unlock()
+		return nil
+
+	default:
+		return fmt.Errorf("exec: runNode called on pruned node %s", name)
+	}
+}
+
+// maybeMaterialize consults the policy and persists the value when told to,
+// synchronously on the node's critical path (this scheduler's historical
+// accounting). Returns the time spent, the serialized size (0 if never
+// encoded), whether the value was stored, and the policy reward.
+func (e *Engine) maybeMaterialize(g *dag.Graph, tasks []Task, id dag.NodeID, v any, computeDur time.Duration, res *Result, mu *sync.Mutex, closures [][]dag.NodeID) (time.Duration, int64, bool, int64) {
+	if e.Policy == nil || e.Store == nil || tasks[id].Key == "" {
+		return 0, 0, false, 0
+	}
+	if e.Store.Has(tasks[id].Key) {
+		return 0, 0, false, 0 // already persisted by an earlier iteration
+	}
+	return e.decideAndPersist(g, id, g.Node(id).Name, tasks[id].Key, v, computeDur, func() int64 {
+		return e.ancestorCost(closures[id], res, mu, true)
+	})
+}

@@ -1,0 +1,104 @@
+package exec
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/dag"
+	"repro/internal/opt"
+)
+
+// matJob carries one completed value into the background materialization
+// pipeline together with the measurements its policy decision needs. The
+// job owns a reference to the value, so the scheduler may release it from
+// Result.Values before the write lands.
+type matJob struct {
+	id         dag.NodeID
+	name       string
+	key        string
+	value      any
+	computeDur time.Duration
+}
+
+// matWriter is the bounded asynchronous materialization pipeline of the
+// dataflow scheduler: completed values are queued (one slot per node, so a
+// single Execute never blocks submitting) and drained by a small pool of
+// writer goroutines that decide, encode and persist off the critical path.
+// Execute flushes the pipeline — also on error — before returning, so the
+// store and Result accounting are always complete.
+//
+// Policy decisions still happen "the moment each result becomes available"
+// in the paper's online sense — values are handed over at completion, never
+// buffered for batch decisions — but with more than one writer two
+// decisions may be concurrent rather than strictly ordered by completion.
+type matWriter struct {
+	e        *Engine
+	g        *dag.Graph
+	res      *Result
+	resMu    *sync.Mutex
+	closures [][]dag.NodeID // ancestor closures, precomputed once per run
+	jobs     chan matJob
+	wg       sync.WaitGroup
+}
+
+// newMatWriter starts the writer pool for one Execute call.
+func newMatWriter(e *Engine, g *dag.Graph, res *Result, resMu *sync.Mutex) *matWriter {
+	w := &matWriter{
+		e:        e,
+		g:        g,
+		res:      res,
+		resMu:    resMu,
+		closures: opt.AncestorClosures(g),
+		jobs:     make(chan matJob, g.Len()),
+	}
+	for i := 0; i < e.matWriters(); i++ {
+		w.wg.Add(1)
+		go func() {
+			defer w.wg.Done()
+			for j := range w.jobs {
+				w.process(j)
+			}
+		}()
+	}
+	return w
+}
+
+// submit hands a completed value to the pipeline.
+func (w *matWriter) submit(id dag.NodeID, name, key string, v any, computeDur time.Duration) {
+	if key == "" || w.e.Store.Has(key) {
+		return // not addressable, or already persisted by an earlier iteration
+	}
+	w.jobs <- matJob{id: id, name: name, key: key, value: v, computeDur: computeDur}
+}
+
+// flush closes the queue and waits for every in-flight decision and write.
+func (w *matWriter) flush() {
+	close(w.jobs)
+	w.wg.Wait()
+}
+
+// process consults the policy and persists the value when told to — the
+// same decision the level-barrier path makes synchronously, made here on a
+// background goroutine.
+func (w *matWriter) process(j matJob) {
+	matDur, size, materialized, reward := w.e.decideAndPersist(w.g, j.id, j.name, j.key, j.value, j.computeDur, func() int64 {
+		return w.e.ancestorCost(w.closures[j.id], w.res, w.resMu, false)
+	})
+	w.record(j, matDur, size, materialized, reward)
+}
+
+// record lands the writer's accounting on the node and teaches the history
+// the learned size. MatDuration stays separate from Duration: the write
+// happened off the node's critical path.
+func (w *matWriter) record(j matJob, matDur time.Duration, size int64, materialized bool, reward int64) {
+	w.resMu.Lock()
+	nr := &w.res.Nodes[j.id]
+	nr.MatDuration = matDur
+	nr.Size = size
+	nr.Materialized = materialized
+	nr.MatReward = reward
+	w.resMu.Unlock()
+	if w.e.History != nil {
+		w.e.History.ObserveSize(j.name, size)
+	}
+}

@@ -1,0 +1,243 @@
+package exec
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/dag"
+	"repro/internal/opt"
+)
+
+// dispatch is the shared state of one dataflow Execute call: the
+// pending-parent counters, the ready queue, and the completion accounting a
+// fixed pool of workers drains.
+type dispatch struct {
+	e     *Engine
+	g     *dag.Graph
+	tasks []Task
+	plan  *opt.Plan
+	res   *Result
+
+	resMu sync.Mutex // guards res.Values and res.Nodes
+
+	mu        sync.Mutex // guards the scheduling state below
+	cond      *sync.Cond // signaled when ready grows, work completes, or on cancel
+	ready     nodeHeap   // runnable nodes, smallest ID first
+	pending   []int      // per-node count of unfinished non-pruned parents
+	consumers []int      // per-node count of compute children yet to run
+	remaining int        // runnable nodes not yet finished
+	cancelled bool       // set on first error; stops dispatching new work
+	errs      []error    // every node error observed before shutdown
+
+	writer *matWriter // nil when materialization is disabled
+}
+
+// executeDataflow runs the plan with dependency-counting scheduling: no
+// level barriers, a node is dispatched the instant its last parent
+// finishes, and completed values go to the background materialization
+// pipeline (flushed before return, also on error).
+func (e *Engine) executeDataflow(g *dag.Graph, tasks []Task, plan *opt.Plan, res *Result) (*Result, error) {
+	// Dependency counting never drains a cyclic graph; reject it up front
+	// with the same diagnostic the topological sort produces.
+	if _, err := g.Topo(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	runnable := func(id dag.NodeID) bool { return plan.States[id] != opt.Prune }
+	d := &dispatch{e: e, g: g, tasks: tasks, plan: plan, res: res}
+	d.cond = sync.NewCond(&d.mu)
+	// A compute node waits for every non-pruned parent. Load nodes read the
+	// store, not their parents, so they are runnable immediately; a compute
+	// node whose parents were all pruned is too, and fails input gathering
+	// with the same missing-parent error the level-barrier executor gave.
+	d.pending = g.Indegrees(runnable)
+	if e.ReleaseIntermediates {
+		d.consumers = g.ConsumerCounts(func(c dag.NodeID) bool { return plan.States[c] == opt.Compute })
+	}
+	for i := 0; i < g.Len(); i++ {
+		id := dag.NodeID(i)
+		if plan.States[id] == opt.Load {
+			d.pending[i] = 0
+		}
+		if runnable(id) {
+			d.remaining++
+		}
+	}
+	for _, id := range g.ReadySet(d.pending, runnable) {
+		heap.Push(&d.ready, id)
+	}
+	if e.Policy != nil && e.Store != nil {
+		d.writer = newMatWriter(e, g, res, &d.resMu)
+	}
+	workers := e.workers()
+	if workers > d.remaining {
+		workers = d.remaining
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			d.work()
+		}()
+	}
+	wg.Wait()
+	if d.writer != nil {
+		d.writer.flush()
+	}
+	res.Wall = time.Since(start)
+	if len(d.errs) > 0 {
+		return res, errors.Join(d.errs...)
+	}
+	return res, nil
+}
+
+// work is one worker's loop: pull the smallest-ID ready node, run it,
+// publish completion, repeat until the slice drains or is cancelled.
+func (d *dispatch) work() {
+	for {
+		id, ok := d.next()
+		if !ok {
+			return
+		}
+		err := d.runNode(id)
+		d.finish(id, err)
+	}
+}
+
+// next blocks until a node is runnable, the run is cancelled, or all
+// runnable nodes have finished.
+func (d *dispatch) next() (dag.NodeID, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for {
+		if d.cancelled || d.remaining == 0 {
+			return 0, false
+		}
+		if d.ready.Len() > 0 {
+			return heap.Pop(&d.ready).(dag.NodeID), true
+		}
+		d.cond.Wait()
+	}
+}
+
+// finish publishes id's completion. On success it decrements each compute
+// child's pending-parent counter, queues children that just became
+// runnable, and — when ReleaseIntermediates is on — drops values whose last
+// consumer has now run. On failure it records the error and cancels all
+// not-yet-dispatched work; nodes already in flight complete and their
+// errors, if any, are collected too.
+func (d *dispatch) finish(id dag.NodeID, err error) {
+	var release []dag.NodeID
+	d.mu.Lock()
+	d.remaining--
+	if err != nil {
+		d.errs = append(d.errs, err)
+		d.cancelled = true
+	} else {
+		for _, c := range d.g.Children(id) {
+			if d.plan.States[c] != opt.Compute {
+				continue
+			}
+			d.pending[c]--
+			if d.pending[c] == 0 {
+				heap.Push(&d.ready, c)
+			}
+		}
+		if d.e.ReleaseIntermediates {
+			release = d.releasable(id)
+		}
+	}
+	d.mu.Unlock()
+	d.cond.Broadcast()
+	if len(release) > 0 {
+		d.resMu.Lock()
+		for _, p := range release {
+			delete(d.res.Values, p)
+		}
+		d.resMu.Unlock()
+	}
+}
+
+// releasable decrements the reference counts id's completion settles and
+// returns the non-output nodes whose values no remaining consumer needs.
+// Callers hold d.mu. The background materialization writer captures values
+// in its jobs, so releasing here never races a pending write.
+func (d *dispatch) releasable(id dag.NodeID) []dag.NodeID {
+	var out []dag.NodeID
+	if d.plan.States[id] == opt.Compute {
+		for _, p := range d.g.Parents(id) {
+			if d.plan.States[p] == opt.Prune {
+				continue
+			}
+			d.consumers[p]--
+			if d.consumers[p] == 0 && !d.g.Node(p).Output {
+				out = append(out, p)
+			}
+		}
+	}
+	if d.consumers[id] == 0 && !d.g.Node(id).Output {
+		out = append(out, id)
+	}
+	return out
+}
+
+// runNode loads or computes one node. Computed values are published before
+// the materialization hand-off, so consumers never wait on a write.
+func (d *dispatch) runNode(id dag.NodeID) error {
+	e, g := d.e, d.g
+	name := g.Node(id).Name
+	nodeStart := time.Now()
+	switch d.plan.States[id] {
+	case opt.Load:
+		return e.loadNode(g, d.tasks, id, d.res, &d.resMu)
+
+	case opt.Compute:
+		inputs, err := gatherInputs(g, id, d.res, &d.resMu)
+		if err != nil {
+			return err
+		}
+		if d.tasks[id].Run == nil {
+			return fmt.Errorf("exec: node %s has no Run function", name)
+		}
+		v, err := d.tasks[id].Run(inputs)
+		if err != nil {
+			return fmt.Errorf("exec: compute %s: %w", name, err)
+		}
+		computeDur := time.Since(nodeStart)
+		if e.History != nil {
+			e.History.ObserveCompute(name, computeDur, 0)
+		}
+		d.resMu.Lock()
+		d.res.Values[id] = v
+		d.res.Nodes[id].Duration = computeDur
+		d.resMu.Unlock()
+		if d.writer != nil {
+			d.writer.submit(id, name, d.tasks[id].Key, v, computeDur)
+		}
+		return nil
+
+	default:
+		return fmt.Errorf("exec: runNode called on pruned node %s", name)
+	}
+}
+
+// nodeHeap is a min-heap of node IDs: among simultaneously ready nodes the
+// smallest ID dispatches first, matching the deterministic tie-break of
+// dag.Topo (and making single-worker runs exactly topological).
+type nodeHeap []dag.NodeID
+
+func (h nodeHeap) Len() int           { return len(h) }
+func (h nodeHeap) Less(i, j int) bool { return h[i] < h[j] }
+func (h nodeHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x any)        { *h = append(*h, x.(dag.NodeID)) }
+func (h *nodeHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

@@ -2,6 +2,7 @@ package opt
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/dag"
 )
@@ -158,16 +159,37 @@ func KnapsackOffline(items []MatItem, budget int64, gran int64) ([]bool, int64, 
 	return chosen, val[w], nil
 }
 
+// AncestorClosures precomputes, for every node, its strict ancestors as a
+// slice in ascending ID order. The execution engine snapshots it once per
+// run so each online materialization decision walks a flat slice instead of
+// re-traversing the graph (and re-locking shared state) per ancestor.
+// O(V·(V+E)) worst case, fine at workflow scale (tens of nodes).
+func AncestorClosures(g *dag.Graph) [][]dag.NodeID {
+	out := make([][]dag.NodeID, g.Len())
+	for i := 0; i < g.Len(); i++ {
+		anc := g.Ancestors(dag.NodeID(i))
+		if len(anc) == 0 {
+			continue
+		}
+		closure := make([]dag.NodeID, 0, len(anc))
+		for a := range anc {
+			closure = append(closure, a)
+		}
+		sort.Slice(closure, func(x, y int) bool { return closure[x] < closure[y] })
+		out[i] = closure
+	}
+	return out
+}
+
 // AncestorComputeCosts precomputes Σ_{a∈A(i)} c_a for every node — the
-// recomputation-chain term of the online heuristic. O(V·(V+E)) worst case,
-// fine at workflow scale (tens of nodes).
+// recomputation-chain term of the online heuristic.
 func AncestorComputeCosts(g *dag.Graph, compute []int64) ([]int64, error) {
 	if len(compute) != g.Len() {
 		return nil, fmt.Errorf("opt: %d costs for %d nodes", len(compute), g.Len())
 	}
 	out := make([]int64, g.Len())
-	for i := 0; i < g.Len(); i++ {
-		for a := range g.Ancestors(dag.NodeID(i)) {
+	for i, closure := range AncestorClosures(g) {
+		for _, a := range closure {
 			out[i] += compute[a]
 		}
 	}

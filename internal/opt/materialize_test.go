@@ -205,3 +205,32 @@ func TestAncestorComputeCosts(t *testing.T) {
 		t.Error("mis-sized costs accepted")
 	}
 }
+
+func TestAncestorClosures(t *testing.T) {
+	g := dag.New()
+	a := g.MustAddNode("a", "op")
+	b := g.MustAddNode("b", "op")
+	c := g.MustAddNode("c", "op")
+	d := g.MustAddNode("d", "op")
+	g.MustAddEdge(a, b)
+	g.MustAddEdge(a, c)
+	g.MustAddEdge(b, d)
+	g.MustAddEdge(c, d)
+	closures := AncestorClosures(g)
+	if len(closures[a]) != 0 {
+		t.Errorf("root has ancestors: %v", closures[a])
+	}
+	if len(closures[b]) != 1 || closures[b][0] != a {
+		t.Errorf("closures[b] = %v, want [a]", closures[b])
+	}
+	want := []dag.NodeID{a, b, c}
+	if len(closures[d]) != len(want) {
+		t.Fatalf("closures[d] = %v, want %v", closures[d], want)
+	}
+	for i, id := range want {
+		if closures[d][i] != id {
+			t.Errorf("closures[d] = %v, want %v (sorted)", closures[d], want)
+			break
+		}
+	}
+}

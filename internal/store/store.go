@@ -40,9 +40,12 @@ type Entry struct {
 }
 
 // Store is a budgeted, content-addressed disk store. Safe for concurrent
-// use.
+// use: metadata reads share a read lock, and writes reserve budget under the
+// exclusive lock but perform file I/O unlocked, so the execution engine's
+// background materialization writers neither serialize behind each other nor
+// stall readers.
 type Store struct {
-	mu      sync.Mutex
+	mu      sync.RWMutex
 	dir     string
 	budget  int64 // bytes; <=0 means unlimited
 	used    int64
@@ -91,15 +94,15 @@ func Open(dir string, budget int64) (*Store, error) {
 }
 
 // estimateLoad predicts a Get duration from size and smoothed throughput.
-// Callers must hold mu or be in single-threaded setup.
+// Callers must hold mu (read or write) or be in single-threaded setup.
 func (s *Store) estimateLoad(size int64) time.Duration {
 	return time.Duration(float64(size) / s.readBps * float64(time.Second))
 }
 
 // EstimateLoad predicts the load cost for a value of the given size.
 func (s *Store) EstimateLoad(size int64) time.Duration {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.estimateLoad(size)
 }
 
@@ -184,10 +187,10 @@ func (s *Store) Put(key string, value any) error {
 // Get loads and decodes the value for key, recording the measured load cost
 // on the entry (the l_i the next iteration's optimizer will use).
 func (s *Store) Get(key string) (any, error) {
-	s.mu.Lock()
+	s.mu.RLock()
 	e, ok := s.entries[key]
 	path := s.path(key)
-	s.mu.Unlock()
+	s.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrNotFound, key)
 	}
@@ -210,16 +213,16 @@ func (s *Store) Get(key string) (any, error) {
 
 // Has reports whether key is stored.
 func (s *Store) Has(key string) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	_, ok := s.entries[key]
 	return ok
 }
 
 // Lookup returns the entry metadata for key.
 func (s *Store) Lookup(key string) (Entry, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if e, ok := s.entries[key]; ok {
 		return *e, true
 	}
@@ -262,8 +265,8 @@ func (s *Store) Clear() error {
 
 // Used returns the bytes currently consumed.
 func (s *Store) Used() int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.used
 }
 
@@ -272,8 +275,8 @@ func (s *Store) Budget() int64 { return s.budget }
 
 // Remaining returns the budget headroom, or a very large value if unlimited.
 func (s *Store) Remaining() int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if s.budget <= 0 {
 		return 1 << 60
 	}
@@ -282,8 +285,8 @@ func (s *Store) Remaining() int64 {
 
 // Entries returns a snapshot of all entries sorted by key.
 func (s *Store) Entries() []Entry {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	out := make([]Entry, 0, len(s.entries))
 	for _, e := range s.entries {
 		out = append(out, *e)

@@ -20,6 +20,7 @@ import (
 	"path/filepath"
 
 	"repro/internal/core"
+	"repro/internal/exec"
 	"repro/internal/opt"
 )
 
@@ -51,11 +52,14 @@ type Options struct {
 	BudgetBytes int64
 	// Workers bounds intra-iteration parallelism.
 	Workers int
+	// Sched selects the execution scheduling strategy (default: the
+	// dependency-counting dataflow scheduler).
+	Sched exec.Strategy
 }
 
 // New builds a configured session for the named system.
 func New(kind Kind, o Options) (*core.Session, error) {
-	cfg := core.Config{SystemName: string(kind), BudgetBytes: o.BudgetBytes, Workers: o.Workers}
+	cfg := core.Config{SystemName: string(kind), BudgetBytes: o.BudgetBytes, Workers: o.Workers, Sched: o.Sched}
 	switch kind {
 	case Helix:
 		cfg.StoreDir = filepath.Join(o.BaseDir, "helix-store")
