@@ -285,26 +285,47 @@ func BenchmarkViterbiDecode(b *testing.B) {
 	}
 }
 
-// --- dataflow scheduler vs level-barrier reference (§2.3 executor) ---
+// --- dataflow orderings vs level-barrier reference (§2.3 executor) ---
 //
-// BenchmarkScheduler* run the same synthetic stress DAG under both
-// scheduling strategies at the same worker count; the reproduction target
-// is the dataflow scheduler's wall-time win (≥25% on the straggler-level
-// shape) with byte-identical Result.Values. Tasks sleep rather than spin,
-// so wall-ms is the honest metric (ns/op tracks it).
+// BenchmarkScheduler* run the same synthetic stress DAG under the
+// critical-path dataflow scheduler, the min-ID dataflow ordering and the
+// level-barrier reference at the same worker count; the reproduction
+// targets are the dataflow win over the barrier (≥25% on the
+// straggler-level shape) and the critical-path win over min-ID on the
+// ordering-adversarial fanout-chain shape, always with byte-identical
+// Result.Values. Most shapes sleep rather than spin, so wall-ms is the
+// honest metric (ns/op tracks it); cpu-fanout spins to expose scheduler
+// overhead under real core contention.
+
+// schedVariant names one (strategy, ordering) configuration.
+type schedVariant struct {
+	name  string
+	sched exec.Strategy
+	order exec.Ordering
+}
+
+func schedVariants() []schedVariant {
+	return []schedVariant{
+		{"dataflow-cp", exec.Dataflow, exec.CriticalPath},
+		{"dataflow-minid", exec.Dataflow, exec.MinID},
+		{"level-barrier", exec.LevelBarrier, exec.CriticalPath},
+	}
+}
 
 func assertSchedulersAgree(b *testing.B, sd *bench.SchedDAG, workers int) {
 	b.Helper()
-	df, err := bench.RunSched(sd, exec.Dataflow, workers)
-	if err != nil {
-		b.Fatal(err)
-	}
 	lb, err := bench.RunSched(sd, exec.LevelBarrier, workers)
 	if err != nil {
 		b.Fatal(err)
 	}
-	if err := bench.SchedValuesEqual(df, lb); err != nil {
-		b.Fatal(err)
+	for _, order := range []exec.Ordering{exec.CriticalPath, exec.MinID} {
+		df, err := bench.RunSchedOrdered(sd, exec.Dataflow, order, workers, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := bench.SchedValuesEqual(df, lb); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 
@@ -322,11 +343,11 @@ func schedShape(b *testing.B, name string) *bench.SchedDAG {
 func benchSched(b *testing.B, sd *bench.SchedDAG, workers int) {
 	b.Helper()
 	assertSchedulersAgree(b, sd, workers)
-	for _, sched := range []exec.Strategy{exec.Dataflow, exec.LevelBarrier} {
-		b.Run(sched.String(), func(b *testing.B) {
+	for _, v := range schedVariants() {
+		b.Run(v.name, func(b *testing.B) {
 			var wall time.Duration
 			for i := 0; i < b.N; i++ {
-				res, err := bench.RunSched(sd, sched, workers)
+				res, err := bench.RunSchedOrdered(sd, v.sched, v.order, workers, false)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -359,4 +380,49 @@ func BenchmarkSchedulerSkewedLevel(b *testing.B) {
 // deep cheap chain beside one shallow expensive node.
 func BenchmarkSchedulerStragglerChain(b *testing.B) {
 	benchSched(b, schedShape(b, "straggler-chain"), 4)
+}
+
+// BenchmarkSchedulerFanoutChain is the ordering-adversarial shape: many
+// cheap low-ID branches beside one high-ID chain. Critical-path dispatch
+// starts the chain immediately; min-ID buries it behind the branches.
+func BenchmarkSchedulerFanoutChain(b *testing.B) {
+	benchSched(b, schedShape(b, "fanout-chain"), 4)
+}
+
+// BenchmarkSchedulerCPUFanout is the same topology with spin-loop
+// (CPU-bound) tasks: scheduler overhead under real core contention. The
+// ordering gap additionally needs spare cores.
+func BenchmarkSchedulerCPUFanout(b *testing.B) {
+	benchSched(b, schedShape(b, "cpu-fanout"), 4)
+}
+
+// BenchmarkSchedulerReleasePeakBytes reports the peak in-memory value
+// footprint of the straggler-level shape (independent chains, so released
+// links shrink the working set) with and without refcounted release, via
+// the engine's live-bytes gauge (sizes are charged from history
+// estimates; a fixed per-node estimate keeps runs comparable).
+func BenchmarkSchedulerReleasePeakBytes(b *testing.B) {
+	sd := schedShape(b, "straggler-level")
+	h := exec.NewHistory()
+	for i := 0; i < sd.G.Len(); i++ {
+		h.ObserveSize(sd.G.Node(dag.NodeID(i)).Name, 64)
+	}
+	for _, release := range []bool{false, true} {
+		name := "retain"
+		if release {
+			name = "release"
+		}
+		b.Run(name, func(b *testing.B) {
+			var peak int64
+			for i := 0; i < b.N; i++ {
+				var gauge store.Gauge
+				e := &exec.Engine{Workers: 8, History: h, LiveBytes: &gauge, ReleaseIntermediates: release}
+				if _, err := e.Execute(sd.G, sd.Tasks, sd.Plan()); err != nil {
+					b.Fatal(err)
+				}
+				peak += gauge.Peak()
+			}
+			b.ReportMetric(float64(peak)/float64(b.N), "peak-bytes")
+		})
+	}
 }

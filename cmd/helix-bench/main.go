@@ -22,7 +22,21 @@
 //	helix-bench -ablation optflag
 //	helix-bench -ablation matpolicy
 //	helix-bench -ablation scheduler
-//	helix-bench -fig 2b -sched level-barrier   # A/B the old executor
+//	helix-bench -fig 2b -sched level-barrier    # A/B the old executor
+//	helix-bench -fig 2b -sched dataflow-minid   # A/B the old ready-queue order
+//	helix-bench -fig 2b -release=false          # A/B memory-bounded execution
+//
+// Scheduler orderings and memory-bounded execution: -sched selects both
+// the strategy and, for dataflow, the ready-queue priority — "dataflow"
+// (cost-aware critical-path-first dispatch, the default), "dataflow-minid"
+// (the original smallest-ID dispatch) or "level-barrier" (the wave
+// executor). -release (default true) lets the engine drop a non-output
+// intermediate from memory the moment its last consumer has run; figure
+// runs print the session's peak live-byte estimate so the memory effect is
+// visible next to the wall-clock numbers. "-ablation scheduler" runs every
+// stress shape under all three schedulers, checks value equality, and
+// reports the wall-time reduction of each dataflow ordering over the
+// level-barrier reference.
 package main
 
 import (
@@ -46,25 +60,33 @@ func main() {
 	docs := flag.Int("docs", 400, "news training documents (fig 2a)")
 	budget := flag.Int64("budget", 0, "storage budget in bytes (0 = unlimited)")
 	workers := flag.Int("workers", 4, "executor worker pool size")
-	schedName := flag.String("sched", "dataflow", "scheduling strategy for figure runs: dataflow or level-barrier")
+	schedName := flag.String("sched", "dataflow", "scheduling strategy for figure runs: dataflow (critical-path order), dataflow-minid, or level-barrier")
+	release := flag.Bool("release", true, "release consumed intermediates during execution (memory-bounded sessions)")
 	seed := flag.Int64("seed", 2018, "dataset seed")
 	flag.Parse()
 
-	sched, err := parseSched(*schedName)
+	sched, order, err := parseSched(*schedName)
 	if err != nil {
 		fatal(err)
+	}
+	opts := systems.Options{
+		BudgetBytes:       *budget,
+		Workers:           *workers,
+		Sched:             sched,
+		Order:             order,
+		KeepIntermediates: !*release,
 	}
 	if *fig == "" && *ablation == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
 	if *fig == "2a" || *fig == "all" {
-		if err := runFig2a(*docs, *budget, *workers, sched, *seed); err != nil {
+		if err := runFig2a(*docs, opts, *seed); err != nil {
 			fatal(err)
 		}
 	}
 	if *fig == "2b" || *fig == "all" {
-		if err := runFig2b(*rows, *budget, *workers, sched, *seed); err != nil {
+		if err := runFig2b(*rows, opts, *seed); err != nil {
 			fatal(err)
 		}
 	}
@@ -87,14 +109,16 @@ func main() {
 	}
 }
 
-func parseSched(name string) (exec.Strategy, error) {
+func parseSched(name string) (exec.Strategy, exec.Ordering, error) {
 	switch name {
 	case "dataflow", "":
-		return exec.Dataflow, nil
+		return exec.Dataflow, exec.CriticalPath, nil
+	case "dataflow-minid":
+		return exec.Dataflow, exec.MinID, nil
 	case "level-barrier":
-		return exec.LevelBarrier, nil
+		return exec.LevelBarrier, exec.CriticalPath, nil
 	default:
-		return 0, fmt.Errorf("unknown scheduler %q (want dataflow or level-barrier)", name)
+		return 0, 0, fmt.Errorf("unknown scheduler %q (want dataflow, dataflow-minid or level-barrier)", name)
 	}
 }
 
@@ -111,7 +135,7 @@ func tempBase(label string) (string, func(), error) {
 	return dir, func() { os.RemoveAll(dir) }, nil
 }
 
-func runFig2a(docs int, budget int64, workers int, sched exec.Strategy, seed int64) error {
+func runFig2a(docs int, opts systems.Options, seed int64) error {
 	fmt.Printf("=== Figure 2(a): IE task, %d train docs ===\n", docs)
 	data := workload.GenerateNews(docs, docs/4, seed)
 	sc := workload.IEScenario(data)
@@ -120,9 +144,9 @@ func runFig2a(docs int, budget int64, workers int, sched exec.Strategy, seed int
 		return err
 	}
 	defer cleanup()
+	opts.BaseDir = base
 	cmp, err := bench.RunComparison(sc,
-		[]systems.Kind{systems.Helix, systems.DeepDive, systems.HelixUnopt},
-		systems.Options{BaseDir: base, BudgetBytes: budget, Workers: workers, Sched: sched})
+		[]systems.Kind{systems.Helix, systems.DeepDive, systems.HelixUnopt}, opts)
 	if err != nil {
 		return err
 	}
@@ -131,7 +155,7 @@ func runFig2a(docs int, budget int64, workers int, sched exec.Strategy, seed int
 	return nil
 }
 
-func runFig2b(rows int, budget int64, workers int, sched exec.Strategy, seed int64) error {
+func runFig2b(rows int, opts systems.Options, seed int64) error {
 	fmt.Printf("=== Figure 2(b): Census classification, %d train rows ===\n", rows)
 	data := workload.GenerateCensus(rows, rows/4, seed)
 	sc := workload.CensusScenario(data)
@@ -140,11 +164,11 @@ func runFig2b(rows int, budget int64, workers int, sched exec.Strategy, seed int
 		return err
 	}
 	defer cleanup()
+	opts.BaseDir = base
 	// DeepDive's ML and evaluation components are not user-configurable, so
 	// (as in the paper's plot) its series stops before the first ML edit.
 	cmp, err := bench.RunComparison(sc,
-		[]systems.Kind{systems.Helix, systems.DeepDive, systems.KeystoneML},
-		systems.Options{BaseDir: base, BudgetBytes: budget, Workers: workers, Sched: sched},
+		[]systems.Kind{systems.Helix, systems.DeepDive, systems.KeystoneML}, opts,
 		bench.Limits{systems.DeepDive: 2})
 	if err != nil {
 		return err
@@ -249,15 +273,22 @@ func runMatPolicy(rows int, workers int, seed int64) error {
 	return nil
 }
 
-// runScheduler is the dataflow-vs-level-barrier head-to-head on the
-// synthetic stress shapes (the same ones BenchmarkScheduler* measure):
-// each shape runs under both strategies at the same worker count, values
-// are checked for equality, and the wall-time reduction is reported.
+// runScheduler is the scheduler head-to-head on the synthetic stress
+// shapes (the same ones BenchmarkScheduler* measure): each shape runs
+// under critical-path dataflow, min-ID dataflow and the level-barrier
+// reference at the same worker count, values are checked for equality
+// across all three, and the wall-time reduction of each dataflow ordering
+// over the barrier is reported.
 func runScheduler(workers int) error {
-	fmt.Printf("=== ablation: dataflow scheduler vs level-barrier reference (%d workers) ===\n", workers)
-	fmt.Printf("%-16s %6s %12s %14s %10s\n", "shape", "nodes", "dataflow", "level-barrier", "reduction")
+	fmt.Printf("=== ablation: dataflow orderings vs level-barrier reference (%d workers) ===\n", workers)
+	fmt.Printf("%-16s %6s %12s %12s %14s %9s %9s\n",
+		"shape", "nodes", "crit-path", "min-id", "level-barrier", "cp-red", "minid-red")
 	for _, sd := range bench.DefaultShapes() {
-		df, err := bench.RunSched(sd, exec.Dataflow, workers)
+		cp, err := bench.RunSchedOrdered(sd, exec.Dataflow, exec.CriticalPath, workers, false)
+		if err != nil {
+			return err
+		}
+		mi, err := bench.RunSchedOrdered(sd, exec.Dataflow, exec.MinID, workers, false)
 		if err != nil {
 			return err
 		}
@@ -265,14 +296,18 @@ func runScheduler(workers int) error {
 		if err != nil {
 			return err
 		}
-		if err := bench.SchedValuesEqual(df, lb); err != nil {
-			return fmt.Errorf("scheduler ablation: %s: %w", sd.Name, err)
+		for _, df := range []*exec.Result{cp, mi} {
+			if err := bench.SchedValuesEqual(df, lb); err != nil {
+				return fmt.Errorf("scheduler ablation: %s: %w", sd.Name, err)
+			}
 		}
-		fmt.Printf("%-16s %6d %10.2fms %12.2fms %9.0f%%\n",
+		fmt.Printf("%-16s %6d %10.2fms %10.2fms %12.2fms %8.0f%% %8.0f%%\n",
 			sd.Name, sd.G.Len(),
-			float64(df.Wall.Microseconds())/1000,
+			float64(cp.Wall.Microseconds())/1000,
+			float64(mi.Wall.Microseconds())/1000,
 			float64(lb.Wall.Microseconds())/1000,
-			(1-float64(df.Wall)/float64(lb.Wall))*100)
+			(1-float64(cp.Wall)/float64(lb.Wall))*100,
+			(1-float64(mi.Wall)/float64(lb.Wall))*100)
 	}
 	fmt.Println()
 	return nil

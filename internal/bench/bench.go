@@ -40,6 +40,10 @@ type SeriesResult struct {
 	// Versions is the version store accumulated during the replay (kept for
 	// the Figure-3 style outputs).
 	Versions *version.Store
+	// PeakLiveBytes is the session's high-water mark of in-memory
+	// intermediate-value size estimates across the replay — the
+	// memory-bounded-execution metric next to the wall-clock numbers.
+	PeakLiveBytes int64
 }
 
 // Cumulative returns the final cumulative runtime.
@@ -113,6 +117,7 @@ func RunScenario(kind systems.Kind, sc *workload.Scenario, o systems.Options, ma
 			Metrics: ir.Metrics,
 		})
 	}
+	res.PeakLiveBytes = sess.LiveBytes().Peak()
 	return res, nil
 }
 
@@ -211,6 +216,18 @@ func (c *Comparison) Summary() string {
 	b.WriteString("totals:")
 	for _, s := range c.Series {
 		fmt.Fprintf(&b, "  %s=%.1fms", s.System, float64(s.Cumulative().Microseconds())/1000)
+	}
+	b.WriteByte('\n')
+	// A zero peak means the gauge had nothing to measure (level-barrier
+	// runs never charge it; size-blind policies never learn estimates) —
+	// print n/a rather than implying the system used no memory.
+	b.WriteString("peak live bytes:")
+	for _, s := range c.Series {
+		if s.PeakLiveBytes == 0 {
+			fmt.Fprintf(&b, "  %s=n/a", s.System)
+			continue
+		}
+		fmt.Fprintf(&b, "  %s=%.1fKB", s.System, float64(s.PeakLiveBytes)/1024)
 	}
 	b.WriteByte('\n')
 	if helix != nil {

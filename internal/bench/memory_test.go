@@ -1,0 +1,53 @@
+package bench
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/opt"
+	"repro/internal/workload"
+)
+
+// TestCensusReleaseReducesPeakLiveBytes is the memory-bounded-sessions
+// acceptance check: on the census workload, a session that releases
+// consumed intermediates (the default) must show a strictly lower peak of
+// in-memory value bytes than one told to keep everything, as measured by
+// the engine's live-bytes gauge. Iteration 1 teaches the history the
+// serialized sizes (the gauge charges computes by history estimate);
+// iteration 2 is the measured run.
+func TestCensusReleaseReducesPeakLiveBytes(t *testing.T) {
+	data := workload.GenerateCensus(600, 150, 7)
+	run := func(keep bool) int64 {
+		sess, err := core.NewSession(core.Config{
+			SystemName:        "census-mem",
+			StoreDir:          filepath.Join(t.TempDir(), "store"),
+			Policy:            opt.MaterializeAll{},
+			Reuse:             false, // recompute every node so the whole DAG is live
+			Workers:           4,
+			KeepIntermediates: keep,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := workload.DefaultCensusParams(data)
+		if _, err := sess.Run(p.Build()); err != nil {
+			t.Fatal(err)
+		}
+		sess.LiveBytes().Reset() // discard the size-learning iteration
+		if _, err := sess.Run(p.Build()); err != nil {
+			t.Fatal(err)
+		}
+		return sess.LiveBytes().Peak()
+	}
+	peakRelease := run(false)
+	peakKeep := run(true)
+	if peakRelease == 0 || peakKeep == 0 {
+		t.Fatalf("gauge recorded nothing: release=%d keep=%d", peakRelease, peakKeep)
+	}
+	if peakRelease >= peakKeep {
+		t.Errorf("release peak %d not below keep peak %d", peakRelease, peakKeep)
+	}
+	t.Logf("census peak live bytes: release=%d keep=%d (%.0f%% reduction)",
+		peakRelease, peakKeep, (1-float64(peakRelease)/float64(peakKeep))*100)
+}

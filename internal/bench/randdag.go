@@ -1,0 +1,61 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dag"
+	"repro/internal/exec"
+)
+
+// RandomDAG generates a seeded pseudo-random workflow graph with
+// deterministic integer tasks: 6–24 nodes, each wired to up to three
+// earlier nodes, sinks (plus a random sprinkle of interior nodes) marked
+// as outputs, and every node keyed so materialization and load plans can
+// address it. The same seed always yields the same graph, tasks and
+// values — the raw material of the randomized scheduler-equivalence
+// harness, where any divergence between executors must be attributable to
+// the executor, never the workload.
+func RandomDAG(seed int64) *SchedDAG {
+	rng := rand.New(rand.NewSource(seed))
+	n := 6 + rng.Intn(19)
+	g := dag.New()
+	tasks := make([]exec.Task, 0, n)
+	for i := 0; i < n; i++ {
+		id := g.MustAddNode(fmt.Sprintf("n%d", i), "op")
+		if i > 0 {
+			parents := rng.Intn(3) + 1
+			if parents > i {
+				parents = i
+			}
+			seen := map[int]bool{}
+			for p := 0; p < parents; p++ {
+				cand := rng.Intn(i)
+				if !seen[cand] {
+					seen[cand] = true
+					g.MustAddEdge(dag.NodeID(cand), id)
+				}
+			}
+		}
+		base := i
+		tasks = append(tasks, exec.Task{
+			Key: fmt.Sprintf("rk%d_%d", seed, i),
+			Run: func(in []any) (any, error) {
+				// Mix inputs order-sensitively so a scheduler delivering
+				// parents in the wrong order cannot produce the right bytes.
+				sum := base*2654435761 + 17
+				for _, v := range in {
+					sum = sum*31 + v.(int)
+				}
+				return sum, nil
+			},
+		})
+	}
+	for i := 0; i < n; i++ {
+		id := dag.NodeID(i)
+		if len(g.Children(id)) == 0 || rng.Float64() < 0.2 {
+			g.Node(id).Output = true
+		}
+	}
+	return &SchedDAG{Name: fmt.Sprintf("random-%d", seed), G: g, Tasks: tasks}
+}

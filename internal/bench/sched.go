@@ -13,8 +13,11 @@ import (
 
 // SchedDAG bundles a synthetic scheduler-stress graph with its tasks and an
 // all-compute plan. The tasks burn wall-clock with time.Sleep (operator
-// work is opaque to the scheduler; only its duration matters) and produce
-// deterministic integers so two runs can be compared value-for-value.
+// work is opaque to the scheduler; only its duration matters) or, for the
+// CPU-bound shapes, with a spin loop that keeps a core busy — the honest
+// way to measure scheduler overhead and ordering effects under real
+// contention. All tasks produce deterministic integers so two runs can be
+// compared value-for-value.
 type SchedDAG struct {
 	Name  string
 	G     *dag.Graph
@@ -35,6 +38,25 @@ func (s *SchedDAG) Plan() *opt.Plan {
 func sleepTask(idx int, d time.Duration) exec.Task {
 	return exec.Task{Run: func(in []any) (any, error) {
 		time.Sleep(d)
+		sum := idx
+		for _, v := range in {
+			sum += v.(int)
+		}
+		return sum, nil
+	}}
+}
+
+// spinTask returns a deterministic CPU-bound task: busy-loop for roughly d
+// (occupying a core, unlike time.Sleep which frees it), then emit a value
+// derived from the inputs and the node's own index. The spin counter never
+// feeds the result, so values stay deterministic across machines.
+func spinTask(idx int, d time.Duration) exec.Task {
+	return exec.Task{Run: func(in []any) (any, error) {
+		var spins uint64
+		for start := time.Now(); time.Since(start) < d; {
+			spins++
+		}
+		_ = spins
 		sum := idx
 		for _, v := range in {
 			sum += v.(int)
@@ -155,10 +177,67 @@ func StragglerChainDAG(depth int, slow, fast time.Duration) *SchedDAG {
 	return &SchedDAG{Name: "straggler-chain", G: g, Tasks: tasks}
 }
 
-// RunSched executes the DAG once under the given strategy and worker count,
-// returning the result for wall-time and value inspection.
+// fanoutChain builds the ordering-adversarial wide-fanout topology: a root
+// fans out to `short` independent single-node branches plus one chain of
+// `depth` nodes, all joining into one output. The chain is added last, so
+// its IDs are the highest — the worst case for min-ID dispatch, which
+// drains every cheap branch before the run's long pole gets a worker
+// (makespan ≈ short/workers + depth task-lengths). Critical-path ordering
+// starts the chain immediately and fills the remaining workers with the
+// branches (makespan ≈ max(depth, short/(workers-1)) task-lengths).
+func fanoutChain(name string, short, depth int, d time.Duration, mk func(int, time.Duration) exec.Task) *SchedDAG {
+	g := dag.New()
+	root := g.MustAddNode("root", "scan")
+	tasks := []exec.Task{mk(0, 0)}
+	join := g.MustAddNode("join", "agg")
+	tasks = append(tasks, mk(1, 0))
+	for s := 0; s < short; s++ {
+		id := g.MustAddNode(fmt.Sprintf("s%d", s), "op")
+		g.MustAddEdge(root, id)
+		g.MustAddEdge(id, join)
+		tasks = append(tasks, mk(int(id), d))
+	}
+	prev := root
+	for l := 0; l < depth; l++ {
+		id := g.MustAddNode(fmt.Sprintf("chain%d", l), "op")
+		g.MustAddEdge(prev, id)
+		tasks = append(tasks, mk(int(id), d))
+		prev = id
+	}
+	g.MustAddEdge(prev, join)
+	g.Node(join).Output = true
+	return &SchedDAG{Name: name, G: g, Tasks: tasks}
+}
+
+// FanoutChainDAG is the sleep-based fanout-plus-chain shape: because
+// sleeping tasks do not occupy a core, the ordering effect (critical-path
+// dispatch starting the chain before the cheap branches) shows in wall
+// time on any machine, including single-core CI runners.
+func FanoutChainDAG(short, depth int, d time.Duration) *SchedDAG {
+	return fanoutChain("fanout-chain", short, depth, d, sleepTask)
+}
+
+// CPUFanoutDAG is the same topology with spin-loop (CPU-bound) tasks: the
+// honest workload for measuring scheduler overhead under real core
+// contention. The ordering win additionally needs spare cores (on a
+// single-core host total work equals makespan whatever the order), so
+// wall-time comparisons against MinID are only meaningful when
+// runtime.NumCPU() comfortably exceeds one.
+func CPUFanoutDAG(short, depth int, spin time.Duration) *SchedDAG {
+	return fanoutChain("cpu-fanout", short, depth, spin, spinTask)
+}
+
+// RunSched executes the DAG once under the given strategy and worker count
+// with the default (critical-path) ordering, returning the result for
+// wall-time and value inspection.
 func RunSched(sd *SchedDAG, sched exec.Strategy, workers int) (*exec.Result, error) {
-	e := &exec.Engine{Workers: workers, Sched: sched}
+	return RunSchedOrdered(sd, sched, exec.CriticalPath, workers, false)
+}
+
+// RunSchedOrdered executes the DAG once under the given strategy, dataflow
+// ready-queue ordering, worker count and intermediate-release setting.
+func RunSchedOrdered(sd *SchedDAG, sched exec.Strategy, order exec.Ordering, workers int, release bool) (*exec.Result, error) {
+	e := &exec.Engine{Workers: workers, Sched: sched, Order: order, ReleaseIntermediates: release}
 	return e.Execute(sd.G, sd.Tasks, sd.Plan())
 }
 
@@ -172,6 +251,8 @@ func DefaultShapes() []*SchedDAG {
 		WideDAG(64, 500*time.Microsecond),
 		SkewedLevelDAG(4, 4, 6*time.Millisecond, 500*time.Microsecond),
 		StragglerChainDAG(12, 10*time.Millisecond, 300*time.Microsecond),
+		FanoutChainDAG(12, 6, time.Millisecond),
+		CPUFanoutDAG(12, 6, time.Millisecond),
 	}
 }
 

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"reflect"
+	"runtime"
 	"testing"
 	"time"
 
@@ -15,6 +16,8 @@ func schedShapes() []*SchedDAG {
 		WideDAG(8, 50*us),
 		SkewedLevelDAG(3, 3, 200*us, 20*us),
 		StragglerChainDAG(5, 300*us, 20*us),
+		FanoutChainDAG(6, 4, 50*us),
+		CPUFanoutDAG(6, 4, 20*us),
 	}
 }
 
@@ -37,21 +40,105 @@ func TestSchedDAGsValid(t *testing.T) {
 	}
 }
 
-// TestSchedShapesEquivalentAcrossStrategies: both schedulers compute
-// identical values on every stress shape — the correctness half of the
-// scheduler benchmarks.
+// TestSchedShapesEquivalentAcrossStrategies: every scheduler configuration
+// computes identical values on every stress shape — the correctness half
+// of the scheduler benchmarks.
 func TestSchedShapesEquivalentAcrossStrategies(t *testing.T) {
 	for _, sd := range schedShapes() {
-		df, err := RunSched(sd, exec.Dataflow, 4)
-		if err != nil {
-			t.Fatalf("%s dataflow: %v", sd.Name, err)
-		}
 		lb, err := RunSched(sd, exec.LevelBarrier, 4)
 		if err != nil {
 			t.Fatalf("%s level-barrier: %v", sd.Name, err)
 		}
-		if !reflect.DeepEqual(df.Values, lb.Values) {
-			t.Errorf("%s: values differ between schedulers", sd.Name)
+		for _, order := range []exec.Ordering{exec.CriticalPath, exec.MinID} {
+			df, err := RunSchedOrdered(sd, exec.Dataflow, order, 4, false)
+			if err != nil {
+				t.Fatalf("%s dataflow/%v: %v", sd.Name, order, err)
+			}
+			if !reflect.DeepEqual(df.Values, lb.Values) {
+				t.Errorf("%s: values differ between dataflow/%v and level-barrier", sd.Name, order)
+			}
+		}
+	}
+}
+
+// TestFanoutChainCriticalPathBeatsMinID is the ordering-latency
+// acceptance check on the adversarial fanout shape: critical-path
+// dispatch starts the long chain immediately, min-ID drains every cheap
+// branch first. The shape is sleep-based so the expected ~33% gap does
+// not depend on spare cores; the assertion demands only a 10% win to
+// stay far from scheduler jitter.
+func TestFanoutChainCriticalPathBeatsMinID(t *testing.T) {
+	sd := FanoutChainDAG(12, 6, time.Millisecond)
+	best := func(order exec.Ordering) time.Duration {
+		min := time.Duration(1<<62 - 1)
+		for i := 0; i < 3; i++ {
+			res, err := RunSchedOrdered(sd, exec.Dataflow, order, 4, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Wall < min {
+				min = res.Wall
+			}
+		}
+		return min
+	}
+	cp, mi := best(exec.CriticalPath), best(exec.MinID)
+	if float64(cp) > 0.9*float64(mi) {
+		t.Errorf("critical-path %v not measurably faster than min-id %v on fanout-chain", cp, mi)
+	}
+}
+
+// TestCPUFanoutCriticalPathNotSlower compares the orderings on the
+// CPU-bound fanout. With spare cores critical-path should win outright;
+// on starved runners (single-core CI) total work equals makespan whatever
+// the order, so the assertion is only "not slower beyond noise".
+func TestCPUFanoutCriticalPathNotSlower(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spin-loop shape is CPU-hungry")
+	}
+	sd := CPUFanoutDAG(12, 6, 500*time.Microsecond)
+	best := func(order exec.Ordering) time.Duration {
+		min := time.Duration(1<<62 - 1)
+		for i := 0; i < 3; i++ {
+			res, err := RunSchedOrdered(sd, exec.Dataflow, order, 4, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Wall < min {
+				min = res.Wall
+			}
+		}
+		return min
+	}
+	cp, mi := best(exec.CriticalPath), best(exec.MinID)
+	if float64(cp) > 1.25*float64(mi) {
+		t.Errorf("critical-path %v slower than min-id %v beyond noise on cpu-fanout", cp, mi)
+	}
+	if runtime.NumCPU() >= 4 && float64(cp) > 0.95*float64(mi) {
+		t.Logf("note: %d cores available but critical-path %v did not beat min-id %v", runtime.NumCPU(), cp, mi)
+	}
+}
+
+// TestRunSchedReleaseDropsIntermediates: the release knob of
+// RunSchedOrdered leaves only output values behind, and they match the
+// retain-everything run.
+func TestRunSchedReleaseDropsIntermediates(t *testing.T) {
+	sd := FanoutChainDAG(4, 3, 0)
+	full, err := RunSchedOrdered(sd, exec.Dataflow, exec.CriticalPath, 4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := RunSchedOrdered(sd, exec.Dataflow, exec.CriticalPath, 4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outputs := sd.G.Outputs()
+	if len(rel.Values) != len(outputs) {
+		t.Errorf("release retained %d values, want %d outputs", len(rel.Values), len(outputs))
+	}
+	for _, o := range outputs {
+		if !reflect.DeepEqual(rel.Values[o], full.Values[o]) {
+			t.Errorf("output %d differs under release: %v vs %v", o, rel.Values[o], full.Values[o])
 		}
 	}
 }

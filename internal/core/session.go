@@ -40,6 +40,17 @@ type Config struct {
 	// the dependency-counting dataflow scheduler. LevelBarrier reproduces
 	// the original wave executor for A/B comparisons.
 	Sched exec.Strategy
+	// Order selects the dataflow ready-queue priority; the zero value is
+	// cost-aware critical-path-first. exec.MinID restores the original
+	// smallest-ID dispatch for A/B comparisons.
+	Order exec.Ordering
+	// KeepIntermediates retains every non-pruned value in memory for the
+	// whole iteration. By default the session releases a non-output value
+	// the moment its last consumer has run (memory-bounded execution;
+	// Report and Outputs only ever read output values, so nothing is
+	// lost). Set it for debugging sessions that want to inspect
+	// intermediates post-hoc, or to A/B the peak-memory win.
+	KeepIntermediates bool
 }
 
 // Session drives iterative development: one Session per developer working
@@ -51,6 +62,7 @@ type Session struct {
 	store   *store.Store
 	engine  *exec.Engine
 	history *exec.History
+	live    store.Gauge
 	prev    *Compiled
 	iter    int
 }
@@ -75,11 +87,14 @@ func NewSession(cfg Config) (*Session, error) {
 		}
 	}
 	s.engine = &exec.Engine{
-		Store:   s.store,
-		Policy:  cfg.Policy,
-		Workers: cfg.Workers,
-		History: s.history,
-		Sched:   cfg.Sched,
+		Store:                s.store,
+		Policy:               cfg.Policy,
+		Workers:              cfg.Workers,
+		History:              s.history,
+		Sched:                cfg.Sched,
+		Order:                cfg.Order,
+		ReleaseIntermediates: !cfg.KeepIntermediates,
+		LiveBytes:            &s.live,
 	}
 	return s, nil
 }
@@ -89,6 +104,13 @@ func (s *Session) Store() *store.Store { return s.store }
 
 // History exposes the runtime-statistics history.
 func (s *Session) History() *exec.History { return s.history }
+
+// LiveBytes exposes the engine's in-memory intermediate-value gauge:
+// Peak() is the high-water mark of serialized-size estimates held in
+// memory across all iterations run so far (Reset() starts a fresh
+// measurement window). It is how benchmarks assert the peak-memory win of
+// releasing consumed intermediates.
+func (s *Session) LiveBytes() *store.Gauge { return &s.live }
 
 // Report summarizes one iteration for the user interface (and benchmarks).
 type Report struct {

@@ -247,6 +247,35 @@ func (g *Graph) ReadySet(indeg []int, keep func(NodeID) bool) []NodeID {
 	return out
 }
 
+// CriticalPath returns, for each node, the weight of the heaviest path that
+// starts at the node and follows edges downstream: weight(v) = cost[v] +
+// max over children c of weight(c), with weight = cost[v] for sinks. With
+// unit costs this degenerates to the downstream path length in nodes, so a
+// scheduler using the weights stays critical-path-first even before any
+// cost has been measured. cost must have one non-negative entry per node;
+// the graph must be acyclic.
+func (g *Graph) CriticalPath(cost []int64) ([]int64, error) {
+	if len(cost) != len(g.nodes) {
+		return nil, fmt.Errorf("dag: %d costs for %d nodes", len(cost), len(g.nodes))
+	}
+	order, err := g.Topo()
+	if err != nil {
+		return nil, err
+	}
+	weight := make([]int64, len(g.nodes))
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		var best int64
+		for _, c := range g.childs[v] {
+			if weight[c] > best {
+				best = weight[c]
+			}
+		}
+		weight[v] = cost[v] + best
+	}
+	return weight, nil
+}
+
 // Ancestors returns the set of strict ancestors of v (v excluded).
 func (g *Graph) Ancestors(v NodeID) map[NodeID]bool {
 	seen := make(map[NodeID]bool)

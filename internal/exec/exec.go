@@ -9,14 +9,19 @@
 // parent finishes, and a fixed worker pool drains a ready queue until the
 // slice completes or the first error cancels all not-yet-dispatched work.
 // There are no level barriers, so a straggler delays only its own
-// descendants, never unrelated branches. Materialization runs off the
-// critical path: each completed value is handed to a bounded pool of
-// background writers that decide, encode and persist it while downstream
-// consumers are already executing; NodeRun.MatDuration records the real
-// write cost, and Execute flushes the pipeline — also on error — before
-// returning. The original wave executor is retained as
-// Engine{Sched: LevelBarrier}, the reference for equivalence tests and the
-// scheduler benchmarks.
+// descendants, never unrelated branches. The ready queue is cost-aware by
+// default: every node carries a critical-path weight (its heaviest
+// downstream cost path, per dag.CriticalPath over the engine's history and
+// store estimates) and the highest weight dispatches first, so the run's
+// long pole starts as early as a worker frees up; Engine{Order: MinID}
+// restores the smallest-ID ordering for head-to-head benchmarks.
+// Materialization runs off the critical path: each completed value is
+// handed to a bounded pool of background writers that decide, encode and
+// persist it while downstream consumers are already executing;
+// NodeRun.MatDuration records the real write cost, and Execute flushes the
+// pipeline — also on error — before returning. The original wave executor
+// is retained as Engine{Sched: LevelBarrier}, the reference for
+// equivalence tests and the scheduler benchmarks.
 //
 // The paper executes on Spark; here nodes run on goroutines and the
 // materialization store is local disk. All costs the optimizers consume
@@ -244,6 +249,35 @@ func (s Strategy) String() string {
 	}
 }
 
+// Ordering selects how the dataflow scheduler prioritizes simultaneously
+// ready nodes. It has no effect under LevelBarrier.
+type Ordering int
+
+const (
+	// CriticalPath dispatches the ready node with the largest critical-path
+	// weight first (heaviest downstream cost path, from dag.CriticalPath
+	// over per-node cost estimates: history compute times for compute
+	// nodes, store load estimates for load nodes, 1ns for never-seen
+	// nodes so structure decides before any cost is measured). Ties break
+	// on the smaller ID, so dispatch stays deterministic. The zero value,
+	// and the default.
+	CriticalPath Ordering = iota
+	// MinID dispatches the smallest ready ID first — the original ordering,
+	// retained for head-to-head scheduler benchmarks.
+	MinID
+)
+
+func (o Ordering) String() string {
+	switch o {
+	case CriticalPath:
+		return "critical-path"
+	case MinID:
+		return "min-id"
+	default:
+		return fmt.Sprintf("Ordering(%d)", int(o))
+	}
+}
+
 // Engine executes plans. Configure once, reuse across iterations.
 type Engine struct {
 	// Store is the materialization store; nil disables loads and stores.
@@ -257,6 +291,9 @@ type Engine struct {
 	History *History
 	// Sched selects the scheduling strategy; the zero value is Dataflow.
 	Sched Strategy
+	// Order selects the ready-queue priority of the dataflow scheduler;
+	// the zero value is CriticalPath.
+	Order Ordering
 	// MatWriters bounds the background materialization writers of the
 	// dataflow scheduler; <=0 means 2.
 	MatWriters int
@@ -265,6 +302,13 @@ type Engine struct {
 	// wide DAGs (dataflow scheduler only). Off by default, so Result.Values
 	// holds every non-pruned node's value.
 	ReleaseIntermediates bool
+	// LiveBytes, when non-nil, tracks the serialized-size estimate of the
+	// values held in Result.Values while a dataflow Execute runs: sizes are
+	// added as values are published (exact entry sizes for loads, history
+	// estimates for computes — 0 until a node's size has been learned) and
+	// subtracted on release and at the end of the run, so Gauge.Peak is the
+	// run's high-water mark of in-memory intermediates.
+	LiveBytes *store.Gauge
 }
 
 func (e *Engine) workers() int {
@@ -386,8 +430,10 @@ func gatherInputs(g *dag.Graph, id dag.NodeID, res *Result, mu *sync.Mutex) ([]a
 // consult the policy, and persist on a yes — degrading to "not
 // materialized" on unencodable values, budget races and I/O failures.
 // ancestorCost is a callback because its snapshot semantics differ per
-// scheduler; it is evaluated once per decision (every MatContext carries
-// the term, whether or not the policy reads it).
+// scheduler; it is evaluated at most once per decision, and only when the
+// policy declares (NeedsAncestorCost) that it reads the term — for
+// cost-insensitive policies the O(ancestors) walk under the results lock
+// never happens and MatContext carries a zero.
 // Callers guarantee Policy and Store are set, key is non-empty and not yet
 // stored. Returns the elapsed decision+write time, the serialized size (0
 // if never encoded), whether the value was stored, and the policy reward.
@@ -413,11 +459,15 @@ func (e *Engine) decideAndPersist(g *dag.Graph, id dag.NodeID, name, key string,
 			size = int64(len(raw))
 		}
 	}
+	var ancCost int64
+	if e.Policy.NeedsAncestorCost() {
+		ancCost = ancestorCost()
+	}
 	ctx := opt.MatContext{
 		Graph:               g,
 		Node:                id,
 		ComputeCost:         computeDur.Nanoseconds(),
-		AncestorComputeCost: ancestorCost(),
+		AncestorComputeCost: ancCost,
 		LoadCost:            e.Store.EstimateLoad(size).Nanoseconds(),
 		Size:                size,
 		BudgetRemaining:     e.Store.Remaining(),

@@ -22,8 +22,12 @@ func (e *Engine) executeLevelBarrier(g *dag.Graph, tasks []Task, plan *opt.Plan,
 	if err != nil {
 		return nil, err
 	}
+	// Closures feed the ancestor-cost term; policies that never read it
+	// (NeedsAncestorCost false) skip the precompute, and decideAndPersist
+	// guarantees the cost callback — the only closure consumer — is not
+	// invoked for them.
 	var closures [][]dag.NodeID
-	if e.Policy != nil && e.Store != nil {
+	if e.Policy != nil && e.Store != nil && e.Policy.NeedsAncestorCost() {
 		closures = opt.AncestorClosures(g)
 	}
 	start := time.Now()

@@ -41,15 +41,20 @@ type matWriter struct {
 	wg       sync.WaitGroup
 }
 
-// newMatWriter starts the writer pool for one Execute call.
+// newMatWriter starts the writer pool for one Execute call. The ancestor
+// closures exist only for policies that read the recomputation-chain term;
+// decideAndPersist never invokes the cost callback otherwise, so the nil
+// slice is never indexed.
 func newMatWriter(e *Engine, g *dag.Graph, res *Result, resMu *sync.Mutex) *matWriter {
 	w := &matWriter{
-		e:        e,
-		g:        g,
-		res:      res,
-		resMu:    resMu,
-		closures: opt.AncestorClosures(g),
-		jobs:     make(chan matJob, g.Len()),
+		e:     e,
+		g:     g,
+		res:   res,
+		resMu: resMu,
+		jobs:  make(chan matJob, g.Len()),
+	}
+	if e.Policy.NeedsAncestorCost() {
+		w.closures = opt.AncestorClosures(g)
 	}
 	for i := 0; i < e.matWriters(); i++ {
 		w.wg.Add(1)

@@ -25,12 +25,19 @@ type dispatch struct {
 
 	mu        sync.Mutex // guards the scheduling state below
 	cond      *sync.Cond // signaled when ready grows, work completes, or on cancel
-	ready     nodeHeap   // runnable nodes, smallest ID first
+	ready     nodeHeap   // runnable nodes, highest priority first
 	pending   []int      // per-node count of unfinished non-pruned parents
 	consumers []int      // per-node count of compute children yet to run
 	remaining int        // runnable nodes not yet finished
 	cancelled bool       // set on first error; stops dispatching new work
 	errs      []error    // every node error observed before shutdown
+
+	// liveSize records what each published value added to the engine's
+	// live-bytes gauge, so release and the end-of-run settlement subtract
+	// exactly that. Entries are written by the worker that ran the node
+	// before its finish() and zeroed on release; the d.mu hand-off in
+	// finish orders those accesses. Nil when the gauge is disabled.
+	liveSize []int64
 
 	writer *matWriter // nil when materialization is disabled
 }
@@ -38,7 +45,9 @@ type dispatch struct {
 // executeDataflow runs the plan with dependency-counting scheduling: no
 // level barriers, a node is dispatched the instant its last parent
 // finishes, and completed values go to the background materialization
-// pipeline (flushed before return, also on error).
+// pipeline (flushed before return, also on error). Ready nodes dispatch
+// critical-path-first by default (Engine.Order selects MinID instead), so
+// the run's long pole is never left waiting behind cheap siblings.
 func (e *Engine) executeDataflow(g *dag.Graph, tasks []Task, plan *opt.Plan, res *Result) (*Result, error) {
 	// Dependency counting never drains a cyclic graph; reject it up front
 	// with the same diagnostic the topological sort produces.
@@ -49,6 +58,12 @@ func (e *Engine) executeDataflow(g *dag.Graph, tasks []Task, plan *opt.Plan, res
 	runnable := func(id dag.NodeID) bool { return plan.States[id] != opt.Prune }
 	d := &dispatch{e: e, g: g, tasks: tasks, plan: plan, res: res}
 	d.cond = sync.NewCond(&d.mu)
+	if e.Order == CriticalPath {
+		d.ready.weight = e.pathWeights(g, tasks, plan)
+	}
+	if e.LiveBytes != nil {
+		d.liveSize = make([]int64, g.Len())
+	}
 	// A compute node waits for every non-pruned parent. Load nodes read the
 	// store, not their parents, so they are runnable immediately; a compute
 	// node whose parents were all pruned is too, and fails input gathering
@@ -88,6 +103,17 @@ func (e *Engine) executeDataflow(g *dag.Graph, tasks []Task, plan *opt.Plan, res
 	if d.writer != nil {
 		d.writer.flush()
 	}
+	if e.LiveBytes != nil {
+		// Values still retained (outputs, and everything else when release
+		// is off) stop being execution-live once the run is over; settle
+		// them so Live returns to its pre-run level while Peak keeps the
+		// high-water mark.
+		var rest int64
+		for _, n := range d.liveSize {
+			rest += n
+		}
+		e.LiveBytes.Sub(rest)
+	}
 	res.Wall = time.Since(start)
 	if len(d.errs) > 0 {
 		return res, errors.Join(d.errs...)
@@ -95,7 +121,7 @@ func (e *Engine) executeDataflow(g *dag.Graph, tasks []Task, plan *opt.Plan, res
 	return res, nil
 }
 
-// work is one worker's loop: pull the smallest-ID ready node, run it,
+// work is one worker's loop: pull the highest-priority ready node, run it,
 // publish completion, repeat until the slice drains or is cancelled.
 func (d *dispatch) work() {
 	for {
@@ -159,6 +185,12 @@ func (d *dispatch) finish(id dag.NodeID, err error) {
 			delete(d.res.Values, p)
 		}
 		d.resMu.Unlock()
+		if d.liveSize != nil {
+			for _, p := range release {
+				d.e.LiveBytes.Sub(d.liveSize[p])
+				d.liveSize[p] = 0
+			}
+		}
 	}
 }
 
@@ -193,7 +225,11 @@ func (d *dispatch) runNode(id dag.NodeID) error {
 	nodeStart := time.Now()
 	switch d.plan.States[id] {
 	case opt.Load:
-		return e.loadNode(g, d.tasks, id, d.res, &d.resMu)
+		if err := e.loadNode(g, d.tasks, id, d.res, &d.resMu); err != nil {
+			return err
+		}
+		d.noteLive(id)
+		return nil
 
 	case opt.Compute:
 		inputs, err := gatherInputs(g, id, d.res, &d.resMu)
@@ -215,6 +251,7 @@ func (d *dispatch) runNode(id dag.NodeID) error {
 		d.res.Values[id] = v
 		d.res.Nodes[id].Duration = computeDur
 		d.resMu.Unlock()
+		d.noteLive(id)
 		if d.writer != nil {
 			d.writer.submit(id, name, d.tasks[id].Key, v, computeDur)
 		}
@@ -225,19 +262,88 @@ func (d *dispatch) runNode(id dag.NodeID) error {
 	}
 }
 
-// nodeHeap is a min-heap of node IDs: among simultaneously ready nodes the
-// smallest ID dispatches first, matching the deterministic tie-break of
-// dag.Topo (and making single-worker runs exactly topological).
-type nodeHeap []dag.NodeID
+// pathWeights builds the critical-path dispatch weights for one run: each
+// node's cost estimate is its best-known history compute time (compute
+// nodes) or store load estimate (load nodes), floored at 1ns so a
+// never-measured run still orders by downstream path length, then
+// dag.CriticalPath turns the costs into heaviest-downstream-path weights.
+// Pruned nodes cost 0; weight flowing through a pruned node toward a load
+// descendant slightly overstates its ancestors, which is harmless for an
+// ordering heuristic (pruned nodes themselves never enter the ready queue).
+func (e *Engine) pathWeights(g *dag.Graph, tasks []Task, plan *opt.Plan) []int64 {
+	cost := make([]int64, g.Len())
+	for i := range cost {
+		id := dag.NodeID(i)
+		switch plan.States[id] {
+		case opt.Compute:
+			cost[i] = 1
+			if e.History != nil {
+				if d, ok := e.History.Compute(g.Node(id).Name); ok && d > 0 {
+					cost[i] = d.Nanoseconds()
+				}
+			}
+		case opt.Load:
+			cost[i] = 1
+			if e.Store != nil && tasks[i].Key != "" {
+				if entry, ok := e.Store.Lookup(tasks[i].Key); ok && entry.LoadCost > 0 {
+					cost[i] = entry.LoadCost.Nanoseconds()
+				}
+			}
+		}
+	}
+	w, err := g.CriticalPath(cost)
+	if err != nil {
+		return nil // cycles are rejected before dispatch; fall back to min-ID
+	}
+	return w
+}
 
-func (h nodeHeap) Len() int           { return len(h) }
-func (h nodeHeap) Less(i, j int) bool { return h[i] < h[j] }
-func (h nodeHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *nodeHeap) Push(x any)        { *h = append(*h, x.(dag.NodeID)) }
+// noteLive charges id's freshly published value to the engine's live-bytes
+// gauge, remembering the amount so release and the end-of-run settlement
+// subtract exactly what was added. Loads are charged their exact stored
+// size; computes the history estimate (0 until the node's size has been
+// learned from a materialization probe).
+func (d *dispatch) noteLive(id dag.NodeID) {
+	if d.liveSize == nil {
+		return
+	}
+	var est int64
+	if d.plan.States[id] == opt.Load {
+		if entry, ok := d.e.Store.Lookup(d.tasks[id].Key); ok {
+			est = entry.Size
+		}
+	} else if s, ok := d.e.historySize(d.g.Node(id).Name); ok {
+		est = s
+	}
+	d.liveSize[id] = est
+	d.e.LiveBytes.Add(est)
+}
+
+// nodeHeap is the dataflow scheduler's priority queue of ready nodes. With
+// weight set (critical-path ordering) the largest weight dispatches first
+// and ties break on the smaller ID; with weight nil it is a plain min-heap
+// of IDs, matching the deterministic tie-break of dag.Topo (and making
+// single-worker min-ID runs exactly topological). Both orderings are total
+// and deterministic, so equal inputs dispatch identically across runs.
+type nodeHeap struct {
+	ids    []dag.NodeID
+	weight []int64 // indexed by node ID; nil selects min-ID ordering
+}
+
+func (h *nodeHeap) Len() int { return len(h.ids) }
+func (h *nodeHeap) Less(i, j int) bool {
+	a, b := h.ids[i], h.ids[j]
+	if h.weight != nil && h.weight[a] != h.weight[b] {
+		return h.weight[a] > h.weight[b]
+	}
+	return a < b
+}
+func (h *nodeHeap) Swap(i, j int) { h.ids[i], h.ids[j] = h.ids[j], h.ids[i] }
+func (h *nodeHeap) Push(x any)    { h.ids = append(h.ids, x.(dag.NodeID)) }
 func (h *nodeHeap) Pop() any {
-	old := *h
+	old := h.ids
 	n := len(old)
 	x := old[n-1]
-	*h = old[:n-1]
+	h.ids = old[:n-1]
 	return x
 }

@@ -1,0 +1,136 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/dag"
+	"repro/internal/opt"
+	"repro/internal/store"
+)
+
+// layeredDAG builds levels×width layers where every node consumes the whole
+// previous layer — the maximum-interleaving shape for refcounted release
+// (every completion decrements width counters) racing the async
+// materialization writer (every completion also submits a write job).
+func layeredDAG(levels, width int, keyTag string) (*dag.Graph, []Task) {
+	g := dag.New()
+	var prev []dag.NodeID
+	var tasks []Task
+	for l := 0; l < levels; l++ {
+		var cur []dag.NodeID
+		for w := 0; w < width; w++ {
+			id := g.MustAddNode(fmt.Sprintf("n%d_%d", l, w), "op")
+			for _, p := range prev {
+				g.MustAddEdge(p, id)
+			}
+			cur = append(cur, id)
+			base := l*width + w
+			tasks = append(tasks, Task{
+				Key: fmt.Sprintf("k-%s-%d", keyTag, base),
+				Run: func(in []any) (any, error) {
+					sum := base
+					for _, v := range in {
+						sum += v.(int)
+					}
+					return sum, nil
+				},
+			})
+		}
+		prev = cur
+	}
+	for _, id := range prev {
+		g.Node(id).Output = true
+	}
+	return g, tasks
+}
+
+// TestReleaseWriterStress hammers the async materialization writer
+// interleaved with refcounted release: fresh keys every iteration keep the
+// writer pool busy while completions concurrently drop the very values the
+// writer captured. Run under -race in CI, this is the detector's fodder
+// for the value-ownership contract (jobs own a reference; release never
+// invalidates a pending write).
+func TestReleaseWriterStress(t *testing.T) {
+	st, err := store.Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gauge store.Gauge
+	for iter := 0; iter < 15; iter++ {
+		g, tasks := layeredDAG(4, 6, fmt.Sprintf("ok%d", iter))
+		e := &Engine{
+			Workers:              8,
+			MatWriters:           3,
+			Store:                st,
+			Policy:               opt.MaterializeAll{},
+			ReleaseIntermediates: true,
+			LiveBytes:            &gauge,
+		}
+		res, err := e.Execute(g, tasks, allCompute(g.Len()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Only the output layer survives release.
+		if want := 6; len(res.Values) != want {
+			t.Fatalf("iter %d: %d values retained, want %d outputs", iter, len(res.Values), want)
+		}
+		// Every computed value must have reached the store despite release.
+		for i := range tasks {
+			if !st.Has(tasks[i].Key) {
+				t.Fatalf("iter %d: key %s missing: release raced the writer", iter, tasks[i].Key)
+			}
+		}
+		if gauge.Live() != 0 {
+			t.Fatalf("iter %d: gauge live = %d, want 0 after settlement", iter, gauge.Live())
+		}
+	}
+}
+
+// TestReleaseWriterErrorCancellationStress drives the error path of the
+// same interleaving: a mid-graph node fails while siblings are completing,
+// submitting writes and releasing inputs. Execute must cancel undispatched
+// work, flush the writer — landing every already-submitted write — settle
+// the gauge, and still report the failure.
+func TestReleaseWriterErrorCancellationStress(t *testing.T) {
+	boom := errors.New("boom")
+	var gauge store.Gauge
+	for iter := 0; iter < 15; iter++ {
+		st, err := store.Open(t.TempDir(), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, tasks := layeredDAG(4, 6, fmt.Sprintf("err%d", iter))
+		// Fail one second-layer node; stagger it slightly so first-layer
+		// writes and releases are mid-flight when the cancellation lands.
+		victim := g.Lookup("n1_3")
+		tasks[victim] = Task{Key: tasks[victim].Key, Run: func(in []any) (any, error) {
+			time.Sleep(time.Duration(iter%3) * 100 * time.Microsecond)
+			return nil, boom
+		}}
+		e := &Engine{
+			Workers:              8,
+			MatWriters:           3,
+			Store:                st,
+			Policy:               opt.MaterializeAll{},
+			ReleaseIntermediates: true,
+			LiveBytes:            &gauge,
+		}
+		res, err := e.Execute(g, tasks, allCompute(g.Len()))
+		if !errors.Is(err, boom) {
+			t.Fatalf("iter %d: err = %v, want boom", iter, err)
+		}
+		// Whatever completed must be fully accounted: a value present in
+		// the result and marked materialized must really be in the store.
+		for id, nr := range res.Nodes {
+			if nr.Materialized && !st.Has(tasks[id].Key) {
+				t.Fatalf("iter %d: node %d marked materialized but not stored", iter, id)
+			}
+		}
+		if gauge.Live() != 0 {
+			t.Fatalf("iter %d: gauge live = %d, want 0 after error settlement", iter, gauge.Live())
+		}
+	}
+}

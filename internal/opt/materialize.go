@@ -45,6 +45,13 @@ type MatPolicy interface {
 	// execution engine skips serializing results it will never persist
 	// (KeystoneML-style systems pay no materialization overhead at all).
 	NeedsSize() bool
+	// NeedsAncestorCost reports whether Decide consults
+	// ctx.AncestorComputeCost; when false the execution engine skips the
+	// O(ancestors) cost walk over shared result state entirely (like
+	// NeedsSize, but for the recomputation-chain term). Cost-insensitive
+	// policies (materialize-all, materialize-none) pay nothing for a term
+	// they never read.
+	NeedsAncestorCost() bool
 	// Decide is called once per computed node, in completion order.
 	Decide(ctx MatContext) MatDecision
 }
@@ -61,6 +68,9 @@ func (OnlineHeuristic) Name() string { return "helix-online" }
 
 // NeedsSize implements MatPolicy.
 func (OnlineHeuristic) NeedsSize() bool { return true }
+
+// NeedsAncestorCost implements MatPolicy: r_i depends on Σ_{a∈A(i)} c_a.
+func (OnlineHeuristic) NeedsAncestorCost() bool { return true }
 
 // Decide implements MatPolicy.
 func (OnlineHeuristic) Decide(ctx MatContext) MatDecision {
@@ -82,6 +92,9 @@ func (MaterializeAll) Name() string { return "materialize-all" }
 // NeedsSize implements MatPolicy.
 func (MaterializeAll) NeedsSize() bool { return true }
 
+// NeedsAncestorCost implements MatPolicy: the decision is budget-only.
+func (MaterializeAll) NeedsAncestorCost() bool { return false }
+
 // Decide implements MatPolicy.
 func (MaterializeAll) Decide(ctx MatContext) MatDecision {
 	return MatDecision{Materialize: ctx.Size <= ctx.BudgetRemaining}
@@ -97,6 +110,9 @@ func (MaterializeNone) Name() string { return "materialize-none" }
 
 // NeedsSize implements MatPolicy.
 func (MaterializeNone) NeedsSize() bool { return false }
+
+// NeedsAncestorCost implements MatPolicy: there is no decision to inform.
+func (MaterializeNone) NeedsAncestorCost() bool { return false }
 
 // Decide implements MatPolicy.
 func (MaterializeNone) Decide(MatContext) MatDecision { return MatDecision{} }

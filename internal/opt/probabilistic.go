@@ -50,6 +50,10 @@ func (p *ProbabilisticHeuristic) Name() string { return "helix-probabilistic" }
 // NeedsSize implements MatPolicy.
 func (p *ProbabilisticHeuristic) NeedsSize() bool { return true }
 
+// NeedsAncestorCost implements MatPolicy: the discounted recomputation-
+// saving term still sums ancestor compute costs.
+func (p *ProbabilisticHeuristic) NeedsAncestorCost() bool { return true }
+
 // Observe records one iteration's outcome for a category: whether results of
 // that category survived (their signatures were unchanged). The session
 // driver calls this after change detection.

@@ -1,0 +1,61 @@
+package store
+
+import "sync"
+
+// Gauge is a concurrency-safe byte counter with a high-water mark. The
+// execution engine uses one to track the serialized-size estimate of every
+// intermediate value currently held in memory during a run, so memory-
+// bounded execution (releasing consumed intermediates) has a measurable
+// peak to assert against rather than a hand-waved RSS.
+//
+// Live returns to the pre-run level after each Execute (the engine
+// subtracts what it added), while Peak accumulates across runs until Reset.
+type Gauge struct {
+	mu   sync.Mutex
+	live int64
+	peak int64
+}
+
+// Add increases the live count by n bytes, updating the peak.
+func (g *Gauge) Add(n int64) {
+	if n <= 0 {
+		return
+	}
+	g.mu.Lock()
+	g.live += n
+	if g.live > g.peak {
+		g.peak = g.live
+	}
+	g.mu.Unlock()
+}
+
+// Sub decreases the live count by n bytes.
+func (g *Gauge) Sub(n int64) {
+	if n <= 0 {
+		return
+	}
+	g.mu.Lock()
+	g.live -= n
+	g.mu.Unlock()
+}
+
+// Live returns the bytes currently counted live.
+func (g *Gauge) Live() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.live
+}
+
+// Peak returns the high-water mark since the last Reset.
+func (g *Gauge) Peak() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.peak
+}
+
+// Reset zeroes both the live count and the peak.
+func (g *Gauge) Reset() {
+	g.mu.Lock()
+	g.live, g.peak = 0, 0
+	g.mu.Unlock()
+}

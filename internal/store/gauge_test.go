@@ -1,0 +1,59 @@
+package store
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestGaugeLivePeak(t *testing.T) {
+	var g Gauge
+	g.Add(100)
+	g.Add(50)
+	if g.Live() != 150 || g.Peak() != 150 {
+		t.Errorf("live=%d peak=%d, want 150, 150", g.Live(), g.Peak())
+	}
+	g.Sub(120)
+	if g.Live() != 30 {
+		t.Errorf("live=%d after sub, want 30", g.Live())
+	}
+	if g.Peak() != 150 {
+		t.Errorf("peak=%d dropped with live, want 150", g.Peak())
+	}
+	g.Add(40)
+	if g.Peak() != 150 {
+		t.Errorf("peak=%d, want the earlier high-water 150", g.Peak())
+	}
+	// Non-positive deltas are ignored, so callers can pass unknown (0)
+	// estimates without branching.
+	g.Add(0)
+	g.Sub(-5)
+	if g.Live() != 70 {
+		t.Errorf("live=%d after no-op deltas, want 70", g.Live())
+	}
+	g.Reset()
+	if g.Live() != 0 || g.Peak() != 0 {
+		t.Errorf("reset left live=%d peak=%d", g.Live(), g.Peak())
+	}
+}
+
+func TestGaugeConcurrent(t *testing.T) {
+	var g Gauge
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				g.Add(3)
+				g.Sub(3)
+			}
+		}()
+	}
+	wg.Wait()
+	if g.Live() != 0 {
+		t.Errorf("live=%d after balanced adds/subs, want 0", g.Live())
+	}
+	if g.Peak() < 3 {
+		t.Errorf("peak=%d, want at least one add observed", g.Peak())
+	}
+}

@@ -55,11 +55,24 @@ type Options struct {
 	// Sched selects the execution scheduling strategy (default: the
 	// dependency-counting dataflow scheduler).
 	Sched exec.Strategy
+	// Order selects the dataflow ready-queue priority (default: cost-aware
+	// critical-path-first; exec.MinID restores the original ordering).
+	Order exec.Ordering
+	// KeepIntermediates disables the session's memory-bounded release of
+	// consumed intermediate values (see core.Config.KeepIntermediates).
+	KeepIntermediates bool
 }
 
 // New builds a configured session for the named system.
 func New(kind Kind, o Options) (*core.Session, error) {
-	cfg := core.Config{SystemName: string(kind), BudgetBytes: o.BudgetBytes, Workers: o.Workers, Sched: o.Sched}
+	cfg := core.Config{
+		SystemName:        string(kind),
+		BudgetBytes:       o.BudgetBytes,
+		Workers:           o.Workers,
+		Sched:             o.Sched,
+		Order:             o.Order,
+		KeepIntermediates: o.KeepIntermediates,
+	}
 	switch kind {
 	case Helix:
 		cfg.StoreDir = filepath.Join(o.BaseDir, "helix-store")
