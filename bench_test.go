@@ -12,6 +12,7 @@ package repro_test
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 	"time"
 
@@ -394,6 +395,55 @@ func BenchmarkSchedulerFanoutChain(b *testing.B) {
 // ordering gap additionally needs spare cores.
 func BenchmarkSchedulerCPUFanout(b *testing.B) {
 	benchSched(b, schedShape(b, "cpu-fanout"), 4)
+}
+
+// BenchmarkSchedulerContention is the dispatch-mode head-to-head on the
+// contention-adversarial shape: 4098 fine-grained nodes (128 chains × 32
+// links plus root and join) where every completion is a dispatch event, at
+// 8 workers. Every global-heap transition pays the one shared mutex plus
+// heap churn; work-stealing chases each chain on the finishing worker with
+// no shared lock at all. GOMAXPROCS is clamped to [2, workers]: a
+// contention benchmark needs at least two OS threads actually contending
+// (single-core runners would otherwise serialize the lock traffic away),
+// and more cores only grow the global heap's convoy. The reproduction
+// target is work-stealing ≥20% below the global-heap wall; min-wall-ms is
+// the noise-robust statistic to compare (mean wall absorbs host
+// interference spikes).
+func BenchmarkSchedulerContention(b *testing.B) {
+	sd := bench.ContentionDAG(128, 32)
+	workers := 8
+	gmp := runtime.NumCPU()
+	if gmp < 2 {
+		gmp = 2
+	}
+	if gmp > workers {
+		gmp = workers
+	}
+	prev := runtime.GOMAXPROCS(gmp)
+	defer runtime.GOMAXPROCS(prev)
+	for _, mode := range []exec.DispatchMode{exec.WorkSteal, exec.GlobalHeap} {
+		b.Run(mode.String(), func(b *testing.B) {
+			var wall time.Duration
+			minWall := time.Duration(1<<62 - 1)
+			var steals, handoffs int64
+			for i := 0; i < b.N; i++ {
+				res, err := bench.RunSchedDispatch(sd, exec.Dataflow, exec.CriticalPath, mode, workers, false)
+				if err != nil {
+					b.Fatal(err)
+				}
+				wall += res.Wall
+				if res.Wall < minWall {
+					minWall = res.Wall
+				}
+				steals += res.Steals
+				handoffs += res.Handoffs
+			}
+			b.ReportMetric(float64(wall.Microseconds())/float64(b.N)/1000, "wall-ms")
+			b.ReportMetric(float64(minWall.Microseconds())/1000, "min-wall-ms")
+			b.ReportMetric(float64(steals)/float64(b.N), "steals")
+			b.ReportMetric(float64(handoffs)/float64(b.N), "handoffs")
+		})
+	}
 }
 
 // BenchmarkSchedulerReleasePeakBytes reports the peak in-memory value

@@ -22,24 +22,33 @@
 //	helix-bench -ablation optflag
 //	helix-bench -ablation matpolicy
 //	helix-bench -ablation scheduler
+//	helix-bench -ablation dispatch -json BENCH_3.json
 //	helix-bench -fig 2b -sched level-barrier    # A/B the old executor
 //	helix-bench -fig 2b -sched dataflow-minid   # A/B the old ready-queue order
+//	helix-bench -fig 2b -dispatch global-heap   # A/B the old dispatch loop
 //	helix-bench -fig 2b -release=false          # A/B memory-bounded execution
 //
 // Scheduler orderings and memory-bounded execution: -sched selects both
 // the strategy and, for dataflow, the ready-queue priority — "dataflow"
 // (cost-aware critical-path-first dispatch, the default), "dataflow-minid"
 // (the original smallest-ID dispatch) or "level-barrier" (the wave
-// executor). -release (default true) lets the engine drop a non-output
-// intermediate from memory the moment its last consumer has run; figure
-// runs print the session's peak live-byte estimate so the memory effect is
-// visible next to the wall-clock numbers. "-ablation scheduler" runs every
-// stress shape under all three schedulers, checks value equality, and
-// reports the wall-time reduction of each dataflow ordering over the
-// level-barrier reference.
+// executor). -dispatch selects the dataflow dispatch mode: "worksteal"
+// (per-worker deques, the default) or "global-heap" (the previous single
+// shared ready heap, kept as the contention baseline). -release (default
+// true) lets the engine drop a non-output intermediate from memory the
+// moment its last consumer has run; figure runs print the session's peak
+// live-byte estimate so the memory effect is visible next to the
+// wall-clock numbers. "-ablation scheduler" runs every stress shape under
+// all three schedulers, checks value equality, and reports the wall-time
+// reduction of each dataflow ordering over the level-barrier reference.
+// "-ablation dispatch" is the 2-way work-stealing vs global-heap
+// head-to-head over the same shapes (value-checked, with steal/handoff
+// counts and peak live bytes); -json writes its measurements as
+// machine-readable JSON (the CI artifact BENCH_3.json).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -55,17 +64,23 @@ import (
 
 func main() {
 	fig := flag.String("fig", "", "figure to regenerate: 2a, 2b, or all")
-	ablation := flag.String("ablation", "", "ablation to run: optflag, matpolicy, scheduler")
+	ablation := flag.String("ablation", "", "ablation to run: optflag, matpolicy, scheduler, dispatch")
 	rows := flag.Int("rows", 20000, "census training rows (fig 2b)")
 	docs := flag.Int("docs", 400, "news training documents (fig 2a)")
 	budget := flag.Int64("budget", 0, "storage budget in bytes (0 = unlimited)")
 	workers := flag.Int("workers", 4, "executor worker pool size")
 	schedName := flag.String("sched", "dataflow", "scheduling strategy for figure runs: dataflow (critical-path order), dataflow-minid, or level-barrier")
+	dispatchName := flag.String("dispatch", "worksteal", "dataflow dispatch mode for figure runs: worksteal or global-heap")
 	release := flag.Bool("release", true, "release consumed intermediates during execution (memory-bounded sessions)")
+	jsonPath := flag.String("json", "", "write dispatch-ablation measurements as JSON to this path (BENCH_3.json)")
 	seed := flag.Int64("seed", 2018, "dataset seed")
 	flag.Parse()
 
 	sched, order, err := parseSched(*schedName)
+	if err != nil {
+		fatal(err)
+	}
+	dispatch, err := parseDispatch(*dispatchName)
 	if err != nil {
 		fatal(err)
 	}
@@ -74,11 +89,15 @@ func main() {
 		Workers:           *workers,
 		Sched:             sched,
 		Order:             order,
+		Dispatch:          dispatch,
 		KeepIntermediates: !*release,
 	}
 	if *fig == "" && *ablation == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *jsonPath != "" && *ablation != "dispatch" {
+		fatal(fmt.Errorf("-json is only written by -ablation dispatch (got -ablation %q)", *ablation))
 	}
 	if *fig == "2a" || *fig == "all" {
 		if err := runFig2a(*docs, opts, *seed); err != nil {
@@ -104,6 +123,10 @@ func main() {
 		if err := runScheduler(*workers); err != nil {
 			fatal(err)
 		}
+	case "dispatch":
+		if err := runDispatch(*workers, *jsonPath); err != nil {
+			fatal(err)
+		}
 	default:
 		fatal(fmt.Errorf("unknown ablation %q", *ablation))
 	}
@@ -119,6 +142,17 @@ func parseSched(name string) (exec.Strategy, exec.Ordering, error) {
 		return exec.LevelBarrier, exec.CriticalPath, nil
 	default:
 		return 0, 0, fmt.Errorf("unknown scheduler %q (want dataflow, dataflow-minid or level-barrier)", name)
+	}
+}
+
+func parseDispatch(name string) (exec.DispatchMode, error) {
+	switch name {
+	case "worksteal", "":
+		return exec.WorkSteal, nil
+	case "global-heap":
+		return exec.GlobalHeap, nil
+	default:
+		return 0, fmt.Errorf("unknown dispatch mode %q (want worksteal or global-heap)", name)
 	}
 }
 
@@ -310,5 +344,88 @@ func runScheduler(workers int) error {
 			(1-float64(mi.Wall)/float64(lb.Wall))*100)
 	}
 	fmt.Println()
+	return nil
+}
+
+// dispatchReport is the BENCH_3.json document: one entry per stress shape,
+// both dispatch modes measured, plus the work-stealing wall reduction.
+type dispatchReport struct {
+	Workers int                  `json:"workers"`
+	Shapes  []dispatchShapeEntry `json:"shapes"`
+}
+
+type dispatchShapeEntry struct {
+	Shape        string                    `json:"shape"`
+	Nodes        int                       `json:"nodes"`
+	WorkSteal    bench.DispatchMeasurement `json:"worksteal"`
+	GlobalHeap   bench.DispatchMeasurement `json:"global_heap"`
+	ReductionPct float64                   `json:"reduction_pct"`
+}
+
+// runDispatch is the 2-way dispatch ablation: every stress shape executed
+// under work-stealing and global-heap dispatch at the same worker count,
+// value-checked against each other, with wall time, steal/handoff counts
+// and peak live bytes reported — and written as JSON when jsonPath is set
+// (the CI artifact BENCH_3.json).
+func runDispatch(workers int, jsonPath string) error {
+	fmt.Printf("=== ablation: work-stealing vs global-heap dispatch (%d workers) ===\n", workers)
+	fmt.Printf("%-16s %6s %12s %12s %8s %8s %9s %12s\n",
+		"shape", "nodes", "worksteal", "global-heap", "red", "steals", "handoffs", "peak-bytes")
+	report := dispatchReport{Workers: workers}
+	// Best of three per mode: single-shot walls on ms-scale shapes are at
+	// the mercy of host noise; the minimum is the honest dispatch cost.
+	const reps = 3
+	measure := func(sd *bench.SchedDAG, mode exec.DispatchMode) (bench.DispatchMeasurement, *exec.Result, error) {
+		var best bench.DispatchMeasurement
+		var bestRes *exec.Result
+		for i := 0; i < reps; i++ {
+			m, res, err := bench.MeasureDispatch(sd, mode, workers)
+			if err != nil {
+				return best, nil, err
+			}
+			if bestRes == nil || m.WallMS < best.WallMS {
+				best, bestRes = m, res
+			}
+		}
+		return best, bestRes, nil
+	}
+	for _, sd := range bench.DefaultShapes() {
+		wsm, ws, err := measure(sd, exec.WorkSteal)
+		if err != nil {
+			return err
+		}
+		ghm, gh, err := measure(sd, exec.GlobalHeap)
+		if err != nil {
+			return err
+		}
+		// The measured runs are the checked runs (release is on, so this
+		// compares the surviving output values byte-for-byte; full-value
+		// equivalence across dispatch modes is the randomized harness's job).
+		if err := bench.SchedValuesEqual(ws, gh); err != nil {
+			return fmt.Errorf("dispatch ablation: %s: %w", sd.Name, err)
+		}
+		red := 0.0
+		if ghm.WallMS > 0 {
+			red = (1 - wsm.WallMS/ghm.WallMS) * 100
+		}
+		report.Shapes = append(report.Shapes, dispatchShapeEntry{
+			Shape: sd.Name, Nodes: sd.G.Len(),
+			WorkSteal: wsm, GlobalHeap: ghm, ReductionPct: red,
+		})
+		fmt.Printf("%-16s %6d %10.2fms %10.2fms %7.0f%% %8d %9d %12d\n",
+			sd.Name, sd.G.Len(), wsm.WallMS, ghm.WallMS, red, wsm.Steals, wsm.Handoffs, wsm.PeakLiveBytes)
+	}
+	fmt.Println()
+	if jsonPath == "" {
+		return nil
+	}
+	raw, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(jsonPath, raw, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", jsonPath)
 	return nil
 }

@@ -14,22 +14,31 @@ import (
 
 // schedConfig is one executor configuration under equivalence test.
 type schedConfig struct {
-	name    string
-	sched   exec.Strategy
-	order   exec.Ordering
-	release bool
+	name     string
+	sched    exec.Strategy
+	order    exec.Ordering
+	dispatch exec.DispatchMode
+	release  bool
 }
 
 // equivConfigs are every scheduler configuration that must agree with the
-// level-barrier reference: both dataflow orderings, each with and without
-// refcounted release of consumed intermediates.
+// level-barrier reference: both dispatch modes (work-stealing and the
+// global-heap baseline) × both orderings × with and without refcounted
+// release of consumed intermediates.
 func equivConfigs() []schedConfig {
-	return []schedConfig{
-		{"dataflow-cp", exec.Dataflow, exec.CriticalPath, false},
-		{"dataflow-cp-release", exec.Dataflow, exec.CriticalPath, true},
-		{"dataflow-minid", exec.Dataflow, exec.MinID, false},
-		{"dataflow-minid-release", exec.Dataflow, exec.MinID, true},
+	var out []schedConfig
+	for _, d := range []exec.DispatchMode{exec.WorkSteal, exec.GlobalHeap} {
+		for _, o := range []exec.Ordering{exec.CriticalPath, exec.MinID} {
+			for _, release := range []bool{false, true} {
+				name := fmt.Sprintf("dataflow-%s-%s", d, o)
+				if release {
+					name += "-release"
+				}
+				out = append(out, schedConfig{name, exec.Dataflow, o, d, release})
+			}
+		}
 	}
+	return out
 }
 
 // stateCounts tallies the executed node states.
@@ -59,8 +68,9 @@ func encodeValue(t *testing.T, v any) []byte {
 
 // TestRandomizedSchedulerEquivalence is the property harness of the
 // scheduler rewrite: across ≥50 seeded random graphs with mixed
-// load/compute/prune plans, every dataflow configuration (both orderings,
-// with and without ReleaseIntermediates) must agree with the
+// load/compute/prune plans, every dataflow configuration (work-stealing ×
+// global-heap dispatch, both orderings, with and without
+// ReleaseIntermediates) must agree with the
 // level-barrier reference on byte-identical values, per-node states and
 // computed/loaded/pruned counts, materialization outcomes, and final
 // store contents. Each configuration executes against its own identically
@@ -114,6 +124,7 @@ func TestRandomizedSchedulerEquivalence(t *testing.T) {
 					Workers:              4,
 					Sched:                c.sched,
 					Order:                c.order,
+					Dispatch:             c.dispatch,
 					ReleaseIntermediates: c.release,
 					Store:                st,
 					Policy:               opt.MaterializeAll{},
@@ -125,7 +136,7 @@ func TestRandomizedSchedulerEquivalence(t *testing.T) {
 				return res, st
 			}
 
-			ref, refStore := run(schedConfig{"level-barrier", exec.LevelBarrier, exec.CriticalPath, false})
+			ref, refStore := run(schedConfig{"level-barrier", exec.LevelBarrier, exec.CriticalPath, exec.WorkSteal, false})
 			refC, refL, refP := stateCounts(ref)
 			for _, c := range equivConfigs() {
 				res, st := run(c)

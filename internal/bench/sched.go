@@ -227,6 +227,49 @@ func CPUFanoutDAG(short, depth int, spin time.Duration) *SchedDAG {
 	return fanoutChain("cpu-fanout", short, depth, spin, spinTask)
 }
 
+// busyTask returns a deterministic dispatch-overhead probe: no sleep, no
+// spin — just the input mix. With tasks this fine the wall time of a run is
+// dominated by the scheduler itself, which is exactly what the contention
+// shapes measure.
+func busyTask(idx int) exec.Task {
+	return exec.Task{Run: func(in []any) (any, error) {
+		sum := idx
+		for _, v := range in {
+			sum += v.(int)
+		}
+		return sum, nil
+	}}
+}
+
+// ContentionDAG is the dispatch-contention worst case: `chains` independent
+// chains of `depth` fine-grained nodes hang off one root and join into one
+// output — a wide DAG of tiny tasks where every node completion is a
+// dispatch event. Under the global-heap dispatcher each of the
+// chains×depth transitions takes the one shared mutex (and broadcasts the
+// ready condition); under work-stealing a chain link hands off to its
+// child on the finishing worker's own deque, so the steady state touches
+// no shared lock at all. Tasks are pure dispatch probes (no sleep, no
+// spin), so wall time ≈ scheduler overhead.
+func ContentionDAG(chains, depth int) *SchedDAG {
+	g := dag.New()
+	root := g.MustAddNode("root", "scan")
+	tasks := []exec.Task{busyTask(0)}
+	join := g.MustAddNode("join", "agg")
+	tasks = append(tasks, busyTask(1))
+	for c := 0; c < chains; c++ {
+		prev := root
+		for l := 0; l < depth; l++ {
+			id := g.MustAddNode(fmt.Sprintf("ch%d_l%d", c, l), "op")
+			g.MustAddEdge(prev, id)
+			tasks = append(tasks, busyTask(int(id)))
+			prev = id
+		}
+		g.MustAddEdge(prev, join)
+	}
+	g.Node(join).Output = true
+	return &SchedDAG{Name: "contention-wide", G: g, Tasks: tasks}
+}
+
 // RunSched executes the DAG once under the given strategy and worker count
 // with the default (critical-path) ordering, returning the result for
 // wall-time and value inspection.
@@ -235,10 +278,63 @@ func RunSched(sd *SchedDAG, sched exec.Strategy, workers int) (*exec.Result, err
 }
 
 // RunSchedOrdered executes the DAG once under the given strategy, dataflow
-// ready-queue ordering, worker count and intermediate-release setting.
+// ready-queue ordering, worker count and intermediate-release setting,
+// with the default (work-stealing) dispatch.
 func RunSchedOrdered(sd *SchedDAG, sched exec.Strategy, order exec.Ordering, workers int, release bool) (*exec.Result, error) {
-	e := &exec.Engine{Workers: workers, Sched: sched, Order: order, ReleaseIntermediates: release}
+	return RunSchedDispatch(sd, sched, order, exec.WorkSteal, workers, release)
+}
+
+// RunSchedDispatch executes the DAG once under a fully specified scheduler
+// configuration: strategy, dataflow ordering, dispatch mode, worker count
+// and intermediate-release setting.
+func RunSchedDispatch(sd *SchedDAG, sched exec.Strategy, order exec.Ordering, dispatch exec.DispatchMode, workers int, release bool) (*exec.Result, error) {
+	e := &exec.Engine{Workers: workers, Sched: sched, Order: order, Dispatch: dispatch, ReleaseIntermediates: release}
 	return e.Execute(sd.G, sd.Tasks, sd.Plan())
+}
+
+// DispatchMeasurement is one machine-readable data point of the dispatch
+// ablation (the BENCH_3.json schema): one shape executed once under one
+// dispatch mode.
+type DispatchMeasurement struct {
+	Shape         string  `json:"shape"`
+	Nodes         int     `json:"nodes"`
+	Dispatch      string  `json:"dispatch"`
+	Workers       int     `json:"workers"`
+	WallMS        float64 `json:"wall_ms"`
+	Steals        int64   `json:"steals"`
+	Handoffs      int64   `json:"handoffs"`
+	PeakLiveBytes int64   `json:"peak_live_bytes"`
+}
+
+// MeasureDispatch executes the shape once under the given dispatch mode
+// with a fresh engine and live-bytes gauge and returns the measurement
+// together with the run's Result, so callers can value-check the very run
+// that produced the numbers. Peak live bytes come from the engine's
+// structural cold-size estimates (no history is attached), so runs are
+// comparable across modes; release is on, so Result.Values holds the
+// output nodes.
+func MeasureDispatch(sd *SchedDAG, dispatch exec.DispatchMode, workers int) (DispatchMeasurement, *exec.Result, error) {
+	var gauge store.Gauge
+	e := &exec.Engine{
+		Workers:              workers,
+		Dispatch:             dispatch,
+		ReleaseIntermediates: true,
+		LiveBytes:            &gauge,
+	}
+	res, err := e.Execute(sd.G, sd.Tasks, sd.Plan())
+	if err != nil {
+		return DispatchMeasurement{}, nil, err
+	}
+	return DispatchMeasurement{
+		Shape:         sd.Name,
+		Nodes:         sd.G.Len(),
+		Dispatch:      dispatch.String(),
+		Workers:       workers,
+		WallMS:        float64(res.Wall.Microseconds()) / 1000,
+		Steals:        res.Steals,
+		Handoffs:      res.Handoffs,
+		PeakLiveBytes: gauge.Peak(),
+	}, res, nil
 }
 
 // DefaultShapes returns the canonical scheduler stress shapes. Both the
@@ -253,6 +349,7 @@ func DefaultShapes() []*SchedDAG {
 		StragglerChainDAG(12, 10*time.Millisecond, 300*time.Microsecond),
 		FanoutChainDAG(12, 6, time.Millisecond),
 		CPUFanoutDAG(12, 6, time.Millisecond),
+		ContentionDAG(128, 32),
 	}
 }
 

@@ -18,6 +18,7 @@ func schedShapes() []*SchedDAG {
 		StragglerChainDAG(5, 300*us, 20*us),
 		FanoutChainDAG(6, 4, 50*us),
 		CPUFanoutDAG(6, 4, 20*us),
+		ContentionDAG(8, 6),
 	}
 }
 
@@ -116,6 +117,88 @@ func TestCPUFanoutCriticalPathNotSlower(t *testing.T) {
 	}
 	if runtime.NumCPU() >= 4 && float64(cp) > 0.95*float64(mi) {
 		t.Logf("note: %d cores available but critical-path %v did not beat min-id %v", runtime.NumCPU(), cp, mi)
+	}
+}
+
+// TestDispatchModesEquivalentOnShapes: on every stress shape, the
+// work-stealing and global-heap dispatchers produce byte-identical values
+// (checked against each other and the level-barrier reference).
+func TestDispatchModesEquivalentOnShapes(t *testing.T) {
+	for _, sd := range schedShapes() {
+		lb, err := RunSched(sd, exec.LevelBarrier, 4)
+		if err != nil {
+			t.Fatalf("%s level-barrier: %v", sd.Name, err)
+		}
+		for _, mode := range []exec.DispatchMode{exec.WorkSteal, exec.GlobalHeap} {
+			df, err := RunSchedDispatch(sd, exec.Dataflow, exec.CriticalPath, mode, 4, false)
+			if err != nil {
+				t.Fatalf("%s %v: %v", sd.Name, mode, err)
+			}
+			if err := SchedValuesEqual(df, lb); err != nil {
+				t.Errorf("%s %v: %v", sd.Name, mode, err)
+			}
+		}
+	}
+}
+
+// TestContentionWorkStealNotSlower is the CI-safe guard on the dispatch
+// rewrite: on the contention shape, work-stealing must not lose to the
+// global heap beyond noise (best of 3 each). The ≥20% win itself is a
+// benchmark target (BenchmarkSchedulerContention), not a test assertion —
+// wall-clock ratios on starved shared runners are too noisy to gate a
+// build on.
+func TestContentionWorkStealNotSlower(t *testing.T) {
+	sd := ContentionDAG(32, 16)
+	best := func(mode exec.DispatchMode) time.Duration {
+		min := time.Duration(1<<62 - 1)
+		for i := 0; i < 3; i++ {
+			res, err := RunSchedDispatch(sd, exec.Dataflow, exec.CriticalPath, mode, 8, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Wall < min {
+				min = res.Wall
+			}
+		}
+		return min
+	}
+	ws, gh := best(exec.WorkSteal), best(exec.GlobalHeap)
+	if float64(ws) > 1.5*float64(gh) {
+		t.Errorf("work-stealing %v slower than global heap %v beyond noise on contention shape", ws, gh)
+	}
+}
+
+// TestMeasureDispatch: the BENCH_3 measurement helper reports the shape,
+// a positive wall, cross-worker transfers under work-stealing, and a
+// non-zero peak (the structural cold-size floor guarantees estimates
+// before any size is learned).
+func TestMeasureDispatch(t *testing.T) {
+	sd := ContentionDAG(8, 6)
+	m, res, err := MeasureDispatch(sd, exec.WorkSteal, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res == nil || len(res.Values) != len(sd.G.Outputs()) {
+		t.Fatalf("measured run result missing or wrong size: %+v", res)
+	}
+	if m.Shape != sd.Name || m.Nodes != sd.G.Len() || m.Workers != 4 || m.Dispatch != "worksteal" {
+		t.Errorf("measurement metadata wrong: %+v", m)
+	}
+	if m.WallMS <= 0 {
+		t.Errorf("wall not measured: %+v", m)
+	}
+	if m.PeakLiveBytes <= 0 {
+		t.Errorf("peak live bytes not measured (cold structural floor missing?): %+v", m)
+	}
+	gh, ghRes, err := MeasureDispatch(sd, exec.GlobalHeap, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SchedValuesEqual(res, ghRes); err != nil {
+		t.Errorf("measured runs disagree across modes: %v", err)
+	}
+	if gh.Steals != 0 || gh.Handoffs != 0 {
+		t.Errorf("global-heap measurement reported transfers: %+v", gh)
 	}
 }
 

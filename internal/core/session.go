@@ -44,6 +44,11 @@ type Config struct {
 	// cost-aware critical-path-first. exec.MinID restores the original
 	// smallest-ID dispatch for A/B comparisons.
 	Order exec.Ordering
+	// Dispatch selects how the dataflow scheduler hands ready nodes to
+	// workers; the zero value is work-stealing (per-worker deques).
+	// exec.GlobalHeap restores the single shared ready heap for A/B
+	// comparisons.
+	Dispatch exec.DispatchMode
 	// KeepIntermediates retains every non-pruned value in memory for the
 	// whole iteration. By default the session releases a non-output value
 	// the moment its last consumer has run (memory-bounded execution;
@@ -93,6 +98,7 @@ func NewSession(cfg Config) (*Session, error) {
 		History:              s.history,
 		Sched:                cfg.Sched,
 		Order:                cfg.Order,
+		Dispatch:             cfg.Dispatch,
 		ReleaseIntermediates: !cfg.KeepIntermediates,
 		LiveBytes:            &s.live,
 	}

@@ -124,3 +124,55 @@ func TestCriticalPathErrors(t *testing.T) {
 		t.Error("cyclic graph accepted")
 	}
 }
+
+// TestStructuralCosts: unit scaled by out-degree, positive-unit enforced.
+func TestStructuralCosts(t *testing.T) {
+	g := New()
+	root := g.MustAddNode("root", "scan")
+	a := g.MustAddNode("a", "op")
+	b := g.MustAddNode("b", "op")
+	g.MustAddEdge(root, a)
+	g.MustAddEdge(root, b)
+	g.MustAddEdge(a, b)
+	costs, err := g.StructuralCosts(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{30, 20, 10} // out-degrees 2, 1, 0
+	for i, w := range want {
+		if costs[i] != w {
+			t.Errorf("cost[%d] = %d, want %d", i, costs[i], w)
+		}
+	}
+	if _, err := g.StructuralCosts(0); err == nil {
+		t.Error("non-positive unit accepted")
+	}
+}
+
+// TestCriticalPathOrderedMatchesCriticalPath: the order-reusing variant is
+// exactly CriticalPath when handed a valid topological order, and rejects
+// a mis-sized order.
+func TestCriticalPathOrderedMatchesCriticalPath(t *testing.T) {
+	g, _, _, _, _ := diamond(t)
+	cost := []int64{3, 5, 7, 2}
+	want, err := g.CriticalPath(cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order, err := g.Topo()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := g.CriticalPathOrdered(cost, order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("weight[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	if _, err := g.CriticalPathOrdered(cost, order[:1]); err == nil {
+		t.Error("mis-sized order accepted")
+	}
+}

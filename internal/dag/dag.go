@@ -10,8 +10,8 @@
 package dag
 
 import (
+	"container/heap"
 	"fmt"
-	"sort"
 	"strings"
 )
 
@@ -143,29 +143,31 @@ func (g *Graph) Outputs() []NodeID {
 
 // Topo returns a topological order (parents before children) or an error if
 // the graph contains a cycle. The order is deterministic: among ready nodes
-// the smallest ID is emitted first (Kahn's algorithm with a sorted frontier).
+// the smallest ID is emitted first (Kahn's algorithm with a min-heap
+// frontier, O((V+E) log V) — the execution engine runs it per Execute, so
+// it must not re-sort the whole frontier per pop the way the original
+// sorted-slice version did).
 func (g *Graph) Topo() ([]NodeID, error) {
 	n := len(g.nodes)
 	indeg := make([]int, n)
 	for v := 0; v < n; v++ {
 		indeg[v] = len(g.parents[v])
 	}
-	frontier := make([]NodeID, 0, n)
+	frontier := make(minIDHeap, 0, n)
 	for v := 0; v < n; v++ {
 		if indeg[v] == 0 {
 			frontier = append(frontier, NodeID(v))
 		}
 	}
+	heap.Init(&frontier)
 	order := make([]NodeID, 0, n)
-	for len(frontier) > 0 {
-		sort.Slice(frontier, func(i, j int) bool { return frontier[i] < frontier[j] })
-		u := frontier[0]
-		frontier = frontier[1:]
+	for frontier.Len() > 0 {
+		u := heap.Pop(&frontier).(NodeID)
 		order = append(order, u)
 		for _, c := range g.childs[u] {
 			indeg[c]--
 			if indeg[c] == 0 {
-				frontier = append(frontier, c)
+				heap.Push(&frontier, c)
 			}
 		}
 	}
@@ -173,6 +175,21 @@ func (g *Graph) Topo() ([]NodeID, error) {
 		return nil, fmt.Errorf("dag: cycle detected (%d of %d nodes ordered)", len(order), n)
 	}
 	return order, nil
+}
+
+// minIDHeap is the Topo frontier: a min-heap of node IDs.
+type minIDHeap []NodeID
+
+func (h minIDHeap) Len() int           { return len(h) }
+func (h minIDHeap) Less(i, j int) bool { return h[i] < h[j] }
+func (h minIDHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *minIDHeap) Push(x any)        { *h = append(*h, x.(NodeID)) }
+func (h *minIDHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
 }
 
 // Levels partitions the graph into execution waves: level 0 holds all roots,
@@ -255,12 +272,22 @@ func (g *Graph) ReadySet(indeg []int, keep func(NodeID) bool) []NodeID {
 // cost has been measured. cost must have one non-negative entry per node;
 // the graph must be acyclic.
 func (g *Graph) CriticalPath(cost []int64) ([]int64, error) {
-	if len(cost) != len(g.nodes) {
-		return nil, fmt.Errorf("dag: %d costs for %d nodes", len(cost), len(g.nodes))
-	}
 	order, err := g.Topo()
 	if err != nil {
 		return nil, err
+	}
+	return g.CriticalPathOrdered(cost, order)
+}
+
+// CriticalPathOrdered is CriticalPath for callers that already hold a
+// topological order of the graph (the execution engine computes one per
+// Execute for its cycle check and must not pay for a second sort).
+func (g *Graph) CriticalPathOrdered(cost []int64, order []NodeID) ([]int64, error) {
+	if len(cost) != len(g.nodes) {
+		return nil, fmt.Errorf("dag: %d costs for %d nodes", len(cost), len(g.nodes))
+	}
+	if len(order) != len(g.nodes) {
+		return nil, fmt.Errorf("dag: order covers %d of %d nodes", len(order), len(g.nodes))
 	}
 	weight := make([]int64, len(g.nodes))
 	for i := len(order) - 1; i >= 0; i-- {
@@ -274,6 +301,24 @@ func (g *Graph) CriticalPath(cost []int64) ([]int64, error) {
 		weight[v] = cost[v] + best
 	}
 	return weight, nil
+}
+
+// StructuralCosts returns a cheap per-node cost estimate for graphs (or
+// nodes) that have never been measured: cost(v) = unit × (1 + out-degree).
+// The intuition is purely structural — a result consumed by more downstream
+// operators gates more of the remaining run, so charging it proportionally
+// keeps first-iteration critical-path weights and live-byte peaks honest
+// instead of flooring never-seen nodes at zero. unit must be positive so a
+// cold node is never free.
+func (g *Graph) StructuralCosts(unit int64) ([]int64, error) {
+	if unit <= 0 {
+		return nil, fmt.Errorf("dag: structural cost unit must be positive, got %d", unit)
+	}
+	out := make([]int64, len(g.nodes))
+	for v := range g.nodes {
+		out[v] = unit * int64(1+len(g.childs[v]))
+	}
+	return out, nil
 }
 
 // Ancestors returns the set of strict ancestors of v (v excluded).

@@ -6,11 +6,19 @@
 //
 // Scheduling is dependency-counting dataflow: every non-pruned node carries
 // a pending-parent counter, a node becomes runnable the instant its last
-// parent finishes, and a fixed worker pool drains a ready queue until the
+// parent finishes, and a fixed worker pool drains the ready set until the
 // slice completes or the first error cancels all not-yet-dispatched work.
 // There are no level barriers, so a straggler delays only its own
-// descendants, never unrelated branches. The ready queue is cost-aware by
-// default: every node carries a critical-path weight (its heaviest
+// descendants, never unrelated branches. Dispatch is work-stealing by
+// default (see docs/scheduler.md): each worker owns a private priority
+// deque seeded by a critical-path-aware partition of the initial ready set,
+// a finishing worker keeps its highest-priority newly-ready child to run
+// directly and queues the rest locally — no global lock on the happy path —
+// while idle workers steal batches from seeded-randomly probed victims and
+// parked workers are fed through a small global overflow queue.
+// Engine{Dispatch: GlobalHeap} retains the previous single shared ready
+// heap behind one mutex for A/B benchmarks. Both dispatchers are cost-aware
+// by default: every node carries a critical-path weight (its heaviest
 // downstream cost path, per dag.CriticalPath over the engine's history and
 // store estimates) and the highest weight dispatches first, so the run's
 // long pole starts as early as a worker frees up; Engine{Order: MinID}
@@ -19,8 +27,10 @@
 // handed to a bounded pool of background writers that decide, encode and
 // persist it while downstream consumers are already executing;
 // NodeRun.MatDuration records the real write cost, and Execute flushes the
-// pipeline — also on error — before returning. The original wave executor
-// is retained as Engine{Sched: LevelBarrier}, the reference for
+// pipeline — also on error — before returning. Each materialized value is
+// gob-encoded exactly once: the size probe for the policy decision is the
+// same (pooled) encoding that Store.PutEncoded persists. The original wave
+// executor is retained as Engine{Sched: LevelBarrier}, the reference for
 // equivalence tests and the scheduler benchmarks.
 //
 // The paper executes on Spark; here nodes run on goroutines and the
@@ -85,6 +95,12 @@ type Result struct {
 	// Wall is the end-to-end latency of the iteration, including the flush
 	// of the background materialization pipeline.
 	Wall time.Duration
+	// Steals counts ready nodes an idle worker took from another worker's
+	// deque (work-stealing dispatch only; always 0 otherwise).
+	Steals int64
+	// Handoffs counts ready nodes a finishing worker routed through the
+	// global overflow queue to parked workers (work-stealing dispatch only).
+	Handoffs int64
 }
 
 // Value returns the value of the named node, if present.
@@ -278,6 +294,35 @@ func (o Ordering) String() string {
 	}
 }
 
+// DispatchMode selects how the dataflow scheduler hands ready nodes to its
+// worker pool. It has no effect under LevelBarrier.
+type DispatchMode int
+
+const (
+	// WorkSteal gives every worker a private priority deque: a finishing
+	// worker pushes newly-ready children onto its own deque (running the
+	// best one directly) with no global lock on the happy path, idle
+	// workers steal batches from seeded-randomly probed victims, and a
+	// small global overflow queue hands work to parked workers and carries
+	// shutdown/cancellation wakeups. The zero value, and the default.
+	WorkSteal DispatchMode = iota
+	// GlobalHeap is the previous dispatch loop — one shared ready heap
+	// behind one mutex — retained for A/B benchmarks: it is the contention
+	// baseline the work-stealing numbers are measured against.
+	GlobalHeap
+)
+
+func (m DispatchMode) String() string {
+	switch m {
+	case WorkSteal:
+		return "worksteal"
+	case GlobalHeap:
+		return "global-heap"
+	default:
+		return fmt.Sprintf("DispatchMode(%d)", int(m))
+	}
+}
+
 // Engine executes plans. Configure once, reuse across iterations.
 type Engine struct {
 	// Store is the materialization store; nil disables loads and stores.
@@ -294,6 +339,10 @@ type Engine struct {
 	// Order selects the ready-queue priority of the dataflow scheduler;
 	// the zero value is CriticalPath.
 	Order Ordering
+	// Dispatch selects how the dataflow scheduler hands ready nodes to
+	// workers; the zero value is WorkSteal (per-worker deques, lock-light).
+	// GlobalHeap retains the single shared ready heap for A/B benchmarks.
+	Dispatch DispatchMode
 	// MatWriters bounds the background materialization writers of the
 	// dataflow scheduler; <=0 means 2.
 	MatWriters int
@@ -388,8 +437,10 @@ func (e *Engine) historySize(name string) (int64, bool) {
 	return e.History.Size(name)
 }
 
-// loadNode is the Load state shared by both schedulers: fetch the value
-// from the store and record it with its measured load time.
+// loadNode is the level-barrier executor's Load state: fetch the value
+// from the store and record it (under the results lock) with its measured
+// load time. The dataflow schedulers use runCtx.runNode, which publishes
+// to the lock-free slot plane instead.
 func (e *Engine) loadNode(g *dag.Graph, tasks []Task, id dag.NodeID, res *Result, mu *sync.Mutex) error {
 	name := g.Node(id).Name
 	nodeStart := time.Now()
@@ -407,9 +458,10 @@ func (e *Engine) loadNode(g *dag.Graph, tasks []Task, id dag.NodeID, res *Result
 	return nil
 }
 
-// gatherInputs snapshots the parents' values in g.Parents order, erroring
-// on any parent without a value (a pruned producer the plan should not
-// have allowed).
+// gatherInputs is the level-barrier executor's input snapshot: the
+// parents' values in g.Parents order under the results lock, erroring on
+// any parent without a value (a pruned producer the plan should not have
+// allowed). The dataflow schedulers use runCtx.gather instead.
 func gatherInputs(g *dag.Graph, id dag.NodeID, res *Result, mu *sync.Mutex) ([]any, error) {
 	parents := g.Parents(id)
 	inputs := make([]any, len(parents))
@@ -429,6 +481,9 @@ func gatherInputs(g *dag.Graph, id dag.NodeID, res *Result, mu *sync.Mutex) ([]a
 // probe the size (history-preferred, encoding cold nodes once to learn it),
 // consult the policy, and persist on a yes — degrading to "not
 // materialized" on unencodable values, budget races and I/O failures.
+// The value is gob-encoded at most once: a probe encoding is kept and
+// handed straight to Store.PutEncoded on a yes, and the pooled buffer is
+// released before returning either way.
 // ancestorCost is a callback because its snapshot semantics differ per
 // scheduler; it is evaluated at most once per decision, and only when the
 // policy declares (NeedsAncestorCost) that it reads the term — for
@@ -439,24 +494,30 @@ func gatherInputs(g *dag.Graph, id dag.NodeID, res *Result, mu *sync.Mutex) ([]a
 // if never encoded), whether the value was stored, and the policy reward.
 func (e *Engine) decideAndPersist(g *dag.Graph, id dag.NodeID, name, key string, v any, computeDur time.Duration, ancestorCost func() int64) (time.Duration, int64, bool, int64) {
 	start := time.Now()
-	var raw []byte
+	var enc *store.Encoded
+	defer func() {
+		if enc != nil {
+			enc.Release()
+		}
+	}()
 	var size int64
 	if e.Policy.NeedsSize() {
 		// Prefer the history estimate (same node name, previous iteration)
 		// over serializing now: the paper's cost model must stay "cheap to
 		// compute", and sizes of a node's results are stable across
-		// iterations. Cold nodes are encoded once to learn their size.
+		// iterations. Cold nodes are encoded once to learn their size, and
+		// that probe encoding is reused for the persist below.
 		if hsize, ok := e.historySize(name); ok {
 			size = hsize
 		} else {
-			encoded, err := store.Encode(v)
+			probe, err := store.EncodeValue(v)
 			if err != nil {
 				// Unencodable values (unregistered types) are simply not
 				// materialization candidates.
 				return time.Since(start), 0, false, 0
 			}
-			raw = encoded
-			size = int64(len(raw))
+			enc = probe
+			size = enc.Size()
 		}
 	}
 	var ancCost int64
@@ -476,26 +537,29 @@ func (e *Engine) decideAndPersist(g *dag.Graph, id dag.NodeID, name, key string,
 	if !dec.Materialize {
 		return time.Since(start), size, false, dec.Reward
 	}
-	if raw == nil {
-		encoded, err := store.Encode(v)
+	if enc == nil {
+		encoded, err := store.EncodeValue(v)
 		if err != nil {
 			return time.Since(start), size, false, dec.Reward
 		}
-		raw = encoded
-		size = int64(len(raw))
+		enc = encoded
+		size = enc.Size()
 	}
-	if err := e.Store.PutBytes(key, raw); err != nil {
+	if err := e.Store.PutEncoded(key, enc); err != nil {
 		// Budget races or I/O failures degrade to "not materialized".
 		return time.Since(start), size, false, dec.Reward
 	}
 	return time.Since(start), size, true, dec.Reward
 }
 
-// ancestorCost sums the best-known compute costs of the ancestors in
-// closure under a single results-lock acquisition: the measured duration
-// when the ancestor computed this run, else the history estimate, else
-// zero. syncMat is set by the level-barrier path, whose Duration folds the
-// synchronous materialization time in and must be backed out.
+// ancestorCost is the level-barrier executor's recomputation-chain term:
+// the best-known compute costs of the ancestors in closure under a single
+// results-lock acquisition — the measured duration when the ancestor
+// computed this run, else the history estimate, else zero. syncMat backs
+// out the synchronous materialization time the level-barrier Duration
+// folds in. The dataflow schedulers use matWriter.ancestorCost, which
+// reads the run's atomic duration plane instead (a decision there can
+// overlap a still-running ancestor).
 func (e *Engine) ancestorCost(closure []dag.NodeID, res *Result, mu *sync.Mutex, syncMat bool) int64 {
 	if len(closure) == 0 {
 		return 0

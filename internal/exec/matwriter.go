@@ -2,6 +2,7 @@ package exec
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/dag"
@@ -36,22 +37,34 @@ type matWriter struct {
 	g        *dag.Graph
 	res      *Result
 	resMu    *sync.Mutex
+	durs     []atomic.Int64 // the run's lock-free duration plane (runCtx.durs)
 	closures [][]dag.NodeID // ancestor closures, precomputed once per run
 	jobs     chan matJob
 	wg       sync.WaitGroup
+
+	// queued dedupes in-flight keys within one run: when several nodes
+	// share a result signature (identical subcomputations), only the first
+	// completion is submitted. Without it the Store.Has check below races —
+	// both nodes can pass it before either write lands, double-encoding the
+	// value and double-reserving its budget.
+	queuedMu sync.Mutex
+	queued   map[string]bool
 }
 
 // newMatWriter starts the writer pool for one Execute call. The ancestor
 // closures exist only for policies that read the recomputation-chain term;
 // decideAndPersist never invokes the cost callback otherwise, so the nil
 // slice is never indexed.
-func newMatWriter(e *Engine, g *dag.Graph, res *Result, resMu *sync.Mutex) *matWriter {
+func newMatWriter(rc *runCtx) *matWriter {
+	e, g := rc.e, rc.g
 	w := &matWriter{
-		e:     e,
-		g:     g,
-		res:   res,
-		resMu: resMu,
-		jobs:  make(chan matJob, g.Len()),
+		e:      e,
+		g:      g,
+		res:    rc.res,
+		resMu:  &rc.resMu,
+		durs:   rc.durs,
+		jobs:   make(chan matJob, g.Len()),
+		queued: make(map[string]bool),
 	}
 	if e.Policy.NeedsAncestorCost() {
 		w.closures = opt.AncestorClosures(g)
@@ -68,10 +81,19 @@ func newMatWriter(e *Engine, g *dag.Graph, res *Result, resMu *sync.Mutex) *matW
 	return w
 }
 
-// submit hands a completed value to the pipeline.
+// submit hands a completed value to the pipeline. Keys already queued this
+// run are skipped (shared-signature nodes must not race to double-write),
+// as are keys persisted by an earlier iteration.
 func (w *matWriter) submit(id dag.NodeID, name, key string, v any, computeDur time.Duration) {
-	if key == "" || w.e.Store.Has(key) {
-		return // not addressable, or already persisted by an earlier iteration
+	if key == "" {
+		return // not addressable
+	}
+	w.queuedMu.Lock()
+	dup := w.queued[key]
+	w.queued[key] = true
+	w.queuedMu.Unlock()
+	if dup || w.e.Store.Has(key) {
+		return // in flight this run, or persisted by an earlier iteration
 	}
 	w.jobs <- matJob{id: id, name: name, key: key, value: v, computeDur: computeDur}
 }
@@ -87,9 +109,39 @@ func (w *matWriter) flush() {
 // background goroutine.
 func (w *matWriter) process(j matJob) {
 	matDur, size, materialized, reward := w.e.decideAndPersist(w.g, j.id, j.name, j.key, j.value, j.computeDur, func() int64 {
-		return w.e.ancestorCost(w.closures[j.id], w.res, w.resMu, false)
+		return w.ancestorCost(w.closures[j.id])
 	})
 	w.record(j, matDur, size, materialized, reward)
+}
+
+// ancestorCost sums the best-known compute costs of the ancestors in
+// closure: the measured duration when the ancestor computed this run, else
+// the history estimate, else zero. Durations come from the run's atomic
+// duration plane, never from res.Nodes — a decision can run while an
+// ancestor is still computing (a Load node cuts the dependency chain), so
+// the read must be atomic, and a still-running ancestor simply falls back
+// to its history estimate, exactly like a node that never ran.
+func (w *matWriter) ancestorCost(closure []dag.NodeID) int64 {
+	if len(closure) == 0 {
+		return 0
+	}
+	var total int64
+	var unknown []string
+	for _, a := range closure {
+		if w.res.Nodes[a].State == opt.Compute {
+			if d := w.durs[a].Load(); d > 0 {
+				total += d
+				continue
+			}
+		}
+		unknown = append(unknown, w.res.Nodes[a].Name)
+	}
+	if w.e.History != nil {
+		for _, d := range w.e.History.ComputeMany(unknown) {
+			total += d.Nanoseconds()
+		}
+	}
+	return total
 }
 
 // record lands the writer's accounting on the node and teaches the history

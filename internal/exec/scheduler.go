@@ -1,43 +1,70 @@
 package exec
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/dag"
 	"repro/internal/opt"
 )
 
-// dispatch is the shared state of one dataflow Execute call: the
-// pending-parent counters, the ready queue, and the completion accounting a
-// fixed pool of workers drains.
-type dispatch struct {
+// coldSizeUnit is the per-consumer byte estimate the live-bytes gauge
+// charges a compute node whose serialized size has never been measured:
+// estimate = coldSizeUnit × (1 + out-degree), via dag.StructuralCosts. The
+// magnitude is a placeholder — what matters is that cold nodes are not
+// charged zero, so first-iteration peaks are honest and the release win is
+// visible before any size has been learned.
+const coldSizeUnit = 1024
+
+// runCtx is the per-Execute state shared by both dataflow dispatchers (the
+// work-stealing default and the GlobalHeap A/B baseline): the immutable run
+// inputs, the shared result accounting, the live-bytes bookkeeping and the
+// background materialization writer. Everything dispatch-specific (ready
+// queues, counters, cancellation) lives in the dispatcher that owns it.
+type runCtx struct {
 	e     *Engine
 	g     *dag.Graph
 	tasks []Task
 	plan  *opt.Plan
 	res   *Result
 
-	resMu sync.Mutex // guards res.Values and res.Nodes
+	// vals and published are the lock-free value plane of the dataflow
+	// schedulers: each slot is written exactly once, by the worker that ran
+	// the node, before the node's finish; readers (a node's consumers) are
+	// dispatched only after that finish, so the dependency counters — an
+	// atomic decrement the consumer's dispatch is ordered behind — carry
+	// the happens-before edge and no lock is needed on the per-node happy
+	// path. Release (the last consumer's finish) clears a slot under the
+	// same ordering; the public Result.Values map is built once, single-
+	// threaded, after the workers join.
+	vals      []any
+	published []bool
 
-	mu        sync.Mutex // guards the scheduling state below
-	cond      *sync.Cond // signaled when ready grows, work completes, or on cancel
-	ready     nodeHeap   // runnable nodes, highest priority first
-	pending   []int      // per-node count of unfinished non-pruned parents
-	consumers []int      // per-node count of compute children yet to run
-	remaining int        // runnable nodes not yet finished
-	cancelled bool       // set on first error; stops dispatching new work
-	errs      []error    // every node error observed before shutdown
+	// durs is the per-node load/compute duration in nanoseconds, written
+	// atomically by the worker that ran the node. Unlike the value plane it
+	// must be atomic, not merely ordered: the materialization writer's
+	// ancestor-cost walk may read an ancestor's duration while that
+	// ancestor is still running (a Load node cuts the dependency chain, so
+	// a descendant's decision can overlap an ancestor's compute). The
+	// public Result.Nodes[].Duration is filled in post-join.
+	durs []atomic.Int64
+
+	resMu sync.Mutex // guards writer-pipeline accounting on res.Nodes
 
 	// liveSize records what each published value added to the engine's
 	// live-bytes gauge, so release and the end-of-run settlement subtract
 	// exactly that. Entries are written by the worker that ran the node
-	// before its finish() and zeroed on release; the d.mu hand-off in
-	// finish orders those accesses. Nil when the gauge is disabled.
+	// before its finish() and zeroed on release; the dispatcher's hand-off
+	// of the node's children (mutex or atomic counter) orders those
+	// accesses. Nil when the gauge is disabled.
 	liveSize []int64
+
+	// coldSizes is the structural fallback estimate for compute nodes with
+	// no measured size (see coldSizeUnit). Nil when the gauge is disabled.
+	coldSizes []int64
 
 	writer *matWriter // nil when materialization is disabled
 }
@@ -47,49 +74,136 @@ type dispatch struct {
 // finishes, and completed values go to the background materialization
 // pipeline (flushed before return, also on error). Ready nodes dispatch
 // critical-path-first by default (Engine.Order selects MinID instead), so
-// the run's long pole is never left waiting behind cheap siblings.
+// the run's long pole is never left waiting behind cheap siblings. Dispatch
+// itself is work-stealing by default; Engine.Dispatch selects the
+// single-global-heap baseline for A/B comparisons.
 func (e *Engine) executeDataflow(g *dag.Graph, tasks []Task, plan *opt.Plan, res *Result) (*Result, error) {
 	// Dependency counting never drains a cyclic graph; reject it up front
-	// with the same diagnostic the topological sort produces.
-	if _, err := g.Topo(); err != nil {
+	// with the same diagnostic the topological sort produces. The order is
+	// reused for the critical-path weights below.
+	order, err := g.Topo()
+	if err != nil {
 		return nil, err
 	}
 	start := time.Now()
 	runnable := func(id dag.NodeID) bool { return plan.States[id] != opt.Prune }
-	d := &dispatch{e: e, g: g, tasks: tasks, plan: plan, res: res}
-	d.cond = sync.NewCond(&d.mu)
+	rc := &runCtx{
+		e: e, g: g, tasks: tasks, plan: plan, res: res,
+		vals:      make([]any, g.Len()),
+		published: make([]bool, g.Len()),
+		durs:      make([]atomic.Int64, g.Len()),
+	}
+	// One structural pass serves both cold-cost consumers: the unit costs
+	// feed the critical-path weights, the coldSizeUnit-scaled copy feeds
+	// the gauge. The error path is unreachable (the units are positive
+	// constants).
+	var structural []int64
+	if e.Order == CriticalPath || e.LiveBytes != nil {
+		structural, _ = g.StructuralCosts(1)
+	}
+	var weight []int64
 	if e.Order == CriticalPath {
-		d.ready.weight = e.pathWeights(g, tasks, plan)
+		weight = e.pathWeights(g, tasks, plan, order, structural)
 	}
 	if e.LiveBytes != nil {
-		d.liveSize = make([]int64, g.Len())
+		rc.liveSize = make([]int64, g.Len())
+		rc.coldSizes = make([]int64, g.Len())
+		for i, s := range structural {
+			rc.coldSizes[i] = coldSizeUnit * s
+		}
 	}
 	// A compute node waits for every non-pruned parent. Load nodes read the
 	// store, not their parents, so they are runnable immediately; a compute
 	// node whose parents were all pruned is too, and fails input gathering
 	// with the same missing-parent error the level-barrier executor gave.
-	d.pending = g.Indegrees(runnable)
+	pending := g.Indegrees(runnable)
+	var consumers []int
 	if e.ReleaseIntermediates {
-		d.consumers = g.ConsumerCounts(func(c dag.NodeID) bool { return plan.States[c] == opt.Compute })
+		consumers = g.ConsumerCounts(func(c dag.NodeID) bool { return plan.States[c] == opt.Compute })
 	}
+	remaining := 0
 	for i := 0; i < g.Len(); i++ {
 		id := dag.NodeID(i)
 		if plan.States[id] == opt.Load {
-			d.pending[i] = 0
+			pending[i] = 0
 		}
 		if runnable(id) {
-			d.remaining++
+			remaining++
 		}
 	}
-	for _, id := range g.ReadySet(d.pending, runnable) {
-		heap.Push(&d.ready, id)
-	}
+	ready := g.ReadySet(pending, runnable)
 	if e.Policy != nil && e.Store != nil {
-		d.writer = newMatWriter(e, g, res, &d.resMu)
+		rc.writer = newMatWriter(rc)
 	}
-	workers := e.workers()
-	if workers > d.remaining {
-		workers = d.remaining
+	var errs []error
+	if e.Dispatch == GlobalHeap {
+		errs = runHeapDispatch(rc, weight, pending, consumers, remaining, ready)
+	} else {
+		errs = runWorkSteal(rc, weight, pending, consumers, remaining, ready)
+	}
+	if rc.writer != nil {
+		rc.writer.flush()
+	}
+	// Materialize the public value map and per-node durations from the
+	// lock-free planes: everything published and not released. Workers
+	// have joined and the writer pipeline is flushed, so this is
+	// single-threaded.
+	for i, ok := range rc.published {
+		if ok {
+			res.Values[dag.NodeID(i)] = rc.vals[i]
+		}
+	}
+	for i := range rc.durs {
+		if d := rc.durs[i].Load(); d > 0 {
+			res.Nodes[i].Duration = time.Duration(d)
+		}
+	}
+	if e.LiveBytes != nil {
+		// Values still retained (outputs, and everything else when release
+		// is off) stop being execution-live once the run is over; settle
+		// them so Live returns to its pre-run level while Peak keeps the
+		// high-water mark.
+		var rest int64
+		for _, n := range rc.liveSize {
+			rest += n
+		}
+		e.LiveBytes.Sub(rest)
+	}
+	res.Wall = time.Since(start)
+	if len(errs) > 0 {
+		return res, errors.Join(errs...)
+	}
+	return res, nil
+}
+
+// heapDispatch is the GlobalHeap dispatcher: one shared ready heap, one
+// mutex, one condition variable. Retained as the contention baseline the
+// work-stealing dispatcher is benchmarked against.
+type heapDispatch struct {
+	*runCtx
+
+	mu        sync.Mutex // guards the scheduling state below
+	cond      *sync.Cond // signaled when ready grows, work completes, or on cancel
+	ready     nodeHeap   // runnable nodes, highest priority first
+	pending   []int      // per-node count of unfinished non-pruned parents
+	consumers []int      // per-node count of compute children yet to run
+	remaining int        // runnable nodes not yet finished
+	cancelled bool       // set on first error; stops dispatching new work
+	errs      []error    // every node error observed before shutdown
+}
+
+// runHeapDispatch drains the run with the single-heap dispatcher and
+// returns every node error observed before shutdown.
+func runHeapDispatch(rc *runCtx, weight []int64, pending, consumers []int, remaining int, ready []dag.NodeID) []error {
+	d := &heapDispatch{runCtx: rc, pending: pending, consumers: consumers, remaining: remaining}
+	d.cond = sync.NewCond(&d.mu)
+	d.ready.weight = weight
+	for _, id := range ready {
+		d.ready.push(id)
+	}
+	workers := rc.e.workers()
+	if workers > remaining {
+		workers = remaining
 	}
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -100,30 +214,12 @@ func (e *Engine) executeDataflow(g *dag.Graph, tasks []Task, plan *opt.Plan, res
 		}()
 	}
 	wg.Wait()
-	if d.writer != nil {
-		d.writer.flush()
-	}
-	if e.LiveBytes != nil {
-		// Values still retained (outputs, and everything else when release
-		// is off) stop being execution-live once the run is over; settle
-		// them so Live returns to its pre-run level while Peak keeps the
-		// high-water mark.
-		var rest int64
-		for _, n := range d.liveSize {
-			rest += n
-		}
-		e.LiveBytes.Sub(rest)
-	}
-	res.Wall = time.Since(start)
-	if len(d.errs) > 0 {
-		return res, errors.Join(d.errs...)
-	}
-	return res, nil
+	return d.errs
 }
 
 // work is one worker's loop: pull the highest-priority ready node, run it,
 // publish completion, repeat until the slice drains or is cancelled.
-func (d *dispatch) work() {
+func (d *heapDispatch) work() {
 	for {
 		id, ok := d.next()
 		if !ok {
@@ -136,7 +232,7 @@ func (d *dispatch) work() {
 
 // next blocks until a node is runnable, the run is cancelled, or all
 // runnable nodes have finished.
-func (d *dispatch) next() (dag.NodeID, bool) {
+func (d *heapDispatch) next() (dag.NodeID, bool) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	for {
@@ -144,7 +240,7 @@ func (d *dispatch) next() (dag.NodeID, bool) {
 			return 0, false
 		}
 		if d.ready.Len() > 0 {
-			return heap.Pop(&d.ready).(dag.NodeID), true
+			return d.ready.pop(), true
 		}
 		d.cond.Wait()
 	}
@@ -156,7 +252,7 @@ func (d *dispatch) next() (dag.NodeID, bool) {
 // consumer has now run. On failure it records the error and cancels all
 // not-yet-dispatched work; nodes already in flight complete and their
 // errors, if any, are collected too.
-func (d *dispatch) finish(id dag.NodeID, err error) {
+func (d *heapDispatch) finish(id dag.NodeID, err error) {
 	var release []dag.NodeID
 	d.mu.Lock()
 	d.remaining--
@@ -170,7 +266,7 @@ func (d *dispatch) finish(id dag.NodeID, err error) {
 			}
 			d.pending[c]--
 			if d.pending[c] == 0 {
-				heap.Push(&d.ready, c)
+				d.ready.push(c)
 			}
 		}
 		if d.e.ReleaseIntermediates {
@@ -179,26 +275,14 @@ func (d *dispatch) finish(id dag.NodeID, err error) {
 	}
 	d.mu.Unlock()
 	d.cond.Broadcast()
-	if len(release) > 0 {
-		d.resMu.Lock()
-		for _, p := range release {
-			delete(d.res.Values, p)
-		}
-		d.resMu.Unlock()
-		if d.liveSize != nil {
-			for _, p := range release {
-				d.e.LiveBytes.Sub(d.liveSize[p])
-				d.liveSize[p] = 0
-			}
-		}
-	}
+	d.applyRelease(release)
 }
 
 // releasable decrements the reference counts id's completion settles and
 // returns the non-output nodes whose values no remaining consumer needs.
 // Callers hold d.mu. The background materialization writer captures values
 // in its jobs, so releasing here never races a pending write.
-func (d *dispatch) releasable(id dag.NodeID) []dag.NodeID {
+func (d *heapDispatch) releasable(id dag.NodeID) []dag.NodeID {
 	var out []dag.NodeID
 	if d.plan.States[id] == opt.Compute {
 		for _, p := range d.g.Parents(id) {
@@ -217,29 +301,57 @@ func (d *dispatch) releasable(id dag.NodeID) []dag.NodeID {
 	return out
 }
 
-// runNode loads or computes one node. Computed values are published before
-// the materialization hand-off, so consumers never wait on a write.
-func (d *dispatch) runNode(id dag.NodeID) error {
-	e, g := d.e, d.g
+// applyRelease clears released value slots and settles their live-bytes
+// charge. Each node appears in exactly one release list (the reference
+// counts guarantee a single zero-crossing) and all of its consumers have
+// finished, so the slot write is unobserved and needs no lock.
+func (rc *runCtx) applyRelease(release []dag.NodeID) {
+	if len(release) == 0 {
+		return
+	}
+	for _, p := range release {
+		rc.vals[p] = nil
+		rc.published[p] = false
+	}
+	if rc.liveSize != nil {
+		for _, p := range release {
+			rc.e.LiveBytes.Sub(rc.liveSize[p])
+			rc.liveSize[p] = 0
+		}
+	}
+}
+
+// runNode loads or computes one node. Computed values are published (to the
+// node's lock-free slot) before the materialization hand-off, so consumers
+// never wait on a write.
+func (rc *runCtx) runNode(id dag.NodeID) error {
+	e, g := rc.e, rc.g
 	name := g.Node(id).Name
 	nodeStart := time.Now()
-	switch d.plan.States[id] {
+	switch rc.plan.States[id] {
 	case opt.Load:
-		if err := e.loadNode(g, d.tasks, id, d.res, &d.resMu); err != nil {
-			return err
+		if e.Store == nil {
+			return fmt.Errorf("exec: plan loads %s but engine has no store", name)
 		}
-		d.noteLive(id)
+		v, err := e.Store.Get(rc.tasks[id].Key)
+		if err != nil {
+			return fmt.Errorf("exec: load %s: %w", name, err)
+		}
+		rc.vals[id] = v
+		rc.published[id] = true
+		rc.durs[id].Store(time.Since(nodeStart).Nanoseconds())
+		rc.noteLive(id)
 		return nil
 
 	case opt.Compute:
-		inputs, err := gatherInputs(g, id, d.res, &d.resMu)
+		inputs, err := rc.gather(id)
 		if err != nil {
 			return err
 		}
-		if d.tasks[id].Run == nil {
+		if rc.tasks[id].Run == nil {
 			return fmt.Errorf("exec: node %s has no Run function", name)
 		}
-		v, err := d.tasks[id].Run(inputs)
+		v, err := rc.tasks[id].Run(inputs)
 		if err != nil {
 			return fmt.Errorf("exec: compute %s: %w", name, err)
 		}
@@ -247,13 +359,12 @@ func (d *dispatch) runNode(id dag.NodeID) error {
 		if e.History != nil {
 			e.History.ObserveCompute(name, computeDur, 0)
 		}
-		d.resMu.Lock()
-		d.res.Values[id] = v
-		d.res.Nodes[id].Duration = computeDur
-		d.resMu.Unlock()
-		d.noteLive(id)
-		if d.writer != nil {
-			d.writer.submit(id, name, d.tasks[id].Key, v, computeDur)
+		rc.vals[id] = v
+		rc.published[id] = true
+		rc.durs[id].Store(computeDur.Nanoseconds())
+		rc.noteLive(id)
+		if rc.writer != nil {
+			rc.writer.submit(id, name, rc.tasks[id].Key, v, computeDur)
 		}
 		return nil
 
@@ -262,28 +373,49 @@ func (d *dispatch) runNode(id dag.NodeID) error {
 	}
 }
 
+// gather snapshots the parents' values in g.Parents order from their
+// lock-free slots (every parent finished before this node was dispatched),
+// erroring on any parent without a value (a pruned producer the plan
+// should not have allowed).
+func (rc *runCtx) gather(id dag.NodeID) ([]any, error) {
+	parents := rc.g.Parents(id)
+	if len(parents) == 0 {
+		return nil, nil
+	}
+	inputs := make([]any, len(parents))
+	for i, p := range parents {
+		if !rc.published[p] {
+			return nil, fmt.Errorf("exec: %s needs parent %s which has no value", rc.g.Node(id).Name, rc.g.Node(p).Name)
+		}
+		inputs[i] = rc.vals[p]
+	}
+	return inputs, nil
+}
+
 // pathWeights builds the critical-path dispatch weights for one run: each
 // node's cost estimate is its best-known history compute time (compute
-// nodes) or store load estimate (load nodes), floored at 1ns so a
-// never-measured run still orders by downstream path length, then
-// dag.CriticalPath turns the costs into heaviest-downstream-path weights.
-// Pruned nodes cost 0; weight flowing through a pruned node toward a load
-// descendant slightly overstates its ancestors, which is harmless for an
-// ordering heuristic (pruned nodes themselves never enter the ready queue).
-func (e *Engine) pathWeights(g *dag.Graph, tasks []Task, plan *opt.Plan) []int64 {
+// nodes) or store load estimate (load nodes), with never-measured nodes
+// charged a structural floor (unit cost scaled by out-degree, per
+// dag.StructuralCosts) so a cold run still orders by how much downstream
+// work each node gates; dag.CriticalPath then turns the costs into
+// heaviest-downstream-path weights. Pruned nodes cost 0; weight flowing
+// through a pruned node toward a load descendant slightly overstates its
+// ancestors, which is harmless for an ordering heuristic (pruned nodes
+// themselves never enter a ready queue).
+func (e *Engine) pathWeights(g *dag.Graph, tasks []Task, plan *opt.Plan, order []dag.NodeID, structural []int64) []int64 {
 	cost := make([]int64, g.Len())
 	for i := range cost {
 		id := dag.NodeID(i)
 		switch plan.States[id] {
 		case opt.Compute:
-			cost[i] = 1
+			cost[i] = structural[i]
 			if e.History != nil {
 				if d, ok := e.History.Compute(g.Node(id).Name); ok && d > 0 {
 					cost[i] = d.Nanoseconds()
 				}
 			}
 		case opt.Load:
-			cost[i] = 1
+			cost[i] = structural[i]
 			if e.Store != nil && tasks[i].Key != "" {
 				if entry, ok := e.Store.Lookup(tasks[i].Key); ok && entry.LoadCost > 0 {
 					cost[i] = entry.LoadCost.Nanoseconds()
@@ -291,7 +423,7 @@ func (e *Engine) pathWeights(g *dag.Graph, tasks []Task, plan *opt.Plan) []int64
 			}
 		}
 	}
-	w, err := g.CriticalPath(cost)
+	w, err := g.CriticalPathOrdered(cost, order)
 	if err != nil {
 		return nil // cycles are rejected before dispatch; fall back to min-ID
 	}
@@ -301,49 +433,97 @@ func (e *Engine) pathWeights(g *dag.Graph, tasks []Task, plan *opt.Plan) []int64
 // noteLive charges id's freshly published value to the engine's live-bytes
 // gauge, remembering the amount so release and the end-of-run settlement
 // subtract exactly what was added. Loads are charged their exact stored
-// size; computes the history estimate (0 until the node's size has been
-// learned from a materialization probe).
-func (d *dispatch) noteLive(id dag.NodeID) {
-	if d.liveSize == nil {
+// size; computes the history estimate, falling back to the structural
+// cold-node floor (coldSizeUnit × (1 + out-degree)) until the node's size
+// has been learned from a materialization probe.
+func (rc *runCtx) noteLive(id dag.NodeID) {
+	if rc.liveSize == nil {
 		return
 	}
 	var est int64
-	if d.plan.States[id] == opt.Load {
-		if entry, ok := d.e.Store.Lookup(d.tasks[id].Key); ok {
+	if rc.plan.States[id] == opt.Load {
+		if entry, ok := rc.e.Store.Lookup(rc.tasks[id].Key); ok {
 			est = entry.Size
 		}
-	} else if s, ok := d.e.historySize(d.g.Node(id).Name); ok {
+	} else if s, ok := rc.e.historySize(rc.g.Node(id).Name); ok {
 		est = s
+	} else {
+		est = rc.coldSizes[id]
 	}
-	d.liveSize[id] = est
-	d.e.LiveBytes.Add(est)
+	rc.liveSize[id] = est
+	rc.e.LiveBytes.Add(est)
 }
 
-// nodeHeap is the dataflow scheduler's priority queue of ready nodes. With
-// weight set (critical-path ordering) the largest weight dispatches first
-// and ties break on the smaller ID; with weight nil it is a plain min-heap
-// of IDs, matching the deterministic tie-break of dag.Topo (and making
-// single-worker min-ID runs exactly topological). Both orderings are total
-// and deterministic, so equal inputs dispatch identically across runs.
+// nodeHeap is the dataflow scheduler's priority queue of ready nodes (the
+// shared heap under GlobalHeap dispatch; each per-worker deque and the
+// overflow queue under work-stealing). With weight set (critical-path
+// ordering) the largest weight dispatches first and ties break on the
+// smaller ID; with weight nil it is a plain min-heap of IDs, matching the
+// deterministic tie-break of dag.Topo. Single-worker runs are a pure
+// function of the graph under both dispatch modes; under GlobalHeap with
+// min-ID the order is additionally exactly topological-by-ID, while the
+// work-stealing chase (a finisher keeps its best newly-ready child ahead
+// of its queue) runs chains eagerly instead.
+//
+// The heap is hand-rolled rather than container/heap: push and pop sit on
+// the per-node dispatch path of every scheduler, and the interface-based
+// API boxes every NodeID into an allocation (runtime.convT64) plus dynamic
+// dispatch per sift step — measurable churn at fine-grained-node scale.
 type nodeHeap struct {
 	ids    []dag.NodeID
 	weight []int64 // indexed by node ID; nil selects min-ID ordering
 }
 
 func (h *nodeHeap) Len() int { return len(h.ids) }
-func (h *nodeHeap) Less(i, j int) bool {
-	a, b := h.ids[i], h.ids[j]
-	if h.weight != nil && h.weight[a] != h.weight[b] {
-		return h.weight[a] > h.weight[b]
+
+// push adds id, restoring the heap invariant (sift up).
+func (h *nodeHeap) push(id dag.NodeID) {
+	h.ids = append(h.ids, id)
+	ids, w := h.ids, h.weight
+	i := len(ids) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !nodeBefore(w, ids[i], ids[parent]) {
+			break
+		}
+		ids[i], ids[parent] = ids[parent], ids[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the highest-priority node (sift down). The heap
+// must be non-empty.
+func (h *nodeHeap) pop() dag.NodeID {
+	ids, w := h.ids, h.weight
+	top := ids[0]
+	n := len(ids) - 1
+	ids[0] = ids[n]
+	h.ids = ids[:n]
+	ids = h.ids
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		best := l
+		if r := l + 1; r < n && nodeBefore(w, ids[r], ids[l]) {
+			best = r
+		}
+		if !nodeBefore(w, ids[best], ids[i]) {
+			break
+		}
+		ids[i], ids[best] = ids[best], ids[i]
+		i = best
+	}
+	return top
+}
+
+// nodeBefore reports whether a dispatches before b: larger critical-path
+// weight first (when weights are in play), then smaller ID.
+func nodeBefore(weight []int64, a, b dag.NodeID) bool {
+	if weight != nil && weight[a] != weight[b] {
+		return weight[a] > weight[b]
 	}
 	return a < b
-}
-func (h *nodeHeap) Swap(i, j int) { h.ids[i], h.ids[j] = h.ids[j], h.ids[i] }
-func (h *nodeHeap) Push(x any)    { h.ids = append(h.ids, x.(dag.NodeID)) }
-func (h *nodeHeap) Pop() any {
-	old := h.ids
-	n := len(old)
-	x := old[n-1]
-	h.ids = old[:n-1]
-	return x
 }

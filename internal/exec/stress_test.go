@@ -47,6 +47,13 @@ func layeredDAG(levels, width int, keyTag string) (*dag.Graph, []Task) {
 	return g, tasks
 }
 
+// dispatchModes are both dataflow dispatchers; every stress scenario runs
+// under each so the steal/finish/release interleavings of the work-stealing
+// dispatcher get the same -race coverage as the global-heap baseline.
+func dispatchModes() []DispatchMode {
+	return []DispatchMode{WorkSteal, GlobalHeap}
+}
+
 // TestReleaseWriterStress hammers the async materialization writer
 // interleaved with refcounted release: fresh keys every iteration keep the
 // writer pool busy while completions concurrently drop the very values the
@@ -54,38 +61,43 @@ func layeredDAG(levels, width int, keyTag string) (*dag.Graph, []Task) {
 // for the value-ownership contract (jobs own a reference; release never
 // invalidates a pending write).
 func TestReleaseWriterStress(t *testing.T) {
-	st, err := store.Open(t.TempDir(), 0)
-	if err != nil {
-		t.Fatal(err)
-	}
-	var gauge store.Gauge
-	for iter := 0; iter < 15; iter++ {
-		g, tasks := layeredDAG(4, 6, fmt.Sprintf("ok%d", iter))
-		e := &Engine{
-			Workers:              8,
-			MatWriters:           3,
-			Store:                st,
-			Policy:               opt.MaterializeAll{},
-			ReleaseIntermediates: true,
-			LiveBytes:            &gauge,
-		}
-		res, err := e.Execute(g, tasks, allCompute(g.Len()))
-		if err != nil {
-			t.Fatal(err)
-		}
-		// Only the output layer survives release.
-		if want := 6; len(res.Values) != want {
-			t.Fatalf("iter %d: %d values retained, want %d outputs", iter, len(res.Values), want)
-		}
-		// Every computed value must have reached the store despite release.
-		for i := range tasks {
-			if !st.Has(tasks[i].Key) {
-				t.Fatalf("iter %d: key %s missing: release raced the writer", iter, tasks[i].Key)
+	for _, mode := range dispatchModes() {
+		t.Run(mode.String(), func(t *testing.T) {
+			st, err := store.Open(t.TempDir(), 0)
+			if err != nil {
+				t.Fatal(err)
 			}
-		}
-		if gauge.Live() != 0 {
-			t.Fatalf("iter %d: gauge live = %d, want 0 after settlement", iter, gauge.Live())
-		}
+			var gauge store.Gauge
+			for iter := 0; iter < 15; iter++ {
+				g, tasks := layeredDAG(4, 6, fmt.Sprintf("ok-%s-%d", mode, iter))
+				e := &Engine{
+					Workers:              8,
+					MatWriters:           3,
+					Dispatch:             mode,
+					Store:                st,
+					Policy:               opt.MaterializeAll{},
+					ReleaseIntermediates: true,
+					LiveBytes:            &gauge,
+				}
+				res, err := e.Execute(g, tasks, allCompute(g.Len()))
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Only the output layer survives release.
+				if want := 6; len(res.Values) != want {
+					t.Fatalf("iter %d: %d values retained, want %d outputs", iter, len(res.Values), want)
+				}
+				// Every computed value must have reached the store despite release.
+				for i := range tasks {
+					if !st.Has(tasks[i].Key) {
+						t.Fatalf("iter %d: key %s missing: release raced the writer", iter, tasks[i].Key)
+					}
+				}
+				if gauge.Live() != 0 {
+					t.Fatalf("iter %d: gauge live = %d, want 0 after settlement", iter, gauge.Live())
+				}
+			}
+		})
 	}
 }
 
@@ -96,41 +108,83 @@ func TestReleaseWriterStress(t *testing.T) {
 // the gauge, and still report the failure.
 func TestReleaseWriterErrorCancellationStress(t *testing.T) {
 	boom := errors.New("boom")
-	var gauge store.Gauge
-	for iter := 0; iter < 15; iter++ {
-		st, err := store.Open(t.TempDir(), 0)
+	for _, mode := range dispatchModes() {
+		t.Run(mode.String(), func(t *testing.T) {
+			var gauge store.Gauge
+			for iter := 0; iter < 15; iter++ {
+				st, err := store.Open(t.TempDir(), 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				g, tasks := layeredDAG(4, 6, fmt.Sprintf("err-%s-%d", mode, iter))
+				// Fail one second-layer node; stagger it slightly so first-layer
+				// writes and releases are mid-flight when the cancellation lands.
+				victim := g.Lookup("n1_3")
+				tasks[victim] = Task{Key: tasks[victim].Key, Run: func(in []any) (any, error) {
+					time.Sleep(time.Duration(iter%3) * 100 * time.Microsecond)
+					return nil, boom
+				}}
+				e := &Engine{
+					Workers:              8,
+					MatWriters:           3,
+					Dispatch:             mode,
+					Store:                st,
+					Policy:               opt.MaterializeAll{},
+					ReleaseIntermediates: true,
+					LiveBytes:            &gauge,
+				}
+				res, err := e.Execute(g, tasks, allCompute(g.Len()))
+				if !errors.Is(err, boom) {
+					t.Fatalf("iter %d: err = %v, want boom", iter, err)
+				}
+				// Whatever completed must be fully accounted: a value present in
+				// the result and marked materialized must really be in the store.
+				for id, nr := range res.Nodes {
+					if nr.Materialized && !st.Has(tasks[id].Key) {
+						t.Fatalf("iter %d: node %d marked materialized but not stored", iter, id)
+					}
+				}
+				if gauge.Live() != 0 {
+					t.Fatalf("iter %d: gauge live = %d, want 0 after error settlement", iter, gauge.Live())
+				}
+			}
+		})
+	}
+}
+
+// TestStealFinishReleaseStress is the work-stealing interleaving stress:
+// many workers over a wide-and-deep layered graph with uneven task
+// durations, so steals, overflow handoffs, chases, refcounted release and
+// the writer pipeline all overlap. Values are checked against a
+// single-worker reference run; under -race this is the detector's coverage
+// of the deque/steal/park protocol.
+func TestStealFinishReleaseStress(t *testing.T) {
+	for iter := 0; iter < 8; iter++ {
+		g, tasks := layeredDAG(5, 8, fmt.Sprintf("steal%d", iter))
+		// Uneven durations shift which worker is ahead, forcing steal and
+		// handoff traffic instead of a lockstep drain.
+		for i := range tasks {
+			run := tasks[i].Run
+			delay := time.Duration((i*7+iter)%5) * 50 * time.Microsecond
+			tasks[i] = Task{Key: tasks[i].Key, Run: func(in []any) (any, error) {
+				time.Sleep(delay)
+				return run(in)
+			}}
+		}
+		ref := &Engine{Workers: 1}
+		want, err := ref.Execute(g, tasks, allCompute(g.Len()))
 		if err != nil {
 			t.Fatal(err)
 		}
-		g, tasks := layeredDAG(4, 6, fmt.Sprintf("err%d", iter))
-		// Fail one second-layer node; stagger it slightly so first-layer
-		// writes and releases are mid-flight when the cancellation lands.
-		victim := g.Lookup("n1_3")
-		tasks[victim] = Task{Key: tasks[victim].Key, Run: func(in []any) (any, error) {
-			time.Sleep(time.Duration(iter%3) * 100 * time.Microsecond)
-			return nil, boom
-		}}
-		e := &Engine{
-			Workers:              8,
-			MatWriters:           3,
-			Store:                st,
-			Policy:               opt.MaterializeAll{},
-			ReleaseIntermediates: true,
-			LiveBytes:            &gauge,
-		}
+		e := &Engine{Workers: 8, ReleaseIntermediates: true}
 		res, err := e.Execute(g, tasks, allCompute(g.Len()))
-		if !errors.Is(err, boom) {
-			t.Fatalf("iter %d: err = %v, want boom", iter, err)
+		if err != nil {
+			t.Fatal(err)
 		}
-		// Whatever completed must be fully accounted: a value present in
-		// the result and marked materialized must really be in the store.
-		for id, nr := range res.Nodes {
-			if nr.Materialized && !st.Has(tasks[id].Key) {
-				t.Fatalf("iter %d: node %d marked materialized but not stored", iter, id)
+		for id, v := range res.Values {
+			if v != want.Values[id] {
+				t.Fatalf("iter %d: node %d = %v, reference %v", iter, id, v, want.Values[id])
 			}
-		}
-		if gauge.Live() != 0 {
-			t.Fatalf("iter %d: gauge live = %d, want 0 after error settlement", iter, gauge.Live())
 		}
 	}
 }

@@ -1,0 +1,445 @@
+package exec
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/dag"
+	"repro/internal/opt"
+)
+
+// wsRand is each worker's victim-probing PRNG: a splitmix64 stream seeded
+// with the worker index, so steal order is randomized across workers but
+// reproducible across runs — and costs two multiplies per draw instead of
+// math/rand's per-run source initialization.
+type wsRand uint64
+
+// next advances the stream (splitmix64, Steele et al.).
+func (r *wsRand) next() uint64 {
+	*r += 0x9E3779B97F4A7C15
+	z := uint64(*r)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// intn returns a pseudo-random int in [0, n).
+func (r *wsRand) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// wsDeque is one worker's private ready queue: a priority heap (not a
+// classic ends-discipline deque — the intra-queue Ordering replaces the
+// LIFO/FIFO split) guarded by its own mutex. The owner pushes and pops
+// under a lock that is uncontended unless a thief is probing it, which is
+// what makes the dispatch happy path lock-light: no global lock is touched
+// between a node finishing and its child starting.
+type wsDeque struct {
+	mu sync.Mutex
+	h  nodeHeap
+	// pad to 128 bytes (fields are 56: 8 mutex + two 24-byte slice
+	// headers) so adjacent deques never share a 64-byte cache line —
+	// whatever the array's alignment, each deque spans two full lines and
+	// owner traffic cannot false-share with a neighbour.
+	_ [72]byte
+}
+
+// wsDispatch is the work-stealing dispatcher of the dataflow scheduler.
+// Scheduling state that the GlobalHeap baseline keeps under one mutex is
+// decomposed here: pending-parent and consumer reference counts are
+// atomics (many finishers decrement concurrently; exactly one observes the
+// zero-crossing), each worker owns a private priority deque, and a small
+// global overflow queue — sharing a mutex with the parking condition
+// variable — hands work to parked workers and carries shutdown and
+// cancellation wakeups. See docs/scheduler.md for the full protocol and
+// its memory-ordering argument.
+type wsDispatch struct {
+	*runCtx
+
+	weight []int64 // critical-path priorities; nil selects min-ID
+	deques []wsDeque
+
+	pending   []atomic.Int32 // per-node unfinished non-pruned parents
+	consumers []atomic.Int32 // per-node compute children yet to run (release)
+	remaining atomic.Int64   // runnable nodes not yet finished
+	cancelled atomic.Bool    // set on first error; stops dispatching new work
+	steals    atomic.Int64   // nodes taken from another worker's deque
+	handoffs  atomic.Int64   // nodes routed through the overflow queue
+
+	errMu sync.Mutex
+	errs  []error // every node error observed before shutdown
+
+	// parkMu guards the overflow queue and the parking protocol. Lock
+	// order: parkMu may be taken alone or before a deque mutex (the parked
+	// rescan); no path acquires parkMu while holding a deque mutex.
+	parkMu   sync.Mutex
+	parkCond *sync.Cond
+	overflow nodeHeap     // cross-worker handoff queue, guarded by parkMu
+	waiters  atomic.Int32 // workers parked or registering to park
+}
+
+// runWorkSteal drains the run with the work-stealing dispatcher and
+// returns every node error observed before shutdown.
+func runWorkSteal(rc *runCtx, weight []int64, pending, consumers []int, remaining int, ready []dag.NodeID) []error {
+	workers := rc.e.workers()
+	if workers > remaining {
+		workers = remaining
+	}
+	if workers == 0 {
+		return nil
+	}
+	d := &wsDispatch{runCtx: rc, weight: weight}
+	d.parkCond = sync.NewCond(&d.parkMu)
+	d.overflow.weight = weight
+	d.deques = make([]wsDeque, workers)
+	for i := range d.deques {
+		d.deques[i].h.weight = weight
+	}
+	d.pending = make([]atomic.Int32, len(pending))
+	for i, p := range pending {
+		d.pending[i].Store(int32(p))
+	}
+	if consumers != nil {
+		d.consumers = make([]atomic.Int32, len(consumers))
+		for i, c := range consumers {
+			d.consumers[i].Store(int32(c))
+		}
+	}
+	d.remaining.Store(int64(remaining))
+
+	// Critical-path-aware initial partition: deal the initial ready set in
+	// priority order round-robin across the deques, so every worker starts
+	// on the most urgent work available and the heaviest paths spread over
+	// distinct workers instead of queueing behind one.
+	seed := append([]dag.NodeID(nil), ready...)
+	sort.Slice(seed, func(i, j int) bool { return nodeBefore(weight, seed[i], seed[j]) })
+	for i, id := range seed {
+		d.deques[i%workers].h.push(id)
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			d.work(w)
+		}(w)
+	}
+	wg.Wait()
+	rc.res.Steals = d.steals.Load()
+	rc.res.Handoffs = d.handoffs.Load()
+	return d.errs
+}
+
+// work is one worker's loop: acquire a node (own deque, overflow, then
+// stealing), run it, and chase the chain of children it unlocks — finish
+// hands back the best newly-ready child so dependency chains execute with
+// no queue round-trip at all.
+func (d *wsDispatch) work(w int) {
+	rng := wsRand(w)
+	for {
+		id, ok := d.next(w, &rng)
+		if !ok {
+			return
+		}
+		for ok {
+			err := d.runNode(id)
+			id, ok = d.finish(w, id, err)
+		}
+	}
+}
+
+// finish publishes id's completion and returns the node this worker should
+// run next, if completing id made one runnable. On success it decrements
+// each compute child's pending-parent counter (atomically — exactly one
+// parent observes the zero-crossing and owns the dispatch), keeps the
+// highest-priority newly-ready child to run directly, and queues the rest
+// on its own deque — or hands them to parked workers through the overflow
+// queue. On failure it records the error and cancels all not-yet-
+// dispatched work; nodes already in flight complete and their errors are
+// collected too.
+func (d *wsDispatch) finish(w int, id dag.NodeID, err error) (dag.NodeID, bool) {
+	var release []dag.NodeID
+	// readyBuf keeps the common case (a handful of newly-ready children)
+	// off the heap: finish runs once per node, and an allocation here is
+	// measurable GC churn on fine-grained DAGs.
+	var readyBuf [8]dag.NodeID
+	ready := readyBuf[:0]
+	if err != nil {
+		d.errMu.Lock()
+		d.errs = append(d.errs, err)
+		d.errMu.Unlock()
+		d.cancelled.Store(true)
+	} else {
+		// Settle release reference counts before any child can be
+		// dispatched: the self-check below (consumers[id] == 0) is only
+		// race-free while no child of id is running, and children become
+		// runnable only through the pending decrements that follow.
+		if d.e.ReleaseIntermediates {
+			release = d.releasable(id)
+		}
+		for _, c := range d.g.Children(id) {
+			if d.plan.States[c] != opt.Compute {
+				continue
+			}
+			if d.pending[c].Add(-1) == 0 {
+				ready = append(ready, c)
+			}
+		}
+	}
+
+	var next dag.NodeID
+	keep := false
+	if len(ready) > 0 && !d.cancelled.Load() {
+		next, ready = pickBest(d.weight, ready)
+		keep = true
+		if len(ready) > 0 {
+			d.dispatchRest(w, ready)
+		}
+	}
+
+	last := d.remaining.Add(-1) == 0
+	if last || d.cancelled.Load() {
+		d.parkMu.Lock()
+		d.parkCond.Broadcast()
+		d.parkMu.Unlock()
+	}
+	d.applyRelease(release)
+	if keep && !d.cancelled.Load() {
+		return next, true
+	}
+	return 0, false
+}
+
+// pickBest removes the highest-priority node from ready and returns it
+// together with the remainder (order not preserved).
+func pickBest(weight []int64, ready []dag.NodeID) (dag.NodeID, []dag.NodeID) {
+	best := 0
+	for i := 1; i < len(ready); i++ {
+		if nodeBefore(weight, ready[i], ready[best]) {
+			best = i
+		}
+	}
+	id := ready[best]
+	ready[best] = ready[len(ready)-1]
+	return id, ready[:len(ready)-1]
+}
+
+// dispatchRest queues the newly-ready nodes the finishing worker is not
+// running itself. With parked workers waiting, they are routed through the
+// overflow queue instead (a handoff: parked workers take from it without
+// probing every deque); otherwise they land on the worker's own deque for
+// thieves to steal from. rest must be non-empty — a finish whose only
+// ready child is kept for the chase loop dispatches with no lock at all.
+func (d *wsDispatch) dispatchRest(w int, rest []dag.NodeID) {
+	if d.waiters.Load() > 0 {
+		d.handoffs.Add(int64(len(rest)))
+		d.parkMu.Lock()
+		for _, c := range rest {
+			d.overflow.push(c)
+		}
+		d.signalLocked(len(rest))
+		d.parkMu.Unlock()
+		return
+	}
+	dq := &d.deques[w]
+	dq.mu.Lock()
+	for _, c := range rest {
+		dq.h.push(c)
+	}
+	dq.mu.Unlock()
+	d.wakeWaiters(len(rest))
+}
+
+// wakeWaiters is the lost-wakeup-free half of the parking protocol, called
+// after n nodes were pushed to a deque: a worker may have registered to
+// park after the producer's earlier waiters check; it holds parkMu until
+// its rescan (which locks every deque and therefore sees the push) either
+// finds work or sleeps, so a signal taken now — serialized against that
+// critical section — can never be lost. No-op when nobody is parked or
+// registering.
+func (d *wsDispatch) wakeWaiters(n int) {
+	if d.waiters.Load() == 0 {
+		return
+	}
+	d.parkMu.Lock()
+	d.signalLocked(n)
+	d.parkMu.Unlock()
+}
+
+// signalLocked wakes one waiter per available node (broadcast beyond one).
+// Callers hold parkMu.
+func (d *wsDispatch) signalLocked(n int) {
+	if n == 1 {
+		d.parkCond.Signal()
+	} else {
+		d.parkCond.Broadcast()
+	}
+}
+
+// releasable decrements the reference counts id's completion settles and
+// returns the non-output nodes whose values no remaining consumer needs.
+// The counters are atomic: when several children of one parent finish
+// concurrently, exactly one decrement observes zero and owns the release.
+// The self-check is safe because finish calls releasable before any child
+// of id is made runnable (see finish).
+func (d *wsDispatch) releasable(id dag.NodeID) []dag.NodeID {
+	var out []dag.NodeID
+	if d.plan.States[id] == opt.Compute {
+		for _, p := range d.g.Parents(id) {
+			if d.plan.States[p] == opt.Prune {
+				continue
+			}
+			if d.consumers[p].Add(-1) == 0 && !d.g.Node(p).Output {
+				out = append(out, p)
+			}
+		}
+	}
+	if d.consumers[id].Load() == 0 && !d.g.Node(id).Output {
+		out = append(out, id)
+	}
+	return out
+}
+
+// next acquires the worker's next node: own deque first, then the overflow
+// queue, then a randomized steal round over the other deques, and finally
+// parking until a finisher signals new work (or shutdown). Returns false
+// when the run is cancelled or fully drained.
+func (d *wsDispatch) next(w int, rng *wsRand) (dag.NodeID, bool) {
+	for {
+		if d.cancelled.Load() || d.remaining.Load() == 0 {
+			return 0, false
+		}
+		if id, ok := d.popLocal(w); ok {
+			return id, true
+		}
+		if id, ok := d.popOverflow(); ok {
+			return id, true
+		}
+		if id, ok := d.stealBatch(w, rng); ok {
+			return id, true
+		}
+		if id, ok := d.park(w); ok {
+			return id, true
+		}
+	}
+}
+
+// popLocal takes the highest-priority node from the worker's own deque.
+func (d *wsDispatch) popLocal(w int) (dag.NodeID, bool) {
+	dq := &d.deques[w]
+	dq.mu.Lock()
+	defer dq.mu.Unlock()
+	if dq.h.Len() == 0 {
+		return 0, false
+	}
+	return dq.h.pop(), true
+}
+
+// popOverflow takes the highest-priority node from the global overflow
+// queue. The cross-worker transfer was already counted (Result.Handoffs)
+// when dispatchRest enqueued it.
+func (d *wsDispatch) popOverflow() (dag.NodeID, bool) {
+	d.parkMu.Lock()
+	defer d.parkMu.Unlock()
+	if d.overflow.Len() == 0 {
+		return 0, false
+	}
+	return d.overflow.pop(), true
+}
+
+// stealBatch probes every other deque once, starting at a seeded-random
+// offset, and takes up to half of the first non-empty victim's queue,
+// highest-priority nodes first — an idle worker exists to run the most
+// urgent runnable work, so the thief takes the victim's best (the
+// heaviest critical path moves to a free worker immediately) and the
+// batch amortizes the lock traffic over several nodes instead of coming
+// back for every one. Returns the best stolen node; the remainder lands
+// on the thief's own deque.
+func (d *wsDispatch) stealBatch(w int, rng *wsRand) (dag.NodeID, bool) {
+	n := len(d.deques)
+	if n < 2 {
+		return 0, false
+	}
+	// Probe the n-1 other deques starting at a random one: index w is
+	// excluded by construction, so the round never skips a victim.
+	off := rng.intn(n - 1)
+	for i := 0; i < n-1; i++ {
+		v := (w + 1 + (off+i)%(n-1)) % n
+		dq := &d.deques[v]
+		dq.mu.Lock()
+		if dq.h.Len() == 0 {
+			dq.mu.Unlock()
+			continue
+		}
+		take := (dq.h.Len() + 1) / 2
+		batch := make([]dag.NodeID, 0, take)
+		for len(batch) < take {
+			batch = append(batch, dq.h.pop())
+		}
+		dq.mu.Unlock()
+		d.steals.Add(int64(len(batch)))
+		if len(batch) > 1 {
+			own := &d.deques[w]
+			own.mu.Lock()
+			for _, id := range batch[1:] {
+				own.h.push(id)
+			}
+			own.mu.Unlock()
+			// Without this wake a worker that parked after the thief's probe
+			// passed its deque would sleep through the stolen batch.
+			d.wakeWaiters(len(batch) - 1)
+		}
+		return batch[0], true
+	}
+	return 0, false
+}
+
+// park registers the worker as idle and sleeps until a finisher signals.
+// Between registering (waiters is visible to finishers from here on) and
+// sleeping it rescans every queue under parkMu: a finisher that saw no
+// waiters has already completed its local push, so the rescan finds that
+// work; a finisher that saw the registration will take parkMu — serialized
+// against this critical section — and signal. Either way no wakeup is
+// lost. Returns a node if the rescan found one; (0, false) means the
+// caller should re-evaluate (shutdown, cancellation, or a wake).
+func (d *wsDispatch) park(w int) (dag.NodeID, bool) {
+	d.parkMu.Lock()
+	d.waiters.Add(1)
+	if d.cancelled.Load() || d.remaining.Load() == 0 {
+		d.waiters.Add(-1)
+		d.parkMu.Unlock()
+		return 0, false
+	}
+	if id, ok := d.scanLocked(w); ok {
+		d.waiters.Add(-1)
+		d.parkMu.Unlock()
+		return id, true
+	}
+	d.parkCond.Wait()
+	d.waiters.Add(-1)
+	d.parkMu.Unlock()
+	return 0, false
+}
+
+// scanLocked checks the overflow queue and every deque for work. Callers
+// hold parkMu (lock order: parkMu, then one deque mutex at a time).
+func (d *wsDispatch) scanLocked(w int) (dag.NodeID, bool) {
+	if d.overflow.Len() > 0 {
+		return d.overflow.pop(), true
+	}
+	for i := 0; i < len(d.deques); i++ {
+		v := (w + i) % len(d.deques)
+		dq := &d.deques[v]
+		dq.mu.Lock()
+		if dq.h.Len() > 0 {
+			id := dq.h.pop()
+			dq.mu.Unlock()
+			if v != w {
+				d.steals.Add(1)
+			}
+			return id, true
+		}
+		dq.mu.Unlock()
+	}
+	return 0, false
+}

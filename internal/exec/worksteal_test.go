@@ -1,0 +1,261 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/dag"
+	"repro/internal/opt"
+	"repro/internal/store"
+)
+
+// wideSleepDAG is a root fanning out to `width` sleeping leaves — enough
+// simultaneous work that every worker must engage, guaranteeing
+// cross-worker transfers under work-stealing.
+func wideSleepDAG(width int, d time.Duration) (*dag.Graph, []Task) {
+	g := dag.New()
+	root := g.MustAddNode("root", "scan")
+	tasks := []Task{{Run: func([]any) (any, error) { return 0, nil }}}
+	for i := 0; i < width; i++ {
+		id := g.MustAddNode(fmt.Sprintf("leaf%d", i), "op")
+		g.MustAddEdge(root, id)
+		g.Node(id).Output = true
+		idx := int(id)
+		tasks = append(tasks, Task{Run: func(in []any) (any, error) {
+			time.Sleep(d)
+			return in[0].(int) + idx, nil
+		}})
+	}
+	return g, tasks
+}
+
+// TestWorkStealCrossWorkerTransfers: on a wide DAG with several workers,
+// work must actually move between workers — the Steals/Handoffs counters
+// are non-zero under work-stealing and exactly zero under GlobalHeap
+// (which has no deques to steal from).
+func TestWorkStealCrossWorkerTransfers(t *testing.T) {
+	g, tasks := wideSleepDAG(32, 2*time.Millisecond)
+	e := &Engine{Workers: 4}
+	res, err := e.Execute(g, tasks, allCompute(g.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steals+res.Handoffs == 0 {
+		t.Error("work-stealing run moved no work between workers (steals+handoffs = 0)")
+	}
+
+	gh := &Engine{Workers: 4, Dispatch: GlobalHeap}
+	ghRes, err := gh.Execute(g, tasks, allCompute(g.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ghRes.Steals != 0 || ghRes.Handoffs != 0 {
+		t.Errorf("global-heap run reported steals=%d handoffs=%d, want 0/0", ghRes.Steals, ghRes.Handoffs)
+	}
+	if !reflect.DeepEqual(res.Values, ghRes.Values) {
+		t.Error("values differ between dispatch modes")
+	}
+}
+
+// TestGlobalHeapFailureCancelsPending mirrors the dataflow failure-
+// semantics test under the GlobalHeap dispatcher, which no longer runs by
+// default: in-flight errors are joined, descendants of a failed node never
+// run.
+func TestGlobalHeapFailureCancelsPending(t *testing.T) {
+	g := dag.New()
+	fastBoom := g.MustAddNode("fast-boom", "x")
+	slowBoom := g.MustAddNode("slow-boom", "x")
+	child := g.MustAddNode("child", "x")
+	g.MustAddEdge(fastBoom, child)
+	g.Node(child).Output = true
+	g.Node(slowBoom).Output = true
+
+	errFast := errors.New("fast failure")
+	errSlow := errors.New("slow failure")
+	var childRan int32
+	tasks := make([]Task, g.Len())
+	tasks[fastBoom] = Task{Run: func([]any) (any, error) {
+		time.Sleep(10 * time.Millisecond)
+		return nil, errFast
+	}}
+	tasks[slowBoom] = Task{Run: func([]any) (any, error) {
+		time.Sleep(40 * time.Millisecond)
+		return nil, errSlow
+	}}
+	tasks[child] = Task{Run: func([]any) (any, error) {
+		atomic.AddInt32(&childRan, 1)
+		return 0, nil
+	}}
+
+	e := &Engine{Workers: 4, Dispatch: GlobalHeap}
+	_, err := e.Execute(g, tasks, allCompute(g.Len()))
+	if !errors.Is(err, errFast) || !errors.Is(err, errSlow) {
+		t.Errorf("joined errors incomplete: %v", err)
+	}
+	if atomic.LoadInt32(&childRan) != 0 {
+		t.Error("descendant of failed node was dispatched")
+	}
+}
+
+// TestGlobalHeapEquivalentOnMixedPlan runs the mixed load/compute/prune
+// equivalence DAG under the GlobalHeap dispatcher and compares values with
+// the work-stealing default.
+func TestGlobalHeapEquivalentOnMixedPlan(t *testing.T) {
+	run := func(mode DispatchMode) *Result {
+		g, tasks, plan := equivalenceDAG(t)
+		e := &Engine{Workers: 4, Dispatch: mode}
+		res, err := e.Execute(g, tasks, plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	ws, gh := run(WorkSteal), run(GlobalHeap)
+	if !reflect.DeepEqual(ws.Values, gh.Values) {
+		t.Errorf("values differ: worksteal %v, global-heap %v", ws.Values, gh.Values)
+	}
+}
+
+// TestWorkStealSingleWorkerDeterministic: with one worker there is nothing
+// to steal, and dispatch must be a pure function of the graph — the same
+// ordering guarantee the ordering tests pin for the ready-queue, here
+// checked across the chase path (a finishing worker keeps the best child
+// directly).
+func TestWorkStealSingleWorkerDeterministic(t *testing.T) {
+	build := func() (*dag.Graph, []Task, *[]dag.NodeID) {
+		g := dag.New()
+		root := g.MustAddNode("root", "scan")
+		var order []dag.NodeID
+		task := func(id dag.NodeID) Task {
+			return Task{Run: func([]any) (any, error) {
+				order = append(order, id) // single worker: no lock needed
+				return 0, nil
+			}}
+		}
+		tasks := []Task{task(root)}
+		// Two chains of different lengths plus loose leaves: the chase path,
+		// the deque pops and the tie-breaks all get exercised.
+		prev := root
+		for i := 0; i < 3; i++ {
+			id := g.MustAddNode(fmt.Sprintf("a%d", i), "op")
+			g.MustAddEdge(prev, id)
+			tasks = append(tasks, task(id))
+			prev = id
+		}
+		g.Node(prev).Output = true
+		prev = root
+		for i := 0; i < 2; i++ {
+			id := g.MustAddNode(fmt.Sprintf("b%d", i), "op")
+			g.MustAddEdge(prev, id)
+			tasks = append(tasks, task(id))
+			prev = id
+		}
+		g.Node(prev).Output = true
+		return g, tasks, &order
+	}
+	var first []dag.NodeID
+	for run := 0; run < 3; run++ {
+		g, tasks, order := build()
+		e := &Engine{Workers: 1}
+		if _, err := e.Execute(g, tasks, allCompute(g.Len())); err != nil {
+			t.Fatal(err)
+		}
+		if run == 0 {
+			first = append([]dag.NodeID(nil), (*order)...)
+		} else if !reflect.DeepEqual(*order, first) {
+			t.Fatalf("run %d dispatch order %v differs from first run %v", run, *order, first)
+		}
+	}
+}
+
+// TestColdWeightsUseStructuralFloor: with no history at all, critical-path
+// dispatch must still prefer the node that gates more downstream work —
+// the structural cold-cost floor (unit × (1 + out-degree)) replaces the
+// old flat unit cost that made all never-measured siblings look equal.
+func TestColdWeightsUseStructuralFloor(t *testing.T) {
+	g := dag.New()
+	root := g.MustAddNode("root", "scan")
+	// narrow has the smaller ID: under a flat cold cost the ID tie-break
+	// would dispatch it first.
+	narrow := g.MustAddNode("narrow", "op")
+	hub := g.MustAddNode("hub", "op")
+	g.MustAddEdge(root, narrow)
+	g.MustAddEdge(root, hub)
+	g.Node(narrow).Output = true
+	var order []string
+	task := func(name string) Task {
+		return Task{Run: func([]any) (any, error) {
+			order = append(order, name)
+			return 0, nil
+		}}
+	}
+	tasks := []Task{task("root"), task("narrow"), task("hub")}
+	for i := 0; i < 3; i++ {
+		id := g.MustAddNode(fmt.Sprintf("leaf%d", i), "op")
+		g.MustAddEdge(hub, id)
+		g.Node(id).Output = true
+		tasks = append(tasks, task(fmt.Sprintf("leaf%d", i)))
+	}
+	e := &Engine{Workers: 1, Order: CriticalPath}
+	if _, err := e.Execute(g, tasks, allCompute(g.Len())); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) < 2 || order[0] != "root" || order[1] != "hub" {
+		t.Errorf("cold dispatch order = %v, want the high-out-degree hub right after root", order)
+	}
+}
+
+// TestLiveBytesGaugeColdStructuralEstimate: with no learned sizes the
+// gauge charges compute nodes the structural floor instead of zero, so a
+// first iteration still reports an honest peak.
+func TestLiveBytesGaugeColdStructuralEstimate(t *testing.T) {
+	g, tasks := buildChain(t) // a -> b -> c, c output; out-degrees 1,1,0
+	var gauge store.Gauge
+	e := &Engine{Workers: 1, LiveBytes: &gauge, ReleaseIntermediates: true}
+	if _, err := e.Execute(g, tasks, allCompute(3)); err != nil {
+		t.Fatal(err)
+	}
+	// a and b coexist until b's completion releases a: 2·coldSizeUnit each.
+	if want := int64(4 * coldSizeUnit); gauge.Peak() != want {
+		t.Errorf("cold peak = %d, want %d (two 2-consumer-scaled estimates)", gauge.Peak(), want)
+	}
+	if gauge.Live() != 0 {
+		t.Errorf("live = %d after run, want 0 after settlement", gauge.Live())
+	}
+}
+
+// TestWorkStealManyWorkersFewNodes: more workers than runnable nodes must
+// neither deadlock nor leave workers spinning — the pool is clamped and
+// surplus configurations drain cleanly.
+func TestWorkStealManyWorkersFewNodes(t *testing.T) {
+	g, tasks := buildChain(t)
+	e := &Engine{Workers: 64}
+	res, err := e.Execute(g, tasks, allCompute(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := res.Value(g, "c"); v.(string) != "abc" {
+		t.Errorf("c = %v", v)
+	}
+}
+
+// TestWorkStealAllPruned: a plan with nothing runnable returns an empty
+// result without spawning workers.
+func TestWorkStealAllPruned(t *testing.T) {
+	g, tasks := buildChain(t)
+	plan := allCompute(3)
+	for i := range plan.States {
+		plan.States[i] = opt.Prune
+	}
+	res, err := (&Engine{}).Execute(g, tasks, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Values) != 0 {
+		t.Errorf("pruned-everything run produced values: %v", res.Values)
+	}
+}

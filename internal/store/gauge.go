@@ -1,6 +1,6 @@
 package store
 
-import "sync"
+import "sync/atomic"
 
 // Gauge is a concurrency-safe byte counter with a high-water mark. The
 // execution engine uses one to track the serialized-size estimate of every
@@ -10,10 +10,14 @@ import "sync"
 //
 // Live returns to the pre-run level after each Execute (the engine
 // subtracts what it added), while Peak accumulates across runs until Reset.
+//
+// The counters are atomics, not a mutex: the engine charges the gauge on
+// every node completion, and under the work-stealing dispatcher that is
+// the only remaining shared write on the happy path — a lock here would
+// reintroduce the very serialization the dispatcher removes.
 type Gauge struct {
-	mu   sync.Mutex
-	live int64
-	peak int64
+	live atomic.Int64
+	peak atomic.Int64
 }
 
 // Add increases the live count by n bytes, updating the peak.
@@ -21,12 +25,13 @@ func (g *Gauge) Add(n int64) {
 	if n <= 0 {
 		return
 	}
-	g.mu.Lock()
-	g.live += n
-	if g.live > g.peak {
-		g.peak = g.live
+	live := g.live.Add(n)
+	for {
+		peak := g.peak.Load()
+		if live <= peak || g.peak.CompareAndSwap(peak, live) {
+			return
+		}
 	}
-	g.mu.Unlock()
 }
 
 // Sub decreases the live count by n bytes.
@@ -34,28 +39,17 @@ func (g *Gauge) Sub(n int64) {
 	if n <= 0 {
 		return
 	}
-	g.mu.Lock()
-	g.live -= n
-	g.mu.Unlock()
+	g.live.Add(-n)
 }
 
 // Live returns the bytes currently counted live.
-func (g *Gauge) Live() int64 {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.live
-}
+func (g *Gauge) Live() int64 { return g.live.Load() }
 
 // Peak returns the high-water mark since the last Reset.
-func (g *Gauge) Peak() int64 {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.peak
-}
+func (g *Gauge) Peak() int64 { return g.peak.Load() }
 
 // Reset zeroes both the live count and the peak.
 func (g *Gauge) Reset() {
-	g.mu.Lock()
-	g.live, g.peak = 0, 0
-	g.mu.Unlock()
+	g.live.Store(0)
+	g.peak.Store(0)
 }

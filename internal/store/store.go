@@ -18,6 +18,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -117,15 +118,71 @@ func (s *Store) path(key string) string {
 // registered once (the core package registers the built-in ones).
 func Register(value any) { gob.Register(value) }
 
-// Encode gob-encodes a value, returning its serialized bytes. Exposed so
-// the execution engine can learn a result's size (for the budget check)
-// before committing to a Put.
-func Encode(value any) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(&value); err != nil {
+// codecEncodes counts every gob encode performed through the store's codec
+// (Encode and EncodeValue). The execution engine's encode-once contract —
+// each materialized value is serialized exactly once, with the size probe
+// reused for the persist — is asserted against this counter in tests.
+var codecEncodes atomic.Int64
+
+// EncodeCalls returns the number of gob encodes performed through the
+// store's codec since process start. Instrumentation only: take a snapshot
+// before and after the section under test and compare the delta.
+func EncodeCalls() int64 { return codecEncodes.Load() }
+
+// encBufPool recycles encode buffers across materializations so the hot
+// path of the execution engine's writer pipeline does not allocate a fresh
+// buffer (and its geometric growth steps) for every value.
+var encBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// Encoded is one gob-encoded value backed by a pooled buffer. Callers that
+// are done with the bytes should Release it so the buffer returns to the
+// pool; the bytes must not be used after Release.
+type Encoded struct {
+	buf *bytes.Buffer
+}
+
+// Bytes returns the serialized bytes. Valid until Release.
+func (e *Encoded) Bytes() []byte { return e.buf.Bytes() }
+
+// Size returns the serialized length in bytes.
+func (e *Encoded) Size() int64 { return int64(e.buf.Len()) }
+
+// Release returns the backing buffer to the encode pool. Safe to call once;
+// the Encoded must not be used afterwards.
+func (e *Encoded) Release() {
+	if e.buf != nil {
+		e.buf.Reset()
+		encBufPool.Put(e.buf)
+		e.buf = nil
+	}
+}
+
+// EncodeValue gob-encodes a value into a pooled buffer. It is the
+// encode-once entry point of the execution engine: the same Encoded probes
+// the size for the materialization decision and then persists through
+// PutEncoded, so each value is serialized exactly once.
+func EncodeValue(value any) (*Encoded, error) {
+	buf := encBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	codecEncodes.Add(1)
+	if err := gob.NewEncoder(buf).Encode(&value); err != nil {
+		buf.Reset()
+		encBufPool.Put(buf)
 		return nil, fmt.Errorf("store: encode: %w", err)
 	}
-	return buf.Bytes(), nil
+	return &Encoded{buf: buf}, nil
+}
+
+// Encode gob-encodes a value, returning its serialized bytes. Exposed so
+// callers outside the engine's encode-once pipeline (tests, comparisons)
+// can serialize without buffer-lifetime bookkeeping.
+func Encode(value any) ([]byte, error) {
+	enc, err := EncodeValue(value)
+	if err != nil {
+		return nil, err
+	}
+	defer enc.Release()
+	return append([]byte(nil), enc.Bytes()...), nil
 }
 
 // Decode reverses Encode.
@@ -175,13 +232,21 @@ func (s *Store) PutBytes(key string, raw []byte) error {
 	return nil
 }
 
+// PutEncoded stores an already-encoded value under key, enforcing the
+// budget. The caller keeps ownership of enc (and should Release it after);
+// the bytes are fully written before PutEncoded returns.
+func (s *Store) PutEncoded(key string, enc *Encoded) error {
+	return s.PutBytes(key, enc.Bytes())
+}
+
 // Put encodes and stores a value.
 func (s *Store) Put(key string, value any) error {
-	raw, err := Encode(value)
+	enc, err := EncodeValue(value)
 	if err != nil {
 		return err
 	}
-	return s.PutBytes(key, raw)
+	defer enc.Release()
+	return s.PutEncoded(key, enc)
 }
 
 // Get loads and decodes the value for key, recording the measured load cost

@@ -323,3 +323,57 @@ func TestSmoothThroughput(t *testing.T) {
 		t.Error("degenerate observation changed estimate")
 	}
 }
+
+func TestEncodeValuePutEncodedRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := EncodeValue("payload")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enc.Size() != int64(len(enc.Bytes())) || enc.Size() == 0 {
+		t.Errorf("Size %d inconsistent with %d bytes", enc.Size(), len(enc.Bytes()))
+	}
+	if err := s.PutEncoded("k", enc); err != nil {
+		t.Fatal(err)
+	}
+	enc.Release()
+	v, err := s.Get("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.(string) != "payload" {
+		t.Errorf("round trip = %v", v)
+	}
+	// Double release is a no-op, and pooled reuse yields clean encodings.
+	enc.Release()
+	enc2, err := EncodeValue("other")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer enc2.Release()
+	got, err := Decode(append([]byte(nil), enc2.Bytes()...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.(string) != "other" {
+		t.Errorf("pooled encode produced %v", got)
+	}
+}
+
+func TestEncodeCallsCounter(t *testing.T) {
+	before := EncodeCalls()
+	if _, err := Encode(42); err != nil {
+		t.Fatal(err)
+	}
+	enc, err := EncodeValue(43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc.Release()
+	if d := EncodeCalls() - before; d != 2 {
+		t.Errorf("counter advanced by %d, want 2", d)
+	}
+}

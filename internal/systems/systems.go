@@ -58,6 +58,9 @@ type Options struct {
 	// Order selects the dataflow ready-queue priority (default: cost-aware
 	// critical-path-first; exec.MinID restores the original ordering).
 	Order exec.Ordering
+	// Dispatch selects the dataflow dispatch mode (default: work-stealing
+	// per-worker deques; exec.GlobalHeap restores the single shared heap).
+	Dispatch exec.DispatchMode
 	// KeepIntermediates disables the session's memory-bounded release of
 	// consumed intermediate values (see core.Config.KeepIntermediates).
 	KeepIntermediates bool
@@ -71,6 +74,7 @@ func New(kind Kind, o Options) (*core.Session, error) {
 		Workers:           o.Workers,
 		Sched:             o.Sched,
 		Order:             o.Order,
+		Dispatch:          o.Dispatch,
 		KeepIntermediates: o.KeepIntermediates,
 	}
 	switch kind {
