@@ -23,9 +23,11 @@
 //	helix-bench -ablation matpolicy
 //	helix-bench -ablation scheduler
 //	helix-bench -ablation dispatch -json BENCH_3.json
+//	helix-bench -ablation reweight
 //	helix-bench -fig 2b -sched level-barrier    # A/B the old executor
 //	helix-bench -fig 2b -sched dataflow-minid   # A/B the old ready-queue order
 //	helix-bench -fig 2b -dispatch global-heap   # A/B the old dispatch loop
+//	helix-bench -fig 2b -reweight off           # A/B online re-prioritization
 //	helix-bench -fig 2b -release=false          # A/B memory-bounded execution
 //
 // Scheduler orderings and memory-bounded execution: -sched selects both
@@ -44,7 +46,13 @@
 // "-ablation dispatch" is the 2-way work-stealing vs global-heap
 // head-to-head over the same shapes (value-checked, with steal/handoff
 // counts and peak live bytes); -json writes its measurements as
-// machine-readable JSON (the CI artifact BENCH_3.json).
+// machine-readable JSON (the committed BENCH_baseline.json and the per-CI-
+// run artifact the benchdiff gate compares against it). "-reweight"
+// (default adaptive) selects online re-prioritization of the remaining
+// DAG from measured durations; "-ablation reweight" measures it on the
+// deceptive-estimate LiarDAG shape — a lying history buries the true
+// long-pole chain behind claimed-expensive decoys — under both dispatch
+// modes, min-of-3, value-checked across all four configurations.
 package main
 
 import (
@@ -64,13 +72,14 @@ import (
 
 func main() {
 	fig := flag.String("fig", "", "figure to regenerate: 2a, 2b, or all")
-	ablation := flag.String("ablation", "", "ablation to run: optflag, matpolicy, scheduler, dispatch")
+	ablation := flag.String("ablation", "", "ablation to run: optflag, matpolicy, scheduler, dispatch, reweight")
 	rows := flag.Int("rows", 20000, "census training rows (fig 2b)")
 	docs := flag.Int("docs", 400, "news training documents (fig 2a)")
 	budget := flag.Int64("budget", 0, "storage budget in bytes (0 = unlimited)")
 	workers := flag.Int("workers", 4, "executor worker pool size")
 	schedName := flag.String("sched", "dataflow", "scheduling strategy for figure runs: dataflow (critical-path order), dataflow-minid, or level-barrier")
 	dispatchName := flag.String("dispatch", "worksteal", "dataflow dispatch mode for figure runs: worksteal or global-heap")
+	reweightName := flag.String("reweight", "adaptive", "online re-prioritization for figure runs: adaptive or off")
 	release := flag.Bool("release", true, "release consumed intermediates during execution (memory-bounded sessions)")
 	jsonPath := flag.String("json", "", "write dispatch-ablation measurements as JSON to this path (BENCH_3.json)")
 	seed := flag.Int64("seed", 2018, "dataset seed")
@@ -84,12 +93,17 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	reweight, err := parseReweight(*reweightName)
+	if err != nil {
+		fatal(err)
+	}
 	opts := systems.Options{
 		BudgetBytes:       *budget,
 		Workers:           *workers,
 		Sched:             sched,
 		Order:             order,
 		Dispatch:          dispatch,
+		Reweight:          reweight,
 		KeepIntermediates: !*release,
 	}
 	if *fig == "" && *ablation == "" {
@@ -127,6 +141,10 @@ func main() {
 		if err := runDispatch(*workers, *jsonPath); err != nil {
 			fatal(err)
 		}
+	case "reweight":
+		if err := runReweight(*workers); err != nil {
+			fatal(err)
+		}
 	default:
 		fatal(fmt.Errorf("unknown ablation %q", *ablation))
 	}
@@ -153,6 +171,17 @@ func parseDispatch(name string) (exec.DispatchMode, error) {
 		return exec.GlobalHeap, nil
 	default:
 		return 0, fmt.Errorf("unknown dispatch mode %q (want worksteal or global-heap)", name)
+	}
+}
+
+func parseReweight(name string) (exec.Reweight, error) {
+	switch name {
+	case "adaptive", "":
+		return exec.Adaptive, nil
+	case "off":
+		return exec.ReweightOff, nil
+	default:
+		return 0, fmt.Errorf("unknown reweight mode %q (want adaptive or off)", name)
 	}
 }
 
@@ -347,19 +376,55 @@ func runScheduler(workers int) error {
 	return nil
 }
 
-// dispatchReport is the BENCH_3.json document: one entry per stress shape,
-// both dispatch modes measured, plus the work-stealing wall reduction.
-type dispatchReport struct {
-	Workers int                  `json:"workers"`
-	Shapes  []dispatchShapeEntry `json:"shapes"`
-}
-
-type dispatchShapeEntry struct {
-	Shape        string                    `json:"shape"`
-	Nodes        int                       `json:"nodes"`
-	WorkSteal    bench.DispatchMeasurement `json:"worksteal"`
-	GlobalHeap   bench.DispatchMeasurement `json:"global_heap"`
-	ReductionPct float64                   `json:"reduction_pct"`
+// runReweight is the online re-prioritization ablation: the deceptive-
+// estimate LiarDAG shape (a lying history claims the decoys expensive and
+// the true long-pole chain cheap) executed under adaptive vs static
+// (off) re-weighting, for both dispatch modes, min-of-3 per configuration
+// with a fresh lying history per run. Values are checked byte-identical
+// across all four configurations. The headline number is the global-heap
+// reduction: a single strictly priority-ordered queue isolates the
+// re-weighting effect, while work-stealing's steal-half strands globally
+// cheap-looking nodes on deques whose owners run them early, accidentally
+// masking most of the damage a lying estimate can do (see
+// bench.MeasureReweight).
+func runReweight(workers int) error {
+	fmt.Printf("=== ablation: adaptive re-prioritization vs static critical-path (LiarDAG, %d workers) ===\n", workers)
+	fmt.Printf("%-12s %6s %12s %12s %8s %10s\n",
+		"dispatch", "nodes", "adaptive", "off", "red", "reweights")
+	const reps = 3
+	var ref *exec.Result
+	for _, dispatch := range []exec.DispatchMode{exec.GlobalHeap, exec.WorkSteal} {
+		walls := make(map[exec.Reweight]bench.ReweightMeasurement)
+		for _, mode := range []exec.Reweight{exec.Adaptive, exec.ReweightOff} {
+			var best bench.ReweightMeasurement
+			var bestRes *exec.Result
+			for i := 0; i < reps; i++ {
+				sd := bench.DefaultLiarDAG()
+				m, res, err := bench.MeasureReweight(sd, bench.DefaultLiarHistory(sd), mode, dispatch, workers)
+				if err != nil {
+					return err
+				}
+				if bestRes == nil || m.WallMS < best.WallMS {
+					best, bestRes = m, res
+				}
+			}
+			if ref == nil {
+				ref = bestRes
+			} else if err := bench.SchedValuesEqual(bestRes, ref); err != nil {
+				return fmt.Errorf("reweight ablation: %s/%s: %w", dispatch, mode, err)
+			}
+			walls[mode] = best
+		}
+		ad, off := walls[exec.Adaptive], walls[exec.ReweightOff]
+		red := 0.0
+		if off.WallMS > 0 {
+			red = (1 - ad.WallMS/off.WallMS) * 100
+		}
+		fmt.Printf("%-12s %6d %10.2fms %10.2fms %7.0f%% %10d\n",
+			dispatch, ad.Nodes, ad.WallMS, off.WallMS, red, ad.Reweights)
+	}
+	fmt.Println()
+	return nil
 }
 
 // runDispatch is the 2-way dispatch ablation: every stress shape executed
@@ -371,7 +436,7 @@ func runDispatch(workers int, jsonPath string) error {
 	fmt.Printf("=== ablation: work-stealing vs global-heap dispatch (%d workers) ===\n", workers)
 	fmt.Printf("%-16s %6s %12s %12s %8s %8s %9s %12s\n",
 		"shape", "nodes", "worksteal", "global-heap", "red", "steals", "handoffs", "peak-bytes")
-	report := dispatchReport{Workers: workers}
+	report := bench.DispatchReport{Workers: workers}
 	// Best of three per mode: single-shot walls on ms-scale shapes are at
 	// the mercy of host noise; the minimum is the honest dispatch cost.
 	const reps = 3
@@ -408,7 +473,7 @@ func runDispatch(workers int, jsonPath string) error {
 		if ghm.WallMS > 0 {
 			red = (1 - wsm.WallMS/ghm.WallMS) * 100
 		}
-		report.Shapes = append(report.Shapes, dispatchShapeEntry{
+		report.Shapes = append(report.Shapes, bench.DispatchShapeEntry{
 			Shape: sd.Name, Nodes: sd.G.Len(),
 			WorkSteal: wsm, GlobalHeap: ghm, ReductionPct: red,
 		})

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 	"testing"
+	"time"
 
 	"repro/internal/dag"
 	"repro/internal/exec"
@@ -19,22 +20,33 @@ type schedConfig struct {
 	order    exec.Ordering
 	dispatch exec.DispatchMode
 	release  bool
+	// reweight forces online re-prioritization passes (Adaptive with a
+	// 1-completion interval and a 1ns divergence floor, so every graph
+	// actually re-sorts mid-run); false pins the initial weights
+	// (ReweightOff).
+	reweight bool
 }
 
 // equivConfigs are every scheduler configuration that must agree with the
 // level-barrier reference: both dispatch modes (work-stealing and the
 // global-heap baseline) × both orderings × with and without refcounted
-// release of consumed intermediates.
+// release of consumed intermediates × with re-prioritization passes
+// forced on every completion and pinned off.
 func equivConfigs() []schedConfig {
 	var out []schedConfig
 	for _, d := range []exec.DispatchMode{exec.WorkSteal, exec.GlobalHeap} {
 		for _, o := range []exec.Ordering{exec.CriticalPath, exec.MinID} {
 			for _, release := range []bool{false, true} {
-				name := fmt.Sprintf("dataflow-%s-%s", d, o)
-				if release {
-					name += "-release"
+				for _, reweight := range []bool{false, true} {
+					name := fmt.Sprintf("dataflow-%s-%s", d, o)
+					if release {
+						name += "-release"
+					}
+					if reweight {
+						name += "-reweight"
+					}
+					out = append(out, schedConfig{name, exec.Dataflow, o, d, release, reweight})
 				}
-				out = append(out, schedConfig{name, exec.Dataflow, o, d, release})
 			}
 		}
 	}
@@ -64,6 +76,83 @@ func encodeValue(t *testing.T, v any) []byte {
 		t.Fatalf("encode: %v", err)
 	}
 	return raw
+}
+
+// sharedSigDAG builds a diamond whose two middle nodes are identical
+// subcomputations under content addressing: same key, same value. The
+// executor must encode and persist that signature exactly once per run.
+func sharedSigDAG(tag string) *SchedDAG {
+	g := dag.New()
+	root := g.MustAddNode("root", "scan")
+	a := g.MustAddNode("twin-a", "op")
+	b := g.MustAddNode("twin-b", "op")
+	join := g.MustAddNode("join", "agg")
+	g.MustAddEdge(root, a)
+	g.MustAddEdge(root, b)
+	g.MustAddEdge(a, join)
+	g.MustAddEdge(b, join)
+	g.Node(join).Output = true
+	twin := func(in []any) (any, error) { return in[0].(int) + 100, nil }
+	return &SchedDAG{Name: "shared-sig", G: g, Tasks: []exec.Task{
+		{Key: "ssk-root-" + tag, Run: func([]any) (any, error) { return 1, nil }},
+		{Key: "ssk-twin-" + tag, Run: twin},
+		{Key: "ssk-twin-" + tag, Run: twin},
+		{Key: "ssk-join-" + tag, Run: func(in []any) (any, error) { return in[0].(int) * in[1].(int), nil }},
+	}}
+}
+
+// TestSharedSignatureEncodedOnceAcrossExecutors closes the level-barrier
+// half of the shared-key double-write hole: with two nodes sharing one
+// result signature, the dataflow writer's in-run dedupe and the
+// level-barrier executor's (new) equivalent must each encode the shared
+// signature exactly once — asserted via the instrumented store codec
+// counter — and charge its budget once.
+func TestSharedSignatureEncodedOnceAcrossExecutors(t *testing.T) {
+	configs := []schedConfig{
+		{name: "level-barrier", sched: exec.LevelBarrier},
+		{name: "dataflow-worksteal", sched: exec.Dataflow, dispatch: exec.WorkSteal},
+		{name: "dataflow-global-heap", sched: exec.Dataflow, dispatch: exec.GlobalHeap},
+	}
+	for i, c := range configs {
+		t.Run(c.name, func(t *testing.T) {
+			// Repeat each config: the same-level race needs attempts to
+			// interleave, and the counter must hold every time.
+			for rep := 0; rep < 10; rep++ {
+				sd := sharedSigDAG(fmt.Sprintf("%d-%d", i, rep))
+				st, err := store.Open(t.TempDir(), 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				e := &exec.Engine{
+					Workers:  4,
+					Sched:    c.sched,
+					Dispatch: c.dispatch,
+					Store:    st,
+					Policy:   opt.MaterializeAll{},
+				}
+				before := store.EncodeCalls()
+				if _, err := e.Execute(sd.G, sd.Tasks, sd.Plan()); err != nil {
+					t.Fatal(err)
+				}
+				// 3 distinct keys across 4 nodes: root, the shared twin
+				// signature (once), join.
+				if got := store.EncodeCalls() - before; got != 3 {
+					t.Fatalf("rep %d: %d gob encodes, want 3 (shared signature encoded once)", rep, got)
+				}
+				entries := st.Entries()
+				if len(entries) != 3 {
+					t.Fatalf("rep %d: %d store entries, want 3", rep, len(entries))
+				}
+				var total int64
+				for _, en := range entries {
+					total += en.Size
+				}
+				if st.Used() != total {
+					t.Fatalf("rep %d: store used %d != entry sum %d (budget double-reserved)", rep, st.Used(), total)
+				}
+			}
+		})
+	}
 }
 
 // TestRandomizedSchedulerEquivalence is the property harness of the
@@ -128,6 +217,12 @@ func TestRandomizedSchedulerEquivalence(t *testing.T) {
 					ReleaseIntermediates: c.release,
 					Store:                st,
 					Policy:               opt.MaterializeAll{},
+					Reweight:             exec.ReweightOff,
+				}
+				if c.reweight {
+					e.Reweight = exec.Adaptive
+					e.ReweightInterval = 1
+					e.ReweightMinDivergence = time.Nanosecond
 				}
 				res, err := e.Execute(sd.G, sd.Tasks, plan)
 				if err != nil {
@@ -136,7 +231,7 @@ func TestRandomizedSchedulerEquivalence(t *testing.T) {
 				return res, st
 			}
 
-			ref, refStore := run(schedConfig{"level-barrier", exec.LevelBarrier, exec.CriticalPath, exec.WorkSteal, false})
+			ref, refStore := run(schedConfig{name: "level-barrier", sched: exec.LevelBarrier})
 			refC, refL, refP := stateCounts(ref)
 			for _, c := range equivConfigs() {
 				res, st := run(c)

@@ -202,6 +202,66 @@ func TestMeasureDispatch(t *testing.T) {
 	}
 }
 
+// TestLiarAdaptiveBeatsStatic is the online re-prioritization acceptance
+// check on the deceptive-estimate LiarDAG shape under strict-priority
+// (global-heap) dispatch: the lying history buries the true long-pole
+// chain behind claimed-expensive decoys, so static critical-path pays the
+// whole chain as a serial tail while adaptive re-weighting corrects the
+// decoy group off the first measured completions. The design-point gap is
+// ~37% at 8 workers (min-of-3); the assertion demands 20%, the shape is
+// sleep-dominated so the gap does not depend on spare cores, and values
+// must be byte-identical across modes.
+func TestLiarAdaptiveBeatsStatic(t *testing.T) {
+	best := func(mode exec.Reweight) (time.Duration, *exec.Result) {
+		min := time.Duration(1<<62 - 1)
+		var bestRes *exec.Result
+		for i := 0; i < 3; i++ {
+			sd := DefaultLiarDAG()
+			_, res, err := MeasureReweight(sd, DefaultLiarHistory(sd), mode, exec.GlobalHeap, 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Wall < min {
+				min = res.Wall
+				bestRes = res
+			}
+			if mode == exec.Adaptive && res.Reweights == 0 {
+				t.Error("adaptive run performed no re-prioritization passes")
+			}
+		}
+		return min, bestRes
+	}
+	ad, adRes := best(exec.Adaptive)
+	off, offRes := best(exec.ReweightOff)
+	if err := SchedValuesEqual(adRes, offRes); err != nil {
+		t.Fatal(err)
+	}
+	if float64(ad) > 0.8*float64(off) {
+		t.Errorf("adaptive min-wall %v not ≥20%% below static %v on the liar shape", ad, off)
+	}
+}
+
+// TestMeasureReweightMetadata: the reweight measurement helper reports the
+// configuration it ran and a positive wall, and an adaptive liar run
+// counts its passes.
+func TestMeasureReweightMetadata(t *testing.T) {
+	sd := DefaultLiarDAG()
+	m, res, err := MeasureReweight(sd, DefaultLiarHistory(sd), exec.Adaptive, exec.WorkSteal, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Shape != "liar" || m.Nodes != sd.G.Len() || m.Workers != 8 ||
+		m.Reweight != "adaptive" || m.Dispatch != "worksteal" {
+		t.Errorf("measurement metadata wrong: %+v", m)
+	}
+	if m.WallMS <= 0 {
+		t.Errorf("wall not measured: %+v", m)
+	}
+	if m.Reweights == 0 || m.Reweights != res.Reweights {
+		t.Errorf("reweight passes not carried through: %+v vs result %d", m, res.Reweights)
+	}
+}
+
 // TestRunSchedReleaseDropsIntermediates: the release knob of
 // RunSchedOrdered leaves only output values behind, and they match the
 // retain-everything run.

@@ -49,6 +49,11 @@ type Config struct {
 	// exec.GlobalHeap restores the single shared ready heap for A/B
 	// comparisons.
 	Dispatch exec.DispatchMode
+	// Reweight selects online re-prioritization of the remaining DAG from
+	// measured durations; the zero value is exec.Adaptive.
+	// exec.ReweightOff pins the weights computed at the top of each
+	// iteration for A/B comparisons.
+	Reweight exec.Reweight
 	// KeepIntermediates retains every non-pruned value in memory for the
 	// whole iteration. By default the session releases a non-output value
 	// the moment its last consumer has run (memory-bounded execution;
@@ -99,6 +104,7 @@ func NewSession(cfg Config) (*Session, error) {
 		Sched:                cfg.Sched,
 		Order:                cfg.Order,
 		Dispatch:             cfg.Dispatch,
+		Reweight:             cfg.Reweight,
 		ReleaseIntermediates: !cfg.KeepIntermediates,
 		LiveBytes:            &s.live,
 	}

@@ -101,6 +101,10 @@ type Result struct {
 	// Handoffs counts ready nodes a finishing worker routed through the
 	// global overflow queue to parked workers (work-stealing dispatch only).
 	Handoffs int64
+	// Reweights counts the online re-prioritization passes the run
+	// performed (dataflow scheduler, critical-path ordering, Adaptive
+	// reweighting only; always 0 otherwise).
+	Reweights int64
 }
 
 // Value returns the value of the named node, if present.
@@ -343,6 +347,20 @@ type Engine struct {
 	// workers; the zero value is WorkSteal (per-worker deques, lock-light).
 	// GlobalHeap retains the single shared ready heap for A/B benchmarks.
 	Dispatch DispatchMode
+	// Reweight selects online re-prioritization of the remaining DAG as
+	// measured durations diverge from the estimates behind the initial
+	// critical-path weights; the zero value is Adaptive. ReweightOff pins
+	// the weights computed at the top of Execute for A/B benchmarks. Only
+	// meaningful under Dataflow scheduling with CriticalPath ordering.
+	Reweight Reweight
+	// ReweightInterval overrides the minimum number of node completions
+	// between re-prioritization passes; <=0 selects the default (8, scaled
+	// up with graph size). Exposed for tests that must force passes.
+	ReweightInterval int
+	// ReweightMinDivergence overrides the absolute measured-vs-estimated
+	// divergence a trigger window must accumulate before a pass runs; <=0
+	// selects the default (1ms). Exposed for tests that must force passes.
+	ReweightMinDivergence time.Duration
 	// MatWriters bounds the background materialization writers of the
 	// dataflow scheduler; <=0 means 2.
 	MatWriters int

@@ -30,6 +30,11 @@ func (e *Engine) executeLevelBarrier(g *dag.Graph, tasks []Task, plan *opt.Plan,
 	if e.Policy != nil && e.Store != nil && e.Policy.NeedsAncestorCost() {
 		closures = opt.AncestorClosures(g)
 	}
+	// In-run dedupe of materialization keys, mirroring the dataflow
+	// writer's: two same-level nodes sharing a result signature both pass
+	// the Store.Has check before either write lands, double-encoding the
+	// value and double-reserving its budget without it.
+	queued := &keyDedupe{keys: make(map[string]bool)}
 	start := time.Now()
 	var mu sync.Mutex // guards res.Values and res.Nodes during a level
 	sem := make(chan struct{}, e.workers())
@@ -49,7 +54,7 @@ func (e *Engine) executeLevelBarrier(g *dag.Graph, tasks []Task, plan *opt.Plan,
 			go func(id dag.NodeID) {
 				defer wg.Done()
 				defer func() { <-sem }()
-				if err := e.runNodeSync(g, tasks, plan, id, res, &mu, closures); err != nil {
+				if err := e.runNodeSync(g, tasks, plan, id, res, &mu, closures, queued); err != nil {
 					failed.Store(true)
 					errCh <- err
 				}
@@ -72,7 +77,7 @@ func (e *Engine) executeLevelBarrier(g *dag.Graph, tasks []Task, plan *opt.Plan,
 
 // runNodeSync loads or computes one node, then applies the materialization
 // policy synchronously for computed nodes.
-func (e *Engine) runNodeSync(g *dag.Graph, tasks []Task, plan *opt.Plan, id dag.NodeID, res *Result, mu *sync.Mutex, closures [][]dag.NodeID) error {
+func (e *Engine) runNodeSync(g *dag.Graph, tasks []Task, plan *opt.Plan, id dag.NodeID, res *Result, mu *sync.Mutex, closures [][]dag.NodeID, queued *keyDedupe) error {
 	name := g.Node(id).Name
 	nodeStart := time.Now()
 	switch plan.States[id] {
@@ -92,7 +97,7 @@ func (e *Engine) runNodeSync(g *dag.Graph, tasks []Task, plan *opt.Plan, id dag.
 			return fmt.Errorf("exec: compute %s: %w", name, err)
 		}
 		computeDur := time.Since(nodeStart)
-		matDur, size, materialized, reward := e.maybeMaterialize(g, tasks, id, v, computeDur, res, mu, closures)
+		matDur, size, materialized, reward := e.maybeMaterialize(g, tasks, id, v, computeDur, res, mu, closures, queued)
 		total := computeDur + matDur
 		if e.History != nil {
 			e.History.ObserveCompute(name, computeDur, size)
@@ -115,14 +120,17 @@ func (e *Engine) runNodeSync(g *dag.Graph, tasks []Task, plan *opt.Plan, id dag.
 
 // maybeMaterialize consults the policy and persists the value when told to,
 // synchronously on the node's critical path (this scheduler's historical
-// accounting). Returns the time spent, the serialized size (0 if never
-// encoded), whether the value was stored, and the policy reward.
-func (e *Engine) maybeMaterialize(g *dag.Graph, tasks []Task, id dag.NodeID, v any, computeDur time.Duration, res *Result, mu *sync.Mutex, closures [][]dag.NodeID) (time.Duration, int64, bool, int64) {
+// accounting). Keys already claimed this run are skipped — two same-level
+// nodes sharing a result signature must not race to double-write — as are
+// keys persisted by an earlier iteration. Returns the time spent, the
+// serialized size (0 if never encoded), whether the value was stored, and
+// the policy reward.
+func (e *Engine) maybeMaterialize(g *dag.Graph, tasks []Task, id dag.NodeID, v any, computeDur time.Duration, res *Result, mu *sync.Mutex, closures [][]dag.NodeID, queued *keyDedupe) (time.Duration, int64, bool, int64) {
 	if e.Policy == nil || e.Store == nil || tasks[id].Key == "" {
 		return 0, 0, false, 0
 	}
-	if e.Store.Has(tasks[id].Key) {
-		return 0, 0, false, 0 // already persisted by an earlier iteration
+	if !queued.claim(tasks[id].Key) || e.Store.Has(tasks[id].Key) {
+		return 0, 0, false, 0 // claimed this run, or persisted by an earlier iteration
 	}
 	return e.decideAndPersist(g, id, g.Node(id).Name, tasks[id].Key, v, computeDur, func() int64 {
 		return e.ancestorCost(closures[id], res, mu, true)

@@ -9,6 +9,25 @@ import (
 	"repro/internal/opt"
 )
 
+// keyDedupe is the in-run first-claim set both executors use to keep nodes
+// sharing a result signature (identical subcomputations under content
+// addressing) from racing to materialize the same key: without it, both
+// nodes can pass the Store.Has check before either write lands, double-
+// encoding the value and double-reserving its budget.
+type keyDedupe struct {
+	mu   sync.Mutex
+	keys map[string]bool
+}
+
+// claim reports whether the caller is the first to claim key this run.
+func (d *keyDedupe) claim(key string) bool {
+	d.mu.Lock()
+	dup := d.keys[key]
+	d.keys[key] = true
+	d.mu.Unlock()
+	return !dup
+}
+
 // matJob carries one completed value into the background materialization
 // pipeline together with the measurements its policy decision needs. The
 // job owns a reference to the value, so the scheduler may release it from
@@ -44,11 +63,8 @@ type matWriter struct {
 
 	// queued dedupes in-flight keys within one run: when several nodes
 	// share a result signature (identical subcomputations), only the first
-	// completion is submitted. Without it the Store.Has check below races —
-	// both nodes can pass it before either write lands, double-encoding the
-	// value and double-reserving its budget.
-	queuedMu sync.Mutex
-	queued   map[string]bool
+	// completion is submitted.
+	queued keyDedupe
 }
 
 // newMatWriter starts the writer pool for one Execute call. The ancestor
@@ -64,7 +80,7 @@ func newMatWriter(rc *runCtx) *matWriter {
 		resMu:  &rc.resMu,
 		durs:   rc.durs,
 		jobs:   make(chan matJob, g.Len()),
-		queued: make(map[string]bool),
+		queued: keyDedupe{keys: make(map[string]bool)},
 	}
 	if e.Policy.NeedsAncestorCost() {
 		w.closures = opt.AncestorClosures(g)
@@ -88,11 +104,7 @@ func (w *matWriter) submit(id dag.NodeID, name, key string, v any, computeDur ti
 	if key == "" {
 		return // not addressable
 	}
-	w.queuedMu.Lock()
-	dup := w.queued[key]
-	w.queued[key] = true
-	w.queuedMu.Unlock()
-	if dup || w.e.Store.Has(key) {
+	if !w.queued.claim(key) || w.e.Store.Has(key) {
 		return // in flight this run, or persisted by an earlier iteration
 	}
 	w.jobs <- matJob{id: id, name: name, key: key, value: v, computeDur: computeDur}

@@ -67,6 +67,10 @@ type runCtx struct {
 	coldSizes []int64
 
 	writer *matWriter // nil when materialization is disabled
+
+	// rw is the online re-prioritization state; nil when reweighting is
+	// off, the ordering carries no weights (MinID), or the graph is empty.
+	rw *reweighter
 }
 
 // executeDataflow runs the plan with dependency-counting scheduling: no
@@ -103,7 +107,11 @@ func (e *Engine) executeDataflow(g *dag.Graph, tasks []Task, plan *opt.Plan, res
 	}
 	var weight []int64
 	if e.Order == CriticalPath {
-		weight = e.pathWeights(g, tasks, plan, order, structural)
+		var cost []int64
+		weight, cost = e.pathWeights(g, tasks, plan, order, structural)
+		if weight != nil && e.Reweight == Adaptive {
+			rc.rw = newReweighter(rc, order, cost, weight)
+		}
 	}
 	if e.LiveBytes != nil {
 		rc.liveSize = make([]int64, g.Len())
@@ -158,6 +166,9 @@ func (e *Engine) executeDataflow(g *dag.Graph, tasks []Task, plan *opt.Plan, res
 			res.Nodes[i].Duration = time.Duration(d)
 		}
 	}
+	if rc.rw != nil {
+		res.Reweights = rc.rw.passes.Load()
+	}
 	if e.LiveBytes != nil {
 		// Values still retained (outputs, and everything else when release
 		// is off) stop being execution-live once the run is over; settle
@@ -198,6 +209,15 @@ func runHeapDispatch(rc *runCtx, weight []int64, pending, consumers []int, remai
 	d := &heapDispatch{runCtx: rc, pending: pending, consumers: consumers, remaining: remaining}
 	d.cond = sync.NewCond(&d.mu)
 	d.ready.weight = weight
+	if rc.rw != nil {
+		// Eager sweep of a pass: one heap, one lock. Queues also catch up
+		// lazily through fix() on every locked access.
+		rc.rw.resort = func() {
+			d.mu.Lock()
+			rc.rw.fix(&d.ready)
+			d.mu.Unlock()
+		}
+	}
 	for _, id := range ready {
 		d.ready.push(id)
 	}
@@ -239,6 +259,9 @@ func (d *heapDispatch) next() (dag.NodeID, bool) {
 		if d.cancelled || d.remaining == 0 {
 			return 0, false
 		}
+		if d.rw != nil {
+			d.rw.fix(&d.ready)
+		}
 		if d.ready.Len() > 0 {
 			return d.ready.pop(), true
 		}
@@ -253,6 +276,12 @@ func (d *heapDispatch) next() (dag.NodeID, bool) {
 // not-yet-dispatched work; nodes already in flight complete and their
 // errors, if any, are collected too.
 func (d *heapDispatch) finish(id dag.NodeID, err error) {
+	// Feed the re-prioritizer before taking the dispatch lock: a pass's
+	// eager re-sort acquires d.mu itself.
+	if err == nil && d.rw != nil {
+		d.rw.observe(id, d.durs[id].Load())
+		d.rw.maybePass()
+	}
 	var release []dag.NodeID
 	d.mu.Lock()
 	d.remaining--
@@ -327,6 +356,11 @@ func (rc *runCtx) applyRelease(release []dag.NodeID) {
 func (rc *runCtx) runNode(id dag.NodeID) error {
 	e, g := rc.e, rc.g
 	name := g.Node(id).Name
+	if rc.rw != nil {
+		// Out of every ready queue from here on: re-prioritization passes
+		// stop touching this node's weight.
+		rc.rw.markStarted(id)
+	}
 	nodeStart := time.Now()
 	switch rc.plan.States[id] {
 	case opt.Load:
@@ -401,8 +435,11 @@ func (rc *runCtx) gather(id dag.NodeID) ([]any, error) {
 // heaviest-downstream-path weights. Pruned nodes cost 0; weight flowing
 // through a pruned node toward a load descendant slightly overstates its
 // ancestors, which is harmless for an ordering heuristic (pruned nodes
-// themselves never enter a ready queue).
-func (e *Engine) pathWeights(g *dag.Graph, tasks []Task, plan *opt.Plan, order []dag.NodeID, structural []int64) []int64 {
+// themselves never enter a ready queue). The per-node cost estimates are
+// returned alongside the weights: they seed the online re-prioritizer,
+// which measures divergence against exactly what the weights were built
+// from.
+func (e *Engine) pathWeights(g *dag.Graph, tasks []Task, plan *opt.Plan, order []dag.NodeID, structural []int64) ([]int64, []int64) {
 	cost := make([]int64, g.Len())
 	for i := range cost {
 		id := dag.NodeID(i)
@@ -425,9 +462,9 @@ func (e *Engine) pathWeights(g *dag.Graph, tasks []Task, plan *opt.Plan, order [
 	}
 	w, err := g.CriticalPathOrdered(cost, order)
 	if err != nil {
-		return nil // cycles are rejected before dispatch; fall back to min-ID
+		return nil, nil // cycles are rejected before dispatch; fall back to min-ID
 	}
-	return w
+	return w, cost
 }
 
 // noteLive charges id's freshly published value to the engine's live-bytes
@@ -472,6 +509,12 @@ func (rc *runCtx) noteLive(id dag.NodeID) {
 type nodeHeap struct {
 	ids    []dag.NodeID
 	weight []int64 // indexed by node ID; nil selects min-ID ordering
+	// epoch is the re-prioritization version this heap was last sorted
+	// with (reweighter.fix compares it against the global counter and
+	// re-heapifies with the fresh weights on mismatch). Guarded by
+	// whatever lock guards the heap itself; always 0 when reweighting is
+	// off.
+	epoch uint64
 }
 
 func (h *nodeHeap) Len() int { return len(h.ids) }
@@ -494,13 +537,19 @@ func (h *nodeHeap) push(id dag.NodeID) {
 // pop removes and returns the highest-priority node (sift down). The heap
 // must be non-empty.
 func (h *nodeHeap) pop() dag.NodeID {
-	ids, w := h.ids, h.weight
+	ids := h.ids
 	top := ids[0]
 	n := len(ids) - 1
 	ids[0] = ids[n]
 	h.ids = ids[:n]
-	ids = h.ids
-	i := 0
+	h.siftDown(0)
+	return top
+}
+
+// siftDown restores the heap invariant below index i.
+func (h *nodeHeap) siftDown(i int) {
+	ids, w := h.ids, h.weight
+	n := len(ids)
 	for {
 		l := 2*i + 1
 		if l >= n {
@@ -516,7 +565,15 @@ func (h *nodeHeap) pop() dag.NodeID {
 		ids[i], ids[best] = ids[best], ids[i]
 		i = best
 	}
-	return top
+}
+
+// heapify re-establishes the invariant over the whole heap after the
+// weight slice changed (a re-prioritization pass): bottom-up sift-down,
+// O(n) for the queue sizes dispatch ever holds.
+func (h *nodeHeap) heapify() {
+	for i := len(h.ids)/2 - 1; i >= 0; i-- {
+		h.siftDown(i)
+	}
 }
 
 // nodeBefore reports whether a dispatches before b: larger critical-path

@@ -94,6 +94,25 @@ func runWorkSteal(rc *runCtx, weight []int64, pending, consumers []int, remainin
 	for i := range d.deques {
 		d.deques[i].h.weight = weight
 	}
+	if rc.rw != nil {
+		// Eager sweep of a re-prioritization pass: re-sort each deque and
+		// the overflow queue, one lock at a time (the pass holds no lock of
+		// its own, so the dispatch lock order is untouched). Queues the
+		// sweep misses — or that are pushed to with a stale slice after it
+		// passed — catch up lazily through fix() on their next locked
+		// access.
+		rc.rw.resort = func() {
+			for i := range d.deques {
+				dq := &d.deques[i]
+				dq.mu.Lock()
+				rc.rw.fix(&dq.h)
+				dq.mu.Unlock()
+			}
+			d.parkMu.Lock()
+			rc.rw.fix(&d.overflow)
+			d.parkMu.Unlock()
+		}
+	}
 	d.pending = make([]atomic.Int32, len(pending))
 	for i, p := range pending {
 		d.pending[i].Store(int32(p))
@@ -170,6 +189,13 @@ func (d *wsDispatch) finish(w int, id dag.NodeID, err error) (dag.NodeID, bool) 
 		d.errMu.Unlock()
 		d.cancelled.Store(true)
 	} else {
+		// Feed the re-prioritizer before dispatching children: no lock is
+		// held here, and a pass triggered now orders the children below
+		// with the corrected weights.
+		if d.rw != nil {
+			d.rw.observe(id, d.durs[id].Load())
+			d.rw.maybePass()
+		}
 		// Settle release reference counts before any child can be
 		// dispatched: the self-check below (consumers[id] == 0) is only
 		// race-free while no child of id is running, and children become
@@ -190,7 +216,7 @@ func (d *wsDispatch) finish(w int, id dag.NodeID, err error) (dag.NodeID, bool) 
 	var next dag.NodeID
 	keep := false
 	if len(ready) > 0 && !d.cancelled.Load() {
-		next, ready = pickBest(d.weight, ready)
+		next, ready = pickBest(d.curWeight(), ready)
 		keep = true
 		if len(ready) > 0 {
 			d.dispatchRest(w, ready)
@@ -208,6 +234,27 @@ func (d *wsDispatch) finish(w int, id dag.NodeID, err error) (dag.NodeID, bool) 
 		return next, true
 	}
 	return 0, false
+}
+
+// curWeight returns the live priority slice: the re-prioritizer's current
+// publication when reweighting is on, the run's initial weights otherwise.
+// Snapshots may lag a concurrent pass by one publication — weights order
+// work, they never gate correctness, so a stale snapshot costs at most one
+// suboptimal pick.
+func (d *wsDispatch) curWeight() []int64 {
+	if d.rw == nil {
+		return d.weight
+	}
+	w, _ := d.rw.current()
+	return w
+}
+
+// fix re-sorts h with the current weights if a re-prioritization pass has
+// published since h was last sorted. Callers hold the lock guarding h.
+func (d *wsDispatch) fix(h *nodeHeap) {
+	if d.rw != nil {
+		d.rw.fix(h)
+	}
 }
 
 // pickBest removes the highest-priority node from ready and returns it
@@ -234,6 +281,7 @@ func (d *wsDispatch) dispatchRest(w int, rest []dag.NodeID) {
 	if d.waiters.Load() > 0 {
 		d.handoffs.Add(int64(len(rest)))
 		d.parkMu.Lock()
+		d.fix(&d.overflow)
 		for _, c := range rest {
 			d.overflow.push(c)
 		}
@@ -243,6 +291,7 @@ func (d *wsDispatch) dispatchRest(w int, rest []dag.NodeID) {
 	}
 	dq := &d.deques[w]
 	dq.mu.Lock()
+	d.fix(&dq.h)
 	for _, c := range rest {
 		dq.h.push(c)
 	}
@@ -332,6 +381,7 @@ func (d *wsDispatch) popLocal(w int) (dag.NodeID, bool) {
 	if dq.h.Len() == 0 {
 		return 0, false
 	}
+	d.fix(&dq.h)
 	return dq.h.pop(), true
 }
 
@@ -344,6 +394,7 @@ func (d *wsDispatch) popOverflow() (dag.NodeID, bool) {
 	if d.overflow.Len() == 0 {
 		return 0, false
 	}
+	d.fix(&d.overflow)
 	return d.overflow.pop(), true
 }
 
@@ -371,6 +422,10 @@ func (d *wsDispatch) stealBatch(w int, rng *wsRand) (dag.NodeID, bool) {
 			dq.mu.Unlock()
 			continue
 		}
+		// Re-sort before splitting: the thief is about to take the
+		// victim's "best half", which must mean best under the current
+		// weights, not the ones from before the last re-prioritization.
+		d.fix(&dq.h)
 		take := (dq.h.Len() + 1) / 2
 		batch := make([]dag.NodeID, 0, take)
 		for len(batch) < take {
@@ -381,6 +436,7 @@ func (d *wsDispatch) stealBatch(w int, rng *wsRand) (dag.NodeID, bool) {
 		if len(batch) > 1 {
 			own := &d.deques[w]
 			own.mu.Lock()
+			d.fix(&own.h)
 			for _, id := range batch[1:] {
 				own.h.push(id)
 			}
@@ -425,6 +481,7 @@ func (d *wsDispatch) park(w int) (dag.NodeID, bool) {
 // hold parkMu (lock order: parkMu, then one deque mutex at a time).
 func (d *wsDispatch) scanLocked(w int) (dag.NodeID, bool) {
 	if d.overflow.Len() > 0 {
+		d.fix(&d.overflow)
 		return d.overflow.pop(), true
 	}
 	for i := 0; i < len(d.deques); i++ {
@@ -432,6 +489,7 @@ func (d *wsDispatch) scanLocked(w int) (dag.NodeID, bool) {
 		dq := &d.deques[v]
 		dq.mu.Lock()
 		if dq.h.Len() > 0 {
+			d.fix(&dq.h)
 			id := dq.h.pop()
 			dq.mu.Unlock()
 			if v != w {

@@ -61,6 +61,9 @@ type Options struct {
 	// Dispatch selects the dataflow dispatch mode (default: work-stealing
 	// per-worker deques; exec.GlobalHeap restores the single shared heap).
 	Dispatch exec.DispatchMode
+	// Reweight selects online re-prioritization from measured durations
+	// (default: exec.Adaptive; exec.ReweightOff pins the initial weights).
+	Reweight exec.Reweight
 	// KeepIntermediates disables the session's memory-bounded release of
 	// consumed intermediate values (see core.Config.KeepIntermediates).
 	KeepIntermediates bool
@@ -75,6 +78,7 @@ func New(kind Kind, o Options) (*core.Session, error) {
 		Sched:             o.Sched,
 		Order:             o.Order,
 		Dispatch:          o.Dispatch,
+		Reweight:          o.Reweight,
 		KeepIntermediates: o.KeepIntermediates,
 	}
 	switch kind {
