@@ -24,6 +24,8 @@
 //	helix-bench -ablation scheduler
 //	helix-bench -ablation dispatch -json BENCH_3.json
 //	helix-bench -ablation reweight
+//	helix-bench -ablation spill
+//	helix-bench -fig 2b -budget 65536 -spill -1 # tiered store on figure runs
 //	helix-bench -fig 2b -sched level-barrier    # A/B the old executor
 //	helix-bench -fig 2b -sched dataflow-minid   # A/B the old ready-queue order
 //	helix-bench -fig 2b -dispatch global-heap   # A/B the old dispatch loop
@@ -53,6 +55,10 @@
 // deceptive-estimate LiarDAG shape — a lying history buries the true
 // long-pole chain behind claimed-expensive decoys — under both dispatch
 // modes, min-of-3, value-checked across all four configurations.
+// "-spill" attaches a cold second-tier store to figure runs (see
+// docs/store.md); "-ablation spill" drives the spill-pressure shape
+// through two iterations under an unbudgeted reference, a rejecting hot
+// tier, and a hot tier backed by spill, value-checked throughout.
 package main
 
 import (
@@ -60,6 +66,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 
 	"repro/internal/bench"
@@ -72,10 +79,11 @@ import (
 
 func main() {
 	fig := flag.String("fig", "", "figure to regenerate: 2a, 2b, or all")
-	ablation := flag.String("ablation", "", "ablation to run: optflag, matpolicy, scheduler, dispatch, reweight")
+	ablation := flag.String("ablation", "", "ablation to run: optflag, matpolicy, scheduler, dispatch, reweight, spill")
 	rows := flag.Int("rows", 20000, "census training rows (fig 2b)")
 	docs := flag.Int("docs", 400, "news training documents (fig 2a)")
 	budget := flag.Int64("budget", 0, "storage budget in bytes (0 = unlimited)")
+	spill := flag.Int64("spill", 0, "cold spill-tier budget in bytes (0 = tiering off, <0 = unbudgeted spill tier)")
 	workers := flag.Int("workers", 4, "executor worker pool size")
 	schedName := flag.String("sched", "dataflow", "scheduling strategy for figure runs: dataflow (critical-path order), dataflow-minid, or level-barrier")
 	dispatchName := flag.String("dispatch", "worksteal", "dataflow dispatch mode for figure runs: worksteal or global-heap")
@@ -99,6 +107,7 @@ func main() {
 	}
 	opts := systems.Options{
 		BudgetBytes:       *budget,
+		SpillBudgetBytes:  *spill,
 		Workers:           *workers,
 		Sched:             sched,
 		Order:             order,
@@ -143,6 +152,10 @@ func main() {
 		}
 	case "reweight":
 		if err := runReweight(*workers); err != nil {
+			fatal(err)
+		}
+	case "spill":
+		if err := runSpill(*workers); err != nil {
 			fatal(err)
 		}
 	default:
@@ -422,6 +435,69 @@ func runReweight(workers int) error {
 		}
 		fmt.Printf("%-12s %6d %10.2fms %10.2fms %7.0f%% %10d\n",
 			dispatch, ad.Nodes, ad.WallMS, off.WallMS, red, ad.Reweights)
+	}
+	fmt.Println()
+	return nil
+}
+
+// runSpill is the tiered-store ablation: the spill-pressure shape driven
+// through two iterations (all-compute, then the optimizer's plan over the
+// learned per-tier cost model) under three store configurations — an
+// unbudgeted single tier (the reference), a hot tier sized to reject half
+// the materialized bytes with no spill tier (budget-rejected values are
+// simply dropped and recomputed), and the same hot budget backed by an
+// unbudgeted cold tier (rejections spill, cold loads promote). Values are
+// checked byte-identical across every configuration and iteration.
+func runSpill(workers int) error {
+	fmt.Printf("=== ablation: tiered store under hot-budget pressure (spill shape, %d workers) ===\n", workers)
+	sd := bench.DefaultSpillDAG()
+	base, cleanup, err := tempBase("spill")
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+
+	ref, refRes, err := bench.MeasureSpill(sd, filepath.Join(base, "ref"), 0, 0, false, workers)
+	if err != nil {
+		return err
+	}
+	ref.Config = "unbudgeted"
+	half := ref.HotUsed / 2
+	rows := []bench.SpillMeasurement{ref}
+	for _, cfg := range []struct {
+		name      string
+		withSpill bool
+	}{{"hot-only", false}, {"hot+spill", true}} {
+		m, res, err := bench.MeasureSpill(sd, filepath.Join(base, cfg.name), half, 0, cfg.withSpill, workers)
+		if err != nil {
+			return err
+		}
+		m.Config = cfg.name
+		// Iteration 1 runs the same all-compute plan everywhere: full value
+		// maps must agree. Iteration 2's plans legitimately differ (the
+		// optimizer prunes upstream of whatever each tier lets it load), so
+		// the check is on the graph outputs.
+		if err := bench.SchedValuesEqual(res[0], refRes[0]); err != nil {
+			return fmt.Errorf("spill ablation: %s iter 1: %w", cfg.name, err)
+		}
+		if err := bench.OutputValuesEqual(sd.G, res[1], refRes[1]); err != nil {
+			return fmt.Errorf("spill ablation: %s iter 2: %w", cfg.name, err)
+		}
+		if m.HotUsed > half {
+			return fmt.Errorf("spill ablation: %s hot tier used %d over its %d budget", cfg.name, m.HotUsed, half)
+		}
+		rows = append(rows, m)
+	}
+	fmt.Printf("%-12s %10s %10s %10s %7s %7s %7s %10s %10s %8s\n",
+		"config", "hot-budget", "iter1", "iter2", "spills", "promos", "evicts", "hot-used", "cold-used", "loads2")
+	for _, m := range rows {
+		budget := "unlimited"
+		if m.HotBudget > 0 {
+			budget = fmt.Sprintf("%dKB", m.HotBudget>>10)
+		}
+		fmt.Printf("%-12s %10s %8.2fms %8.2fms %7d %7d %7d %10d %10d %8d\n",
+			m.Config, budget, m.Iter1WallMS, m.Iter2WallMS, m.Spills, m.Promotions, m.Evictions,
+			m.HotUsed, m.ColdUsed, m.Loaded2)
 	}
 	fmt.Println()
 	return nil

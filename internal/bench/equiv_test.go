@@ -155,6 +155,176 @@ func TestSharedSignatureEncodedOnceAcrossExecutors(t *testing.T) {
 	}
 }
 
+// TestRandomizedSpillEquivalence forces the tiered store into the
+// randomized harness: the same seeded graphs and mixed plans as the
+// scheduler-equivalence test, but every dataflow configuration (dispatch ×
+// ordering × release) runs against a hot tier so small that most
+// materializations spill and most loads hit cold and promote — maximal
+// cross-tier churn under concurrency. Each configuration must still agree
+// with the unbudgeted single-tier level-barrier reference on byte-identical
+// values and state counts, and the union of its two tiers must hold
+// exactly the reference store's contents.
+func TestRandomizedSpillEquivalence(t *testing.T) {
+	const graphs = 16
+	const tinyHot = 64 // bytes: a couple of encoded ints, then everything spills
+	// Per-seed plans vary in how much they materialize or load, so spill
+	// and promotion traffic is asserted in aggregate across the whole
+	// harness (subtests run sequentially).
+	var totalSpills, totalPromotions int64
+	for seed := int64(100); seed < 100+graphs; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			sd := RandomDAG(seed)
+			n := sd.G.Len()
+			prime := &exec.Engine{Workers: 4}
+			truth, err := prime.Execute(sd.G, sd.Tasks, sd.Plan())
+			if err != nil {
+				t.Fatalf("prime run: %v", err)
+			}
+			rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+			keep := make([]bool, n)
+			cm := opt.NewCostModel(n)
+			for i := 0; i < n; i++ {
+				keep[i] = rng.Float64() < 0.5
+				cm.Compute[i] = int64(rng.Intn(1000) + 1)
+				if keep[i] {
+					cm.Loadable[i] = true
+					cm.Load[i] = int64(rng.Intn(1000) + 1)
+				}
+			}
+			plan, err := opt.Optimal(sd.G, cm)
+			if err != nil {
+				t.Fatalf("plan: %v", err)
+			}
+
+			// prepopulate seeds the loadable keys through the tiered
+			// admission path, so configs start from identical tier layouts.
+			prepopulate := func(tiers *store.Tiered) {
+				for i := 0; i < n; i++ {
+					if !keep[i] {
+						continue
+					}
+					raw, err := store.Encode(truth.Values[dag.NodeID(i)])
+					if err != nil {
+						t.Fatal(err)
+					}
+					if _, err := tiers.PutBytes(sd.Tasks[i].Key, raw); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+
+			// Unbudgeted single-tier reference under the level barrier.
+			refStore, err := store.Open(t.TempDir(), 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prepopulate(store.NewTiered(refStore, nil))
+			refEng := &exec.Engine{
+				Workers: 4, Sched: exec.LevelBarrier,
+				Store: refStore, Policy: opt.MaterializeAll{},
+			}
+			ref, err := refEng.Execute(sd.G, sd.Tasks, plan)
+			if err != nil {
+				t.Fatalf("reference: %v", err)
+			}
+			refC, refL, refP := stateCounts(ref)
+
+			for _, c := range equivConfigs() {
+				if c.reweight {
+					continue // reweight × spill churn is the stress tests' job
+				}
+				hot, err := store.Open(t.TempDir(), tinyHot)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cold, err := store.OpenSpill(t.TempDir(), 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				prepopulate(store.NewTiered(hot, cold))
+				e := &exec.Engine{
+					Workers:              4,
+					Sched:                c.sched,
+					Order:                c.order,
+					Dispatch:             c.dispatch,
+					ReleaseIntermediates: c.release,
+					Store:                hot,
+					Spill:                cold,
+					Policy:               opt.MaterializeAll{},
+					Reweight:             exec.ReweightOff,
+				}
+				res, err := e.Execute(sd.G, sd.Tasks, plan)
+				if err != nil {
+					t.Fatalf("%s: %v", c.name, err)
+				}
+				gotC, gotL, gotP := stateCounts(res)
+				if gotC != refC || gotL != refL || gotP != refP {
+					t.Errorf("%s: counts computed/loaded/pruned = %d/%d/%d, reference %d/%d/%d",
+						c.name, gotC, gotL, gotP, refC, refL, refP)
+				}
+				totalSpills += res.Spills
+				totalPromotions += res.Promotions
+				if hot.Used() > tinyHot {
+					t.Errorf("%s: hot tier used %d over its %d budget", c.name, hot.Used(), tinyHot)
+				}
+				if hot.Used()+cold.Used() > tinyHot && cold.Used() == 0 {
+					t.Errorf("%s: contents exceed the hot budget yet the cold tier is empty", c.name)
+				}
+				for i := 0; i < n; i++ {
+					id := dag.NodeID(i)
+					refV, refOK := ref.Values[id]
+					gotV, gotOK := res.Values[id]
+					if c.release {
+						if sd.G.Node(id).Output && !gotOK {
+							t.Errorf("%s: output node %d released", c.name, i)
+							continue
+						}
+						if gotOK && refOK && !bytes.Equal(encodeValue(t, gotV), encodeValue(t, refV)) {
+							t.Errorf("%s: node %d value differs from reference", c.name, i)
+						}
+						continue
+					}
+					if gotOK != refOK {
+						t.Errorf("%s: node %d present=%v, reference %v", c.name, i, gotOK, refOK)
+						continue
+					}
+					if gotOK && !bytes.Equal(encodeValue(t, gotV), encodeValue(t, refV)) {
+						t.Errorf("%s: node %d value differs from reference", c.name, i)
+					}
+				}
+				union := make(map[string]int64)
+				for _, en := range hot.Entries() {
+					union[en.Key] = en.Size
+				}
+				for _, en := range cold.Entries() {
+					if _, dup := union[en.Key]; dup {
+						t.Errorf("%s: key %s in both tiers", c.name, en.Key)
+					}
+					union[en.Key] = en.Size
+				}
+				refEntries := refStore.Entries()
+				if len(union) != len(refEntries) {
+					t.Errorf("%s: tier union has %d keys, reference %d", c.name, len(union), len(refEntries))
+					continue
+				}
+				for _, en := range refEntries {
+					if size, ok := union[en.Key]; !ok || size != en.Size {
+						t.Errorf("%s: key %s union size %d (present %v), reference %d",
+							c.name, en.Key, size, ok, en.Size)
+					}
+				}
+			}
+		})
+	}
+	if totalSpills == 0 {
+		t.Error("no run in the whole harness spilled despite the tiny hot tier")
+	}
+	if totalPromotions == 0 {
+		t.Error("no run in the whole harness promoted a cold hit")
+	}
+}
+
 // TestRandomizedSchedulerEquivalence is the property harness of the
 // scheduler rewrite: across ≥50 seeded random graphs with mixed
 // load/compute/prune plans, every dataflow configuration (work-stealing ×

@@ -535,6 +535,7 @@ func DefaultShapes() []*SchedDAG {
 		FanoutChainDAG(12, 6, time.Millisecond),
 		CPUFanoutDAG(12, 6, time.Millisecond),
 		ContentionDAG(128, 32),
+		DefaultSpillDAG(),
 	}
 }
 

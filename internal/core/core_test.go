@@ -238,6 +238,78 @@ func TestSessionMLIterationReusesPrep(t *testing.T) {
 	}
 }
 
+func TestSessionSpillTierKeepsReuseUnderPressure(t *testing.T) {
+	// Measure the workflow's full materialization footprint unbudgeted.
+	probe, err := NewSession(Config{
+		SystemName: "helix", StoreDir: t.TempDir(),
+		Policy: opt.MaterializeAll{}, Reuse: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	repProbe, err := probe.Run(censusWorkflow(0.1, "accuracy", true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repProbe.Spills != 0 || repProbe.SpillUsed != 0 {
+		t.Fatalf("untiered session reported spill traffic: spills=%d spillUsed=%d", repProbe.Spills, repProbe.SpillUsed)
+	}
+	total := repProbe.StoreUsed
+	if total == 0 {
+		t.Fatal("probe materialized nothing")
+	}
+
+	// A hot tier at half that footprint must spill, stay inside its
+	// budget, and still let the next iteration reuse data prep.
+	s, err := NewSession(Config{
+		SystemName: "helix", StoreDir: t.TempDir(),
+		BudgetBytes: total / 2, SpillDir: t.TempDir(),
+		Policy: opt.MaterializeAll{}, Reuse: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep1, err := s.Run(censusWorkflow(0.1, "accuracy", true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep1.Spills == 0 {
+		t.Fatalf("no spills with hot budget %d of %d footprint", total/2, total)
+	}
+	if rep1.StoreUsed > total/2 {
+		t.Fatalf("hot tier used %d over its %d budget", rep1.StoreUsed, total/2)
+	}
+	if rep1.SpillUsed == 0 {
+		t.Fatal("spill tier empty despite spills")
+	}
+	// The tiered first iteration must produce the same outputs as the
+	// unbudgeted probe ran on the identical workflow version.
+	if got, want := rep1.Outputs["checked"].(ml.Metrics), repProbe.Outputs["checked"].(ml.Metrics); got.Accuracy != want.Accuracy {
+		t.Errorf("outputs diverged under tiering: %+v vs %+v", got, want)
+	}
+	rep2, err := s.Run(censusWorkflow(0.5, "accuracy", true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := rep2.Graph
+	if st := rep2.Plan.States[g.Lookup("income")]; st == opt.Compute {
+		t.Errorf("income recomputed on ML iteration despite tiered store (state=%v)", st)
+	}
+	c := s.TierCounters()
+	if c.Spills == 0 || c.Spills != rep1.Spills+rep2.Spills {
+		t.Errorf("session tier counters %+v disagree with reports (%d + %d spills)", c, rep1.Spills, rep2.Spills)
+	}
+	if s.Spill() == nil || s.Spill().Used() != rep2.SpillUsed {
+		t.Errorf("Session.Spill() usage %v disagrees with report %d", s.Spill(), rep2.SpillUsed)
+	}
+}
+
+func TestSessionSpillRequiresStore(t *testing.T) {
+	if _, err := NewSession(Config{SystemName: "helix", SpillDir: t.TempDir()}); err == nil {
+		t.Fatal("NewSession accepted a spill tier without a hot store")
+	}
+}
+
 func TestSessionIdenticalRerunLoadsOutputsOnly(t *testing.T) {
 	s, err := NewSession(Config{
 		SystemName: "helix", StoreDir: t.TempDir(),

@@ -24,6 +24,15 @@ type Config struct {
 	StoreDir string
 	// BudgetBytes caps the store (<=0 = unlimited).
 	BudgetBytes int64
+	// SpillDir is the cold-tier spill directory: values the hot store's
+	// budget rejects are admitted there instead of being dropped, and cold
+	// hits are promoted back on load. Empty disables tiering. Requires
+	// StoreDir.
+	SpillDir string
+	// SpillBudgetBytes caps the spill tier (<=0 = unlimited). The spill
+	// tier deletes its least-recently-accessed entries to admit new values,
+	// so unlike BudgetBytes this cap bounds retention, not admission.
+	SpillBudgetBytes int64
 	// Policy is the online materialization policy; nil = never materialize.
 	Policy opt.MatPolicy
 	// Reuse enables cross-iteration reuse (the recomputation optimizer may
@@ -70,6 +79,7 @@ type Config struct {
 type Session struct {
 	cfg     Config
 	store   *store.Store
+	spill   *store.Spill
 	engine  *exec.Engine
 	history *exec.History
 	live    store.Gauge
@@ -86,18 +96,29 @@ const historyFile = "helix-history.json"
 // same StoreDir are loaded automatically.
 func NewSession(cfg Config) (*Session, error) {
 	s := &Session{cfg: cfg, history: exec.NewHistory()}
+	if cfg.SpillDir != "" && cfg.StoreDir == "" {
+		return nil, fmt.Errorf("core: SpillDir %q configured without a StoreDir hot tier", cfg.SpillDir)
+	}
 	if cfg.StoreDir != "" {
 		st, err := store.Open(cfg.StoreDir, cfg.BudgetBytes)
 		if err != nil {
 			return nil, err
 		}
 		s.store = st
+		if cfg.SpillDir != "" {
+			sp, err := store.OpenSpill(cfg.SpillDir, cfg.SpillBudgetBytes)
+			if err != nil {
+				return nil, err
+			}
+			s.spill = sp
+		}
 		if err := s.history.Load(s.historyPath()); err != nil {
 			return nil, err
 		}
 	}
 	s.engine = &exec.Engine{
 		Store:                s.store,
+		Spill:                s.spill,
 		Policy:               cfg.Policy,
 		Workers:              cfg.Workers,
 		History:              s.history,
@@ -111,8 +132,17 @@ func NewSession(cfg Config) (*Session, error) {
 	return s, nil
 }
 
-// Store exposes the session's materialization store (nil if disabled).
+// Store exposes the session's materialization store — the hot tier when a
+// spill tier is configured (nil if disabled).
 func (s *Session) Store() *store.Store { return s.store }
+
+// Spill exposes the session's cold spill tier (nil if tiering is disabled).
+func (s *Session) Spill() *store.Spill { return s.spill }
+
+// TierCounters snapshots the session's cumulative cross-tier traffic
+// (spills, promotions, evictions) across all iterations run so far; all
+// zero without a spill tier.
+func (s *Session) TierCounters() store.TierCounters { return s.engine.TierCounters() }
 
 // History exposes the runtime-statistics history.
 func (s *Session) History() *exec.History { return s.history }
@@ -126,17 +156,26 @@ func (s *Session) LiveBytes() *store.Gauge { return &s.live }
 
 // Report summarizes one iteration for the user interface (and benchmarks).
 type Report struct {
-	Iteration  int
-	System     string
-	Workflow   string
-	Wall       time.Duration
-	PlanCost   int64
-	Graph      *dag.Graph
-	Plan       *opt.Plan
-	Nodes      []exec.NodeRun
-	Changes    []sig.Change
-	Outputs    map[string]any
-	StoreUsed  int64
+	Iteration int
+	System    string
+	Workflow  string
+	Wall      time.Duration
+	PlanCost  int64
+	Graph     *dag.Graph
+	Plan      *opt.Plan
+	Nodes     []exec.NodeRun
+	Changes   []sig.Change
+	Outputs   map[string]any
+	StoreUsed int64
+	// SpillUsed is the cold tier's byte usage after the iteration (0
+	// without a spill tier).
+	SpillUsed int64
+	// Spills, Promotions and Evictions are this iteration's cross-tier
+	// traffic: hot-budget rejections admitted cold, cold hits moved back
+	// hot, and hot entries demoted to make room for promotions.
+	Spills     int64
+	Promotions int64
+	Evictions  int64
 	SourceText string
 }
 
@@ -209,10 +248,16 @@ func (s *Session) Run(w *Workflow) (*Report, error) {
 		Nodes:      res.Nodes,
 		Changes:    changes,
 		Outputs:    outputs,
+		Spills:     res.Spills,
+		Promotions: res.Promotions,
+		Evictions:  res.Evictions,
 		SourceText: w.SourceText(),
 	}
 	if s.store != nil {
 		rep.StoreUsed = s.store.Used()
+		if s.spill != nil {
+			rep.SpillUsed = s.spill.Used()
+		}
 		// Persist runtime statistics for future sessions; failure to save
 		// degrades warm-start but must not fail the iteration.
 		_ = s.history.Save(s.historyPath())

@@ -29,7 +29,10 @@
 // NodeRun.MatDuration records the real write cost, and Execute flushes the
 // pipeline — also on error — before returning. Each materialized value is
 // gob-encoded exactly once: the size probe for the policy decision is the
-// same (pooled) encoding that Store.PutEncoded persists. The original wave
+// same (pooled) encoding that Store.PutEncoded persists. With a spill tier
+// configured (Engine.Spill), a hot-budget rejection admits that encoding to
+// the cold tier instead of dropping it, loads fall back to cold and promote
+// (see docs/store.md) — still without ever re-encoding. The original wave
 // executor is retained as Engine{Sched: LevelBarrier}, the reference for
 // equivalence tests and the scheduler benchmarks.
 //
@@ -44,6 +47,7 @@ import (
 	"fmt"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/dag"
@@ -105,6 +109,15 @@ type Result struct {
 	// performed (dataflow scheduler, critical-path ordering, Adaptive
 	// reweighting only; always 0 otherwise).
 	Reweights int64
+	// Spills counts values this run admitted to the cold spill tier after
+	// the hot tier's budget rejected them (always 0 without Engine.Spill).
+	Spills int64
+	// Promotions counts cold-tier loads this run whose value was moved
+	// back into the hot tier.
+	Promotions int64
+	// Evictions counts hot-tier entries this run demoted to the spill tier
+	// to make room for promotions.
+	Evictions int64
 }
 
 // Value returns the value of the named node, if present.
@@ -329,8 +342,15 @@ func (m DispatchMode) String() string {
 
 // Engine executes plans. Configure once, reuse across iterations.
 type Engine struct {
-	// Store is the materialization store; nil disables loads and stores.
+	// Store is the materialization store — the hot tier when Spill is also
+	// set; nil disables loads and stores.
 	Store *store.Store
+	// Spill is the optional cold second-tier store: values the hot tier's
+	// budget rejects are admitted here instead of being dropped, loads fall
+	// back to it, and cold hits are promoted back into the hot tier
+	// (demoting the hot tier's least-recently-used entries). Nil disables
+	// tiering; ignored without Store.
+	Spill *store.Spill
 	// Policy decides online materialization; nil means never materialize.
 	Policy opt.MatPolicy
 	// Workers bounds node-level parallelism; <=0 means 4.
@@ -376,6 +396,36 @@ type Engine struct {
 	// subtracted on release and at the end of the run, so Gauge.Peak is the
 	// run's high-water mark of in-memory intermediates.
 	LiveBytes *store.Gauge
+
+	// tierView is the engine's tiered view over Store and Spill, built
+	// lazily (CAS-guarded, so any caller — including a TierCounters racing
+	// the first Execute — converges on one shared view and its counters).
+	tierView atomic.Pointer[store.Tiered]
+}
+
+// tiers returns the engine's tiered store view, building it on first use.
+// Safe for concurrent use: the construction races on a compare-and-swap,
+// every loser adopts the winner's view, and counters only ever accumulate
+// on that single shared instance.
+func (e *Engine) tiers() *store.Tiered {
+	if t := e.tierView.Load(); t != nil {
+		return t
+	}
+	t := store.NewTiered(e.Store, e.Spill)
+	if e.tierView.CompareAndSwap(nil, t) {
+		return t
+	}
+	return e.tierView.Load()
+}
+
+// TierCounters snapshots the engine's cumulative cross-tier traffic
+// (spills, promotions, evictions) across every Execute so far. Counters
+// are all zero without a Spill tier.
+func (e *Engine) TierCounters() store.TierCounters {
+	if e.Store == nil {
+		return store.TierCounters{}
+	}
+	return e.tiers().Counters()
 }
 
 func (e *Engine) workers() int {
@@ -395,7 +445,10 @@ func (e *Engine) matWriters() int {
 // BuildCostModel assembles the recomputation optimizer's inputs for the
 // graph: compute costs from history (0 for never-seen nodes — optimistic,
 // so new operators are computed, never awaited from a store they are not
-// in), and load costs from the store's measured entries.
+// in), and load costs from the store's measured entries. With a spill tier
+// attached a key is loadable from either tier, priced at the holding
+// tier's own load estimate — a spilled value really is slower to load, and
+// the optimizer should sometimes prefer recomputing it.
 func (e *Engine) BuildCostModel(g *dag.Graph, tasks []Task) (*opt.CostModel, error) {
 	if len(tasks) != g.Len() {
 		return nil, fmt.Errorf("exec: %d tasks for %d nodes", len(tasks), g.Len())
@@ -409,7 +462,7 @@ func (e *Engine) BuildCostModel(g *dag.Graph, tasks []Task) (*opt.CostModel, err
 			}
 		}
 		if e.Store != nil && tasks[i].Key != "" {
-			if entry, ok := e.Store.Lookup(tasks[i].Key); ok {
+			if entry, _, ok := e.tiers().Lookup(tasks[i].Key); ok {
 				cm.Loadable[i] = true
 				cm.Load[i] = entry.LoadCost.Nanoseconds()
 				if cm.Load[i] <= 0 {
@@ -441,10 +494,23 @@ func (e *Engine) Execute(g *dag.Graph, tasks []Task, plan *opt.Plan) (*Result, e
 	for i := 0; i < g.Len(); i++ {
 		res.Nodes[i] = NodeRun{Name: g.Node(dag.NodeID(i)).Name, State: plan.States[i]}
 	}
-	if e.Sched == LevelBarrier {
-		return e.executeLevelBarrier(g, tasks, plan, res)
+	var before store.TierCounters
+	if e.Store != nil {
+		before = e.tiers().Counters()
 	}
-	return e.executeDataflow(g, tasks, plan, res)
+	var err error
+	if e.Sched == LevelBarrier {
+		res, err = e.executeLevelBarrier(g, tasks, plan, res)
+	} else {
+		res, err = e.executeDataflow(g, tasks, plan, res)
+	}
+	if res != nil && e.Store != nil {
+		after := e.tiers().Counters()
+		res.Spills = after.Spills - before.Spills
+		res.Promotions = after.Promotions - before.Promotions
+		res.Evictions = after.Evictions - before.Evictions
+	}
+	return res, err
 }
 
 // historySize returns the last observed serialized size for a node name.
@@ -456,16 +522,16 @@ func (e *Engine) historySize(name string) (int64, bool) {
 }
 
 // loadNode is the level-barrier executor's Load state: fetch the value
-// from the store and record it (under the results lock) with its measured
-// load time. The dataflow schedulers use runCtx.runNode, which publishes
-// to the lock-free slot plane instead.
+// from either store tier and record it (under the results lock) with its
+// measured load time. The dataflow schedulers use runCtx.runNode, which
+// publishes to the lock-free slot plane instead.
 func (e *Engine) loadNode(g *dag.Graph, tasks []Task, id dag.NodeID, res *Result, mu *sync.Mutex) error {
 	name := g.Node(id).Name
 	nodeStart := time.Now()
 	if e.Store == nil {
 		return fmt.Errorf("exec: plan loads %s but engine has no store", name)
 	}
-	v, err := e.Store.Get(tasks[id].Key)
+	v, _, err := e.tiers().Get(tasks[id].Key)
 	if err != nil {
 		return fmt.Errorf("exec: load %s: %w", name, err)
 	}
@@ -542,14 +608,19 @@ func (e *Engine) decideAndPersist(g *dag.Graph, id dag.NodeID, name, key string,
 	if e.Policy.NeedsAncestorCost() {
 		ancCost = ancestorCost()
 	}
+	// Both terms are tier-aware: the load estimate is priced at the tier
+	// the value would land in (the slower cold tier once it would spill),
+	// and the remaining budget includes the spill tier's admission
+	// capacity, so a policy keeps materializing past the hot budget.
+	tv := e.tiers()
 	ctx := opt.MatContext{
 		Graph:               g,
 		Node:                id,
 		ComputeCost:         computeDur.Nanoseconds(),
 		AncestorComputeCost: ancCost,
-		LoadCost:            e.Store.EstimateLoad(size).Nanoseconds(),
+		LoadCost:            tv.EstimateLoad(size).Nanoseconds(),
 		Size:                size,
-		BudgetRemaining:     e.Store.Remaining(),
+		BudgetRemaining:     tv.Remaining(),
 	}
 	dec := e.Policy.Decide(ctx)
 	if !dec.Materialize {
@@ -563,8 +634,10 @@ func (e *Engine) decideAndPersist(g *dag.Graph, id dag.NodeID, name, key string,
 		enc = encoded
 		size = enc.Size()
 	}
-	if err := e.Store.PutEncoded(key, enc); err != nil {
-		// Budget races or I/O failures degrade to "not materialized".
+	if _, err := tv.PutEncoded(key, enc); err != nil {
+		// Budget races (the value fits no tier) and I/O failures degrade to
+		// "not materialized"; with a spill tier attached a plain hot-budget
+		// rejection lands in the cold tier instead of here.
 		return time.Since(start), size, false, dec.Reward
 	}
 	return time.Since(start), size, true, dec.Reward

@@ -129,8 +129,8 @@ func (e *Engine) maybeMaterialize(g *dag.Graph, tasks []Task, id dag.NodeID, v a
 	if e.Policy == nil || e.Store == nil || tasks[id].Key == "" {
 		return 0, 0, false, 0
 	}
-	if !queued.claim(tasks[id].Key) || e.Store.Has(tasks[id].Key) {
-		return 0, 0, false, 0 // claimed this run, or persisted by an earlier iteration
+	if !queued.claim(tasks[id].Key) || e.tiers().Has(tasks[id].Key) {
+		return 0, 0, false, 0 // claimed this run, or persisted in either tier by an earlier iteration
 	}
 	return e.decideAndPersist(g, id, g.Node(id).Name, tasks[id].Key, v, computeDur, func() int64 {
 		return e.ancestorCost(closures[id], res, mu, true)

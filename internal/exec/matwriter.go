@@ -99,12 +99,12 @@ func newMatWriter(rc *runCtx) *matWriter {
 
 // submit hands a completed value to the pipeline. Keys already queued this
 // run are skipped (shared-signature nodes must not race to double-write),
-// as are keys persisted by an earlier iteration.
+// as are keys persisted — in either tier — by an earlier iteration.
 func (w *matWriter) submit(id dag.NodeID, name, key string, v any, computeDur time.Duration) {
 	if key == "" {
 		return // not addressable
 	}
-	if !w.queued.claim(key) || w.e.Store.Has(key) {
+	if !w.queued.claim(key) || w.e.tiers().Has(key) {
 		return // in flight this run, or persisted by an earlier iteration
 	}
 	w.jobs <- matJob{id: id, name: name, key: key, value: v, computeDur: computeDur}

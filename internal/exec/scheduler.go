@@ -367,7 +367,7 @@ func (rc *runCtx) runNode(id dag.NodeID) error {
 		if e.Store == nil {
 			return fmt.Errorf("exec: plan loads %s but engine has no store", name)
 		}
-		v, err := e.Store.Get(rc.tasks[id].Key)
+		v, _, err := e.tiers().Get(rc.tasks[id].Key)
 		if err != nil {
 			return fmt.Errorf("exec: load %s: %w", name, err)
 		}
@@ -454,7 +454,7 @@ func (e *Engine) pathWeights(g *dag.Graph, tasks []Task, plan *opt.Plan, order [
 		case opt.Load:
 			cost[i] = structural[i]
 			if e.Store != nil && tasks[i].Key != "" {
-				if entry, ok := e.Store.Lookup(tasks[i].Key); ok && entry.LoadCost > 0 {
+				if entry, _, ok := e.tiers().Lookup(tasks[i].Key); ok && entry.LoadCost > 0 {
 					cost[i] = entry.LoadCost.Nanoseconds()
 				}
 			}
@@ -479,7 +479,7 @@ func (rc *runCtx) noteLive(id dag.NodeID) {
 	}
 	var est int64
 	if rc.plan.States[id] == opt.Load {
-		if entry, ok := rc.e.Store.Lookup(rc.tasks[id].Key); ok {
+		if entry, _, ok := rc.e.tiers().Lookup(rc.tasks[id].Key); ok {
 			est = entry.Size
 		}
 	} else if s, ok := rc.e.historySize(rc.g.Node(id).Name); ok {

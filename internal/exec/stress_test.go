@@ -248,6 +248,153 @@ func TestReweightErrorCancellationStress(t *testing.T) {
 	}
 }
 
+// TestSpillPromoteReleaseStress hammers the tiered store under everything
+// at once: a hot tier small enough that almost every materialization
+// spills and almost every load hits cold and promotes (demoting hot
+// entries back out), concurrent with refcounted release, forced
+// re-prioritization passes, steals/chaining and the async writer pipeline.
+// Values must match a single-worker reference, every materialized key must
+// land in exactly one tier, and the hot tier must never exceed its budget.
+func TestSpillPromoteReleaseStress(t *testing.T) {
+	const hotBudget = 150 // a couple of encoded ints; everything else spills
+	for _, mode := range dispatchModes() {
+		t.Run(mode.String(), func(t *testing.T) {
+			for iter := 0; iter < 8; iter++ {
+				g, tasks := layeredDAG(5, 8, fmt.Sprintf("spill-%s-%d", mode, iter))
+				for i := range tasks {
+					run := tasks[i].Run
+					delay := time.Duration((i*11+iter)%5) * 40 * time.Microsecond
+					tasks[i] = Task{Key: tasks[i].Key, Run: func(in []any) (any, error) {
+						time.Sleep(delay)
+						return run(in)
+					}}
+				}
+				ref := &Engine{Workers: 1}
+				want, err := ref.Execute(g, tasks, allCompute(g.Len()))
+				if err != nil {
+					t.Fatal(err)
+				}
+				hot, err := store.Open(t.TempDir(), hotBudget)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cold, err := store.OpenSpill(t.TempDir(), 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Pre-populate every third key through the tiered admission
+				// path and plan those nodes as loads, so cold hits and their
+				// promotions and demotions run concurrently with computes,
+				// spills, releases and reweight passes.
+				tiers := store.NewTiered(hot, cold)
+				plan := allCompute(g.Len())
+				for i := 0; i < g.Len(); i += 3 {
+					raw, err := store.Encode(want.Values[dag.NodeID(i)])
+					if err != nil {
+						t.Fatal(err)
+					}
+					if _, err := tiers.PutBytes(tasks[i].Key, raw); err != nil {
+						t.Fatal(err)
+					}
+					plan.States[i] = opt.Load
+				}
+				var gauge store.Gauge
+				e := &Engine{
+					Workers:               8,
+					MatWriters:            3,
+					Dispatch:              mode,
+					Store:                 hot,
+					Spill:                 cold,
+					Policy:                opt.MaterializeAll{},
+					ReleaseIntermediates:  true,
+					Reweight:              Adaptive,
+					ReweightInterval:      1,
+					ReweightMinDivergence: time.Nanosecond,
+					LiveBytes:             &gauge,
+				}
+				res, err := e.Execute(g, tasks, plan)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for id, v := range res.Values {
+					if v != want.Values[id] {
+						t.Fatalf("iter %d: node %d = %v, reference %v", iter, id, v, want.Values[id])
+					}
+				}
+				for i := range tasks {
+					inHot, inCold := hot.Has(tasks[i].Key), cold.Has(tasks[i].Key)
+					if !inHot && !inCold {
+						t.Fatalf("iter %d: key %s in no tier", iter, tasks[i].Key)
+					}
+					if inHot && inCold {
+						t.Fatalf("iter %d: key %s in both tiers", iter, tasks[i].Key)
+					}
+				}
+				if hot.Used() > hotBudget {
+					t.Fatalf("iter %d: hot tier used %d over its %d budget", iter, hot.Used(), hotBudget)
+				}
+				if res.Spills == 0 {
+					t.Fatalf("iter %d: no spills despite the %d-byte hot tier", iter, hotBudget)
+				}
+				if gauge.Live() != 0 {
+					t.Fatalf("iter %d: gauge live = %d, want 0 after settlement", iter, gauge.Live())
+				}
+			}
+		})
+	}
+}
+
+// TestSpillErrorCancellationStress drives the tiered store into the error
+// path: a mid-graph node fails while spills, promotions and releases are
+// mid-flight. Execute must cancel undispatched work, flush the writer —
+// landing every already-submitted write in some tier — and keep the hot
+// tier inside its budget.
+func TestSpillErrorCancellationStress(t *testing.T) {
+	boom := errors.New("boom")
+	const hotBudget = 150
+	for _, mode := range dispatchModes() {
+		t.Run(mode.String(), func(t *testing.T) {
+			for iter := 0; iter < 8; iter++ {
+				g, tasks := layeredDAG(4, 6, fmt.Sprintf("spillerr-%s-%d", mode, iter))
+				victim := g.Lookup("n1_3")
+				tasks[victim] = Task{Key: tasks[victim].Key, Run: func(in []any) (any, error) {
+					time.Sleep(time.Duration(iter%3) * 100 * time.Microsecond)
+					return nil, boom
+				}}
+				hot, err := store.Open(t.TempDir(), hotBudget)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cold, err := store.OpenSpill(t.TempDir(), 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				e := &Engine{
+					Workers:              8,
+					MatWriters:           3,
+					Dispatch:             mode,
+					Store:                hot,
+					Spill:                cold,
+					Policy:               opt.MaterializeAll{},
+					ReleaseIntermediates: true,
+				}
+				res, err := e.Execute(g, tasks, allCompute(g.Len()))
+				if !errors.Is(err, boom) {
+					t.Fatalf("iter %d: err = %v, want boom", iter, err)
+				}
+				for id, nr := range res.Nodes {
+					if nr.Materialized && !hot.Has(tasks[id].Key) && !cold.Has(tasks[id].Key) {
+						t.Fatalf("iter %d: node %d marked materialized but in no tier", iter, id)
+					}
+				}
+				if hot.Used() > hotBudget {
+					t.Fatalf("iter %d: hot tier used %d over its %d budget", iter, hot.Used(), hotBudget)
+				}
+			}
+		})
+	}
+}
+
 // TestStealFinishReleaseStress is the work-stealing interleaving stress:
 // many workers over a wide-and-deep layered graph with uneven task
 // durations, so steals, overflow handoffs, chases, refcounted release and

@@ -1,0 +1,115 @@
+package store
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ColdThroughput seeds the spill tier's load-cost estimate before any I/O
+// has been measured: 80 MB/s, modeling the slower medium a production cold
+// tier sits on (network or archival storage). Measured observations smooth
+// toward the tier's real throughput, but the asymmetric seed is what makes
+// cold-start recompute-vs-load decisions price a spilled value honestly
+// more expensive than a hot one.
+const ColdThroughput = 80e6
+
+// Spill is the cold second tier of a tiered materialization store: a
+// budgeted disk store in its own directory that admits values the hot tier
+// rejected (spill) or evicted (demotion), and — unlike the hot tier — makes
+// room for new admissions by deleting its own least-recently-accessed
+// entries. A value evicted from the spill tier is gone; the next
+// iteration's cost model simply sees it as not loadable and recomputes it.
+type Spill struct {
+	s *Store
+	// putMu serializes admissions: eviction deletes victim files after
+	// releasing the store lock, so two concurrent admissions could
+	// otherwise race an eviction's file removal against a re-admission's
+	// fresh write. Cold-tier writes happen off the execution engine's
+	// critical path (background materialization writers and promotions),
+	// so holding a mutex across the file I/O costs nothing that matters.
+	putMu     sync.Mutex
+	evictions atomic.Int64
+}
+
+// OpenSpill creates or reuses a spill tier rooted at dir with the given
+// budget in bytes (<=0 disables the budget). Existing files are adopted,
+// exactly like Open.
+func OpenSpill(dir string, budget int64) (*Spill, error) {
+	s, err := Open(dir, budget)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.readBps = ColdThroughput
+	s.writeBps = ColdThroughput
+	for _, e := range s.entries {
+		e.LoadCost = s.estimateLoad(e.Size)
+	}
+	s.mu.Unlock()
+	return &Spill{s: s}, nil
+}
+
+// PutBytes admits pre-encoded bytes, deleting least-recently-accessed
+// entries as needed to make room. Re-admitting an existing key is an
+// idempotent no-op (content addressing) and evicts nothing. A value larger
+// than the whole budget is rejected with ErrBudgetExceeded — it cannot be
+// admitted at any cost.
+func (sp *Spill) PutBytes(key string, raw []byte) error {
+	size := int64(len(raw))
+	if sp.s.budget > 0 && size > sp.s.budget {
+		return ErrBudgetExceeded
+	}
+	sp.putMu.Lock()
+	defer sp.putMu.Unlock()
+	if sp.s.Has(key) {
+		return nil // already admitted; no room needed, nothing to evict
+	}
+	ev := sp.s.EvictColdest(size)
+	sp.evictions.Add(int64(len(ev)))
+	return sp.s.PutBytes(key, raw)
+}
+
+// PutEncoded admits an already-encoded value; the caller keeps ownership
+// of enc. Like Store.PutEncoded this performs no gob encode of its own —
+// spilled values are never re-encoded.
+func (sp *Spill) PutEncoded(key string, enc *Encoded) error {
+	return sp.PutBytes(key, enc.Bytes())
+}
+
+// Get loads and decodes the value for key, recording the measured cold-tier
+// load cost on the entry.
+func (sp *Spill) Get(key string) (any, error) { return sp.s.Get(key) }
+
+// GetBytes loads the raw serialized bytes for key (see Store.GetBytes).
+func (sp *Spill) GetBytes(key string) ([]byte, error) { return sp.s.GetBytes(key) }
+
+// Has reports whether key is spilled.
+func (sp *Spill) Has(key string) bool { return sp.s.Has(key) }
+
+// Lookup returns the entry metadata for key.
+func (sp *Spill) Lookup(key string) (Entry, bool) { return sp.s.Lookup(key) }
+
+// Delete removes a spilled entry, releasing its budget.
+func (sp *Spill) Delete(key string) error { return sp.s.Delete(key) }
+
+// Entries returns a snapshot of all spilled entries sorted by key.
+func (sp *Spill) Entries() []Entry { return sp.s.Entries() }
+
+// Used returns the bytes currently consumed.
+func (sp *Spill) Used() int64 { return sp.s.Used() }
+
+// Budget returns the configured budget (<=0 means unlimited).
+func (sp *Spill) Budget() int64 { return sp.s.Budget() }
+
+// Remaining returns the budget headroom, or a very large value if unlimited.
+func (sp *Spill) Remaining() int64 { return sp.s.Remaining() }
+
+// EstimateLoad predicts the cold-tier load cost for a value of the given
+// size from the tier's own smoothed throughput — the per-tier l_i the
+// optimizer consults for spilled values.
+func (sp *Spill) EstimateLoad(size int64) time.Duration { return sp.s.EstimateLoad(size) }
+
+// Evictions returns how many entries this tier has deleted to make room
+// since it was opened.
+func (sp *Spill) Evictions() int64 { return sp.evictions.Load() }

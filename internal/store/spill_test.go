@@ -1,0 +1,454 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func openSpillTemp(t *testing.T, budget int64) *Spill {
+	t.Helper()
+	sp, err := OpenSpill(t.TempDir(), budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sp
+}
+
+// TestSmoothEWMA is the table-driven contract of the throughput smoother
+// behind estimateLoad: alpha-weighted blending toward each observation,
+// with degenerate observations (zero size or duration) leaving the
+// estimate untouched.
+func TestSmoothEWMA(t *testing.T) {
+	const alpha = 0.3
+	for _, tc := range []struct {
+		name string
+		prev float64
+		size int64
+		d    time.Duration
+		want float64
+	}{
+		{"cold start blends toward first observation", DefaultThroughput, 1 << 20, time.Second,
+			alpha*float64(1<<20) + (1-alpha)*DefaultThroughput},
+		{"fast observation raises the estimate", 100e6, 400e6, time.Second, alpha*400e6 + (1-alpha)*100e6},
+		{"slow observation lowers the estimate", 400e6, 100e6, time.Second, alpha*100e6 + (1-alpha)*400e6},
+		{"steady state is a fixed point", 250e6, 250e6, time.Second, 250e6},
+		{"zero duration is ignored", 300e6, 1 << 20, 0, 300e6},
+		{"negative duration is ignored", 300e6, 1 << 20, -time.Second, 300e6},
+		{"zero size is ignored", 300e6, 0, time.Second, 300e6},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			got := smooth(tc.prev, tc.size, tc.d)
+			if diff := got - tc.want; diff > 1 || diff < -1 {
+				t.Fatalf("smooth(%v, %d, %v) = %v, want %v", tc.prev, tc.size, tc.d, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestEstimateLoadColdStartPerTier pins the cold-start pricing the
+// optimizer sees before any I/O has been measured: a fresh hot tier
+// estimates at DefaultThroughput, a fresh spill tier at the much slower
+// ColdThroughput, so the same bytes cost ColdThroughput/DefaultThroughput
+// times longer from cold — the asymmetry that makes recompute-vs-load
+// decisions tier-aware.
+func TestEstimateLoadColdStartPerTier(t *testing.T) {
+	hot := openTemp(t, 0)
+	cold := openSpillTemp(t, 0)
+	for _, size := range []int64{1 << 10, 1 << 20, 64 << 20} {
+		hotEst := hot.EstimateLoad(size)
+		coldEst := cold.EstimateLoad(size)
+		wantHot := time.Duration(float64(size) / DefaultThroughput * float64(time.Second))
+		wantCold := time.Duration(float64(size) / ColdThroughput * float64(time.Second))
+		if hotEst != wantHot {
+			t.Errorf("size %d: hot estimate %v, want %v", size, hotEst, wantHot)
+		}
+		if coldEst != wantCold {
+			t.Errorf("size %d: cold estimate %v, want %v", size, coldEst, wantCold)
+		}
+		if coldEst <= hotEst {
+			t.Errorf("size %d: cold estimate %v not slower than hot %v", size, coldEst, hotEst)
+		}
+	}
+}
+
+// TestEstimateLoadSmoothedByObservation: measured reads move the per-tier
+// estimate off its seed (the EWMA path of estimateLoad, end to end through
+// Get), and the other tier's estimate is untouched.
+func TestEstimateLoadSmoothedByObservation(t *testing.T) {
+	hot := openTemp(t, 0)
+	cold := openSpillTemp(t, 0)
+	if err := hot.Put("k", []int{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	seed := hot.EstimateLoad(1 << 20)
+	if _, err := hot.Get("k"); err != nil {
+		t.Fatal(err)
+	}
+	if got := hot.EstimateLoad(1 << 20); got == seed {
+		t.Errorf("hot estimate %v unchanged after a measured read", got)
+	}
+	wantCold := time.Duration(float64(1<<20) / ColdThroughput * float64(time.Second))
+	if got := cold.EstimateLoad(1 << 20); got != wantCold {
+		t.Errorf("cold estimate %v moved without any cold observation, want seed %v", got, wantCold)
+	}
+}
+
+// TestEvictColdestLRU: victim selection picks least-recently-accessed
+// entries first (VictimCandidates, without mutating), and eviction removes
+// exactly them, releasing their budget.
+func TestEvictColdestLRU(t *testing.T) {
+	s := openTemp(t, 3000)
+	for i := 0; i < 3; i++ {
+		if err := s.PutBytes(fmt.Sprintf("k%d", i), bytes.Repeat([]byte{byte('a' + i)}, 1000)); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(2 * time.Millisecond) // distinct LastAccess ordering
+	}
+	// Refresh k0 so k1 becomes the coldest.
+	if _, err := s.GetBytes("k0"); err != nil {
+		t.Fatal(err)
+	}
+	cands := s.VictimCandidates(1000)
+	if len(cands) != 1 || cands[0].Key != "k1" {
+		t.Fatalf("candidates %+v, want exactly k1 (the least recently accessed)", cands)
+	}
+	if !s.Has("k1") || s.Used() != 3000 {
+		t.Fatalf("VictimCandidates mutated the store: used %d", s.Used())
+	}
+	victims := s.EvictColdest(1000)
+	if len(victims) != 1 || victims[0].Key != "k1" {
+		t.Fatalf("evicted %+v, want exactly k1", victims)
+	}
+	if s.Has("k1") || s.Used() != 2000 {
+		t.Fatalf("k1 still present or budget not released: used %d", s.Used())
+	}
+	// Enough room already: selection and eviction are no-ops.
+	if v := s.VictimCandidates(500); len(v) != 0 {
+		t.Fatalf("candidates %+v with sufficient headroom", v)
+	}
+	if v := s.EvictColdest(500); len(v) != 0 {
+		t.Fatalf("evicted %+v with sufficient headroom", v)
+	}
+	// Unbudgeted stores never evict.
+	u := openTemp(t, 0)
+	if err := u.PutBytes("k", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if v := u.EvictColdest(1 << 40); len(v) != 0 {
+		t.Fatalf("unbudgeted store evicted %+v", v)
+	}
+}
+
+// TestSpillAdmissionEvictsColdest: the spill tier deletes its own
+// least-recently-accessed entries to admit new values, counts the
+// deletions, and rejects only values bigger than its whole budget.
+func TestSpillAdmissionEvictsColdest(t *testing.T) {
+	sp := openSpillTemp(t, 2500)
+	for i := 0; i < 2; i++ {
+		if err := sp.PutBytes(fmt.Sprintf("k%d", i), bytes.Repeat([]byte{byte('a' + i)}, 1000)); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := sp.PutBytes("k2", bytes.Repeat([]byte{'c'}, 1000)); err != nil {
+		t.Fatal(err)
+	}
+	if sp.Has("k0") {
+		t.Fatal("k0 (coldest) survived an admission that needed its room")
+	}
+	if !sp.Has("k1") || !sp.Has("k2") {
+		t.Fatal("k1/k2 missing after admission")
+	}
+	if got := sp.Evictions(); got != 1 {
+		t.Fatalf("evictions = %d, want 1", got)
+	}
+	if err := sp.PutBytes("huge", make([]byte, 4000)); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("over-budget admission err = %v, want ErrBudgetExceeded", err)
+	}
+	if sp.Used() > sp.Budget() {
+		t.Fatalf("spill used %d over budget %d", sp.Used(), sp.Budget())
+	}
+	// Idempotent re-admission of a present key must not evict anything,
+	// even with the tier at capacity.
+	before := sp.Evictions()
+	if err := sp.PutBytes("k2", bytes.Repeat([]byte{'c'}, 1000)); err != nil {
+		t.Fatal(err)
+	}
+	if got := sp.Evictions(); got != before {
+		t.Fatalf("re-admitting a present key evicted %d entries", got-before)
+	}
+	if !sp.Has("k1") || !sp.Has("k2") {
+		t.Fatal("entries lost to an idempotent re-admission")
+	}
+}
+
+// TestTieredSpillOnRejection: hot-budget rejections land in the cold tier,
+// are counted, and are visible through the union views with the cold
+// tier's own (slower) load estimate.
+func TestTieredSpillOnRejection(t *testing.T) {
+	hot := openTemp(t, 1500)
+	cold := openSpillTemp(t, 0)
+	tiers := NewTiered(hot, cold)
+	small := bytes.Repeat([]byte{'s'}, 1000)
+	big := bytes.Repeat([]byte{'b'}, 1200)
+	if tier, err := tiers.PutBytes("small", small); err != nil || tier != TierHot {
+		t.Fatalf("small put → %v, %v; want hot", tier, err)
+	}
+	if tier, err := tiers.PutBytes("big", big); err != nil || tier != TierCold {
+		t.Fatalf("big put → %v, %v; want cold (spilled)", tier, err)
+	}
+	if c := tiers.Counters(); c.Spills != 1 {
+		t.Fatalf("spills = %d, want 1", c.Spills)
+	}
+	if !tiers.Has("big") || !tiers.Has("small") || tiers.Has("absent") {
+		t.Fatal("union Has wrong")
+	}
+	entry, tier, ok := tiers.Lookup("big")
+	if !ok || tier != TierCold || entry.Size != 1200 {
+		t.Fatalf("Lookup(big) = %+v, %v, %v; want cold entry of 1200 bytes", entry, tier, ok)
+	}
+	// Per-tier pricing: the cold entry's seeded estimate is the cold
+	// tier's, slower than what the hot tier would charge for the same size.
+	if entry.LoadCost < cold.EstimateLoad(1200)/2 || entry.LoadCost <= hot.EstimateLoad(1200) {
+		t.Fatalf("cold entry load cost %v not priced at the cold tier (hot %v, cold %v)",
+			entry.LoadCost, hot.EstimateLoad(1200), cold.EstimateLoad(1200))
+	}
+	if hot.Used() > hot.Budget() {
+		t.Fatalf("hot used %d over budget %d", hot.Used(), hot.Budget())
+	}
+}
+
+// TestTieredPromotionDemotesLRU: a cold hit is promoted into the hot tier,
+// demoting the hot tier's least-recently-accessed entries to cold to make
+// room — every migration observable in the counters, no value ever in both
+// tiers or in neither.
+func TestTieredPromotionDemotesLRU(t *testing.T) {
+	hot := openTemp(t, 2500)
+	cold := openSpillTemp(t, 0)
+	tiers := NewTiered(hot, cold)
+	// Fill hot with two values, then spill a third.
+	for i := 0; i < 2; i++ {
+		if tier, err := tiers.PutBytes(fmt.Sprintf("hot%d", i), encInt(t, 1000+i)); err != nil || tier != TierHot {
+			t.Fatalf("hot%d → %v, %v", i, tier, err)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	bigRaw := encBytes(t, bytes.Repeat([]byte{'z'}, 2400))
+	if tier, err := tiers.PutBytes("big", bigRaw); err != nil || tier != TierCold {
+		t.Fatalf("big → %v, %v; want cold", tier, err)
+	}
+	// Refresh hot1 so hot0 is the demotion victim.
+	if _, _, err := tiers.Get("hot1"); err != nil {
+		t.Fatal(err)
+	}
+	v, tier, err := tiers.Get("big")
+	if err != nil || tier != TierCold {
+		t.Fatalf("Get(big) → tier %v, err %v; want served from cold", tier, err)
+	}
+	if got, ok := v.([]byte); !ok || !bytes.Equal(got, bytes.Repeat([]byte{'z'}, 2400)) {
+		t.Fatalf("Get(big) decoded wrong value")
+	}
+	if !hot.Has("big") || cold.Has("big") {
+		t.Fatal("big not promoted hot-only")
+	}
+	if hot.Has("hot0") || !cold.Has("hot0") {
+		t.Fatal("hot0 (LRU victim) not demoted to cold")
+	}
+	c := tiers.Counters()
+	if c.Promotions != 1 || c.Evictions < 1 {
+		t.Fatalf("counters = %+v, want 1 promotion and ≥1 eviction", c)
+	}
+	if hot.Used() > hot.Budget() {
+		t.Fatalf("hot used %d over budget %d after promotion", hot.Used(), hot.Budget())
+	}
+	// The promoted value now serves hot, and the demoted one still loads.
+	if _, tier, err := tiers.Get("big"); err != nil || tier != TierHot {
+		t.Fatalf("re-Get(big) → %v, %v; want hot hit", tier, err)
+	}
+	if _, tier, err := tiers.Get("hot0"); err != nil || tier == TierNone {
+		t.Fatalf("Get(hot0) → %v, %v; want a hit from some tier", tier, err)
+	}
+}
+
+// TestTieredOversizedStaysCold: a value larger than the whole hot budget
+// is served from cold without promotion churn.
+func TestTieredOversizedStaysCold(t *testing.T) {
+	hot := openTemp(t, 500)
+	cold := openSpillTemp(t, 0)
+	tiers := NewTiered(hot, cold)
+	raw := encBytes(t, bytes.Repeat([]byte{'y'}, 2000))
+	if tier, err := tiers.PutBytes("big", raw); err != nil || tier != TierCold {
+		t.Fatalf("big → %v, %v; want cold", tier, err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, tier, err := tiers.Get("big"); err != nil || tier != TierCold {
+			t.Fatalf("Get %d → %v, %v; want cold (no promotion possible)", i, tier, err)
+		}
+	}
+	if c := tiers.Counters(); c.Promotions != 0 {
+		t.Fatalf("promotions = %d for an unpromotable value", c.Promotions)
+	}
+}
+
+// TestTieredDemotionFailureRestoresVictim: when a promotion's demotion
+// victim is bigger than the whole cold budget, the victim must be restored
+// to the hot tier — never destroyed — and the unpromotable value simply
+// stays cold. No key is ever lost from both tiers.
+func TestTieredDemotionFailureRestoresVictim(t *testing.T) {
+	hot := openTemp(t, 2500)
+	cold := openSpillTemp(t, 2100)
+	tiers := NewTiered(hot, cold)
+	victim := encBytes(t, bytes.Repeat([]byte{'v'}, 2400)) // > cold budget once encoded
+	if tier, err := tiers.PutBytes("victim", victim); err != nil || tier != TierHot {
+		t.Fatalf("victim → %v, %v; want hot", tier, err)
+	}
+	spilled := encBytes(t, bytes.Repeat([]byte{'s'}, 2000))
+	if tier, err := tiers.PutBytes("spilled", spilled); err != nil || tier != TierCold {
+		t.Fatalf("spilled → %v, %v; want cold", tier, err)
+	}
+	// Promotion must fail gracefully: the victim cannot demote (too big
+	// for cold), so it is restored and the cold value stays cold.
+	if _, tier, err := tiers.Get("spilled"); err != nil || tier != TierCold {
+		t.Fatalf("Get(spilled) → %v, %v; want served from cold", tier, err)
+	}
+	if !hot.Has("victim") {
+		t.Fatal("victim destroyed: evicted from hot and rejected by cold")
+	}
+	if !cold.Has("spilled") {
+		t.Fatal("spilled value lost from cold")
+	}
+	if c := tiers.Counters(); c.Promotions != 0 || c.Evictions != 0 {
+		t.Fatalf("counters = %+v, want no completed promotion/eviction", c)
+	}
+	if hot.Used() > hot.Budget() {
+		t.Fatalf("hot used %d over budget %d after restore", hot.Used(), hot.Budget())
+	}
+}
+
+// TestStoreGetMeasuresDecode: Get's recorded load cost covers read plus
+// decode (the full price a consumer pays), not just the file read.
+func TestStoreGetMeasuresDecode(t *testing.T) {
+	s := openTemp(t, 0)
+	if err := s.Put("k", bytes.Repeat([]byte{'d'}, 1<<16)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get("k"); err != nil {
+		t.Fatal(err)
+	}
+	e, ok := s.Lookup("k")
+	if !ok || e.LoadCost <= 0 {
+		t.Fatalf("entry after Get: %+v", e)
+	}
+}
+
+// TestTieredNilCold: without a spill tier every operation degrades to the
+// plain hot store — rejections surface, misses miss.
+func TestTieredNilCold(t *testing.T) {
+	hot := openTemp(t, 100)
+	tiers := NewTiered(hot, nil)
+	if _, err := tiers.PutBytes("big", make([]byte, 200)); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want ErrBudgetExceeded with no cold tier", err)
+	}
+	if _, _, err := tiers.Get("big"); err == nil {
+		t.Fatal("Get succeeded for a rejected value")
+	}
+	if tiers.Has("big") {
+		t.Fatal("Has true for a rejected value")
+	}
+	if got, want := tiers.Remaining(), hot.Remaining(); got != want {
+		t.Fatalf("Remaining = %d, want hot tier's %d", got, want)
+	}
+	if got, want := tiers.EstimateLoad(50), hot.EstimateLoad(50); got != want {
+		t.Fatalf("EstimateLoad = %v, want hot tier's %v", got, want)
+	}
+}
+
+// TestTieredRemainingAndEstimate: admission headroom and load pricing
+// follow the tier a value would land in.
+func TestTieredRemainingAndEstimate(t *testing.T) {
+	hot := openTemp(t, 1000)
+	cold := openSpillTemp(t, 5000)
+	tiers := NewTiered(hot, cold)
+	if got := tiers.Remaining(); got != 5000 {
+		t.Fatalf("Remaining = %d, want the cold budget 5000 (spill evicts to admit)", got)
+	}
+	if got, want := tiers.EstimateLoad(500), hot.EstimateLoad(500); got != want {
+		t.Fatalf("fitting value priced %v, want hot %v", got, want)
+	}
+	if got, want := tiers.EstimateLoad(2000), cold.EstimateLoad(2000); got != want {
+		t.Fatalf("overflowing value priced %v, want cold %v", got, want)
+	}
+	unlimited := NewTiered(hot, openSpillTemp(t, 0))
+	if got := unlimited.Remaining(); got != 1<<60 {
+		t.Fatalf("Remaining = %d with unbudgeted cold tier, want 1<<60", got)
+	}
+}
+
+// TestTieredEncodeOncePerTier is the encode-once contract across the whole
+// tier lifecycle: one EncodeValue serializes the value, and spilling it,
+// loading it cold, promoting it and demoting its victims move only raw
+// bytes — the codec counter must not advance again anywhere in the cycle.
+func TestTieredEncodeOncePerTier(t *testing.T) {
+	hot := openTemp(t, 2500)
+	cold := openSpillTemp(t, 0)
+	tiers := NewTiered(hot, cold)
+	before := EncodeCalls()
+	// One encode: the engine's probe-and-persist path.
+	enc, err := EncodeValue(bytes.Repeat([]byte{'q'}, 2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tier, err := tiers.PutEncoded("fill", enc); err != nil || tier != TierHot {
+		t.Fatalf("fill → %v, %v", tier, err)
+	}
+	enc.Release()
+	time.Sleep(2 * time.Millisecond)
+	// Second encode: a value the hot tier must reject (spill admission).
+	enc2, err := EncodeValue(bytes.Repeat([]byte{'r'}, 2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tier, err := tiers.PutEncoded("spilled", enc2); err != nil || tier != TierCold {
+		t.Fatalf("spilled → %v, %v; want cold", tier, err)
+	}
+	enc2.Release()
+	// Cold load → promotion (demoting "fill"), then hot re-load: raw-byte
+	// movement only.
+	if _, tier, err := tiers.Get("spilled"); err != nil || tier != TierCold {
+		t.Fatalf("cold get → %v, %v", tier, err)
+	}
+	if _, tier, err := tiers.Get("spilled"); err != nil || tier != TierHot {
+		t.Fatalf("promoted get → %v, %v", tier, err)
+	}
+	if _, tier, err := tiers.Get("fill"); err != nil || tier != TierCold {
+		t.Fatalf("demoted get → %v, %v", tier, err)
+	}
+	if got := EncodeCalls() - before; got != 2 {
+		t.Fatalf("%d gob encodes across the spill/promote/demote cycle, want exactly the 2 EncodeValue calls", got)
+	}
+	// Two promotions: "spilled" on its first cold hit, then "fill" — demoted
+	// to make room — promoted back by its own cold hit at the end.
+	if c := tiers.Counters(); c.Promotions != 2 || c.Evictions != 2 || c.Spills != 1 {
+		t.Fatalf("counters = %+v, want 1 spill, 2 promotions, 2 evictions", c)
+	}
+}
+
+// encInt encodes an int-keyed payload of roughly n bytes for budget tests.
+func encInt(t *testing.T, n int) []byte {
+	t.Helper()
+	return encBytes(t, bytes.Repeat([]byte{'x'}, n))
+}
+
+// encBytes gob-encodes a []byte value the way the engine would, so Get can
+// decode what budget tests admit.
+func encBytes(t *testing.T, b []byte) []byte {
+	t.Helper()
+	raw, err := Encode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}

@@ -38,6 +38,9 @@ type Entry struct {
 	LoadCost time.Duration
 	// Stored is when the entry was written (monotonic ordering only).
 	Stored time.Time
+	// LastAccess is when the entry was last written or read — the recency
+	// the tiered store's LRU eviction orders by.
+	LastAccess time.Time
 }
 
 // Store is a budgeted, content-addressed disk store. Safe for concurrent
@@ -86,7 +89,7 @@ func Open(dir string, budget int64) (*Store, error) {
 		if err != nil {
 			continue // file vanished between ReadDir and Info
 		}
-		e := &Entry{Key: f.Name(), Size: info.Size(), Stored: info.ModTime()}
+		e := &Entry{Key: f.Name(), Size: info.Size(), Stored: info.ModTime(), LastAccess: info.ModTime()}
 		e.LoadCost = s.estimateLoad(e.Size)
 		s.entries[f.Name()] = e
 		s.used += info.Size()
@@ -205,8 +208,11 @@ func (s *Store) PutBytes(key string, raw []byte) error {
 	}
 	size := int64(len(raw))
 	if s.budget > 0 && s.used+size > s.budget {
+		// Snapshot the headroom before unlocking: formatting the error from
+		// s.used after the unlock would race concurrent Puts and Deletes.
+		have := s.budget - s.used
 		s.mu.Unlock()
-		return fmt.Errorf("%w: need %d, have %d of %d", ErrBudgetExceeded, size, s.budget-s.used, s.budget)
+		return fmt.Errorf("%w: need %d, have %d of %d", ErrBudgetExceeded, size, have, s.budget)
 	}
 	// Reserve before the write so concurrent Puts cannot oversubscribe.
 	s.used += size
@@ -228,7 +234,8 @@ func (s *Store) PutBytes(key string, raw []byte) error {
 		return fmt.Errorf("store: write %s: %w", key, err)
 	}
 	s.observeWrite(size, elapsed)
-	s.entries[key] = &Entry{Key: key, Size: size, LoadCost: s.estimateLoad(size), Stored: time.Now()}
+	now := time.Now()
+	s.entries[key] = &Entry{Key: key, Size: size, LoadCost: s.estimateLoad(size), Stored: now, LastAccess: now}
 	return nil
 }
 
@@ -250,30 +257,145 @@ func (s *Store) Put(key string, value any) error {
 }
 
 // Get loads and decodes the value for key, recording the measured load cost
-// on the entry (the l_i the next iteration's optimizer will use).
+// — file read plus decode, the full price a consumer pays — on the entry
+// (the l_i the next iteration's optimizer will use).
 func (s *Store) Get(key string) (any, error) {
-	s.mu.RLock()
-	e, ok := s.entries[key]
-	path := s.path(key)
-	s.mu.RUnlock()
-	if !ok {
-		return nil, fmt.Errorf("%w: %s", ErrNotFound, key)
-	}
-	start := time.Now()
-	raw, err := os.ReadFile(path)
+	raw, start, err := s.read(key)
 	if err != nil {
-		return nil, fmt.Errorf("store: read %s: %w", key, err)
+		return nil, err
 	}
 	value, err := Decode(raw)
 	if err != nil {
 		return nil, err
 	}
-	elapsed := time.Since(start)
-	s.mu.Lock()
-	e.LoadCost = elapsed
-	s.observeRead(int64(len(raw)), elapsed)
-	s.mu.Unlock()
+	s.recordRead(key, int64(len(raw)), time.Since(start))
 	return value, nil
+}
+
+// GetBytes loads the raw serialized bytes for key, recording the measured
+// load cost and access recency on the entry. External callers use it to
+// read stored bytes without decoding; the tiered store's own cross-tier
+// movement goes through the unexported read/recordRead pair instead, so
+// migrations never perturb the throughput EWMA with decode-free reads.
+func (s *Store) GetBytes(key string) ([]byte, error) {
+	raw, start, err := s.read(key)
+	if err != nil {
+		return nil, err
+	}
+	s.recordRead(key, int64(len(raw)), time.Since(start))
+	return raw, nil
+}
+
+// read fetches key's raw bytes without recording an observation; the
+// caller stops the clock (after decoding, when it decodes) and calls
+// recordRead, so LoadCost always measures the full path a consumer paid.
+func (s *Store) read(key string) ([]byte, time.Time, error) {
+	s.mu.RLock()
+	_, ok := s.entries[key]
+	path := s.path(key)
+	s.mu.RUnlock()
+	start := time.Now()
+	if !ok {
+		return nil, start, fmt.Errorf("%w: %s", ErrNotFound, key)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, start, fmt.Errorf("store: read %s: %w", key, err)
+	}
+	return raw, start, nil
+}
+
+// recordRead lands a measured load on the entry: load cost, access
+// recency, and the tier's read-throughput estimate.
+func (s *Store) recordRead(key string, size int64, elapsed time.Duration) {
+	s.mu.Lock()
+	if e, ok := s.entries[key]; ok {
+		e.LoadCost = elapsed
+		e.LastAccess = time.Now()
+	}
+	s.observeRead(size, elapsed)
+	s.mu.Unlock()
+}
+
+// Touch refreshes key's access recency without reading it, so a value a
+// caller just consumed from elsewhere (e.g. a hot-tier hit served from the
+// entry's freshly promoted bytes) does not look eviction-cold.
+func (s *Store) Touch(key string) {
+	s.mu.Lock()
+	if e, ok := s.entries[key]; ok {
+		e.LastAccess = time.Now()
+	}
+	s.mu.Unlock()
+}
+
+// coldestFirst snapshots the entries least-recently-accessed-first.
+// Callers must hold mu. O(n log n) per call, fine at workflow scale (tens
+// to hundreds of entries); a recency heap would be the upgrade if tier
+// populations grow by orders of magnitude (see the ROADMAP's
+// eviction-policy follow-on).
+func (s *Store) coldestFirst() []*Entry {
+	byAge := make([]*Entry, 0, len(s.entries))
+	for _, e := range s.entries {
+		byAge = append(byAge, e)
+	}
+	sort.Slice(byAge, func(i, j int) bool {
+		if !byAge[i].LastAccess.Equal(byAge[j].LastAccess) {
+			return byAge[i].LastAccess.Before(byAge[j].LastAccess)
+		}
+		return byAge[i].Key < byAge[j].Key // deterministic tie-break
+	})
+	return byAge
+}
+
+// VictimCandidates returns the least-recently-accessed entries whose
+// removal would bring the free budget up to need bytes — a snapshot, with
+// nothing removed. The tiered store demotes candidates copy-then-delete
+// (write the bytes to the cold tier, then Delete here), so a mid-demotion
+// key is never absent from both tiers. Empty on an unbudgeted store or
+// when need already fits.
+func (s *Store) VictimCandidates(need int64) []Entry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.budget <= 0 || s.budget-s.used >= need {
+		return nil
+	}
+	free := s.budget - s.used
+	var victims []Entry
+	for _, e := range s.coldestFirst() {
+		if free >= need {
+			break
+		}
+		free += e.Size
+		victims = append(victims, *e)
+	}
+	return victims
+}
+
+// EvictColdest removes least-recently-accessed entries until the free
+// budget reaches need bytes, deleting their files outright, and returns
+// the evicted entries. The spill tier uses it to admit new values; an
+// evicted value is gone. On an unbudgeted store, or when need already
+// fits, nothing is evicted.
+func (s *Store) EvictColdest(need int64) []Entry {
+	s.mu.Lock()
+	if s.budget <= 0 || s.budget-s.used >= need {
+		s.mu.Unlock()
+		return nil
+	}
+	var victims []Entry
+	for _, e := range s.coldestFirst() {
+		if s.budget-s.used >= need {
+			break
+		}
+		delete(s.entries, e.Key)
+		s.used -= e.Size
+		victims = append(victims, *e)
+	}
+	s.mu.Unlock()
+	for _, v := range victims {
+		os.Remove(s.path(v.Key))
+	}
+	return victims
 }
 
 // Has reports whether key is stored.

@@ -1,0 +1,303 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Tier names which store tier an operation touched.
+type Tier int
+
+const (
+	// TierNone means no tier (a miss or a rejected write).
+	TierNone Tier = iota
+	// TierHot is the budgeted primary store.
+	TierHot
+	// TierCold is the spill tier.
+	TierCold
+)
+
+func (t Tier) String() string {
+	switch t {
+	case TierHot:
+		return "hot"
+	case TierCold:
+		return "cold"
+	default:
+		return "none"
+	}
+}
+
+// TierCounters is a snapshot of a Tiered store's cross-tier traffic.
+type TierCounters struct {
+	// Spills counts values the hot tier rejected on admission that landed
+	// in the spill tier instead.
+	Spills int64
+	// Promotions counts cold-tier hits whose value was moved into the hot
+	// tier.
+	Promotions int64
+	// Evictions counts hot-tier entries demoted to the spill tier to make
+	// room for a promotion.
+	Evictions int64
+	// ColdEvictions counts spill-tier entries deleted outright to make room
+	// for new admissions (those values are gone; the next iteration's cost
+	// model sees them as not loadable and recomputes).
+	ColdEvictions int64
+}
+
+// Tiered composes the budgeted hot store with an optional cold spill tier
+// (§2.3's storage budget, extended with the hot/cold hierarchy production
+// caching systems use). Admission tries the hot tier first and spills on
+// budget rejection; a Get that misses hot is served from cold and promoted
+// back, demoting the hot tier's least-recently-accessed entries to cold to
+// make room. All byte movement between tiers is raw — a value is gob-encoded
+// exactly once, on first materialization, no matter how many times it
+// migrates.
+//
+// With a nil cold tier every method degrades to the plain hot store, so the
+// execution engine runs one code path whether spilling is configured or not.
+//
+// Concurrency: cross-tier movement (promotion, demotion, the locked
+// re-check of a racing Get) serializes on mu, and every move is
+// copy-then-delete — the bytes land in the destination tier before the
+// source entry is removed — so a key mid-migration is always observable
+// in at least one tier, including to the engine's lock-free Has/Lookup
+// dedupe checks. The lock-free fast paths (hot hit, hot admission) never
+// take mu.
+type Tiered struct {
+	hot  *Store
+	cold *Spill
+
+	// mu serializes cross-tier movement so no key is ever absent from both
+	// tiers while a locked reader looks for it.
+	mu sync.Mutex
+
+	spills     atomic.Int64
+	promotions atomic.Int64
+	evictions  atomic.Int64
+}
+
+// NewTiered combines a hot store with an optional (nil-able) spill tier.
+func NewTiered(hot *Store, cold *Spill) *Tiered {
+	return &Tiered{hot: hot, cold: cold}
+}
+
+// Hot exposes the hot tier.
+func (t *Tiered) Hot() *Store { return t.hot }
+
+// Cold exposes the spill tier (nil when tiering is disabled).
+func (t *Tiered) Cold() *Spill { return t.cold }
+
+// Counters snapshots the cumulative cross-tier traffic.
+func (t *Tiered) Counters() TierCounters {
+	c := TierCounters{
+		Spills:     t.spills.Load(),
+		Promotions: t.promotions.Load(),
+		Evictions:  t.evictions.Load(),
+	}
+	if t.cold != nil {
+		c.ColdEvictions = t.cold.Evictions()
+	}
+	return c
+}
+
+// Has reports whether key is stored in either tier.
+func (t *Tiered) Has(key string) bool {
+	if t.hot.Has(key) {
+		return true
+	}
+	return t.cold != nil && t.cold.Has(key)
+}
+
+// Lookup returns the entry metadata for key and the tier holding it. The
+// entry's LoadCost is the holding tier's own measured (or seeded) estimate,
+// so the optimizer's recompute-vs-load decision prices a spilled value at
+// the real, slower cold-tier cost.
+func (t *Tiered) Lookup(key string) (Entry, Tier, bool) {
+	if e, ok := t.hot.Lookup(key); ok {
+		return e, TierHot, true
+	}
+	if t.cold != nil {
+		if e, ok := t.cold.Lookup(key); ok {
+			return e, TierCold, true
+		}
+	}
+	return Entry{}, TierNone, false
+}
+
+// Remaining returns the admission headroom: the largest value the tiered
+// store can still accept. The spill tier deletes its coldest entries to
+// make room, so with a cold tier attached anything up to the cold budget
+// (or anything at all, when the cold tier is unbudgeted) is admissible even
+// after the hot tier fills.
+func (t *Tiered) Remaining() int64 {
+	rem := t.hot.Remaining()
+	if t.cold == nil {
+		return rem
+	}
+	if cb := t.cold.Budget(); cb <= 0 {
+		return 1 << 60
+	} else if cb > rem {
+		return cb
+	}
+	return rem
+}
+
+// EstimateLoad predicts the load cost of a value of the given size from the
+// tier it would land in if admitted now: the hot tier's throughput while the
+// value fits the hot budget, the (slower) cold tier's once it would spill.
+func (t *Tiered) EstimateLoad(size int64) time.Duration {
+	if t.cold == nil || t.hot.Remaining() >= size {
+		return t.hot.EstimateLoad(size)
+	}
+	return t.cold.EstimateLoad(size)
+}
+
+// PutBytes admits pre-encoded bytes: hot tier first, spilling to the cold
+// tier when the hot budget rejects the value. Returns the tier the value
+// landed in.
+func (t *Tiered) PutBytes(key string, raw []byte) (Tier, error) {
+	// Snapshot presence before the put: the stale-cold cleanup below must
+	// only run for a genuinely new hot admission. For a key that was
+	// already hot, an idempotent re-put must not touch the cold tier — a
+	// concurrent demotion of that key may be mid-copy there, and deleting
+	// its fresh cold copy would strand the key in no tier.
+	existedHot := t.cold != nil && t.hot.Has(key)
+	err := t.hot.PutBytes(key, raw)
+	if err == nil {
+		if t.cold != nil && !existedHot {
+			// Keep the one-tier invariant: a stale cold copy (the key was
+			// spilled in an earlier run and the hot tier has room now)
+			// would double-count the key in union views and waste cold
+			// budget.
+			_ = t.cold.Delete(key)
+		}
+		return TierHot, nil
+	}
+	if t.cold == nil || !errors.Is(err, ErrBudgetExceeded) {
+		return TierNone, err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.cold.Has(key) {
+		return TierCold, nil // idempotent re-admission, like Store.PutBytes
+	}
+	if err := t.cold.PutBytes(key, raw); err != nil {
+		return TierNone, fmt.Errorf("store: spill %s: %w", key, err)
+	}
+	t.spills.Add(1)
+	return TierCold, nil
+}
+
+// PutEncoded admits an already-encoded value (the caller keeps ownership of
+// enc), spilling on hot-tier rejection. No tier re-encodes the value.
+func (t *Tiered) PutEncoded(key string, enc *Encoded) (Tier, error) {
+	return t.PutBytes(key, enc.Bytes())
+}
+
+// Get loads and decodes the value for key: a hot hit is served lock-free;
+// a cold hit is promoted into the hot tier (demoting the hot tier's
+// least-recently-accessed entries to cold as needed) and decoded. Returns
+// the tier that served the value. Only the file reads and the cross-tier
+// movement hold the movement lock — the gob decode, usually the expensive
+// part of a load, runs outside it, so concurrent cold loads of different
+// keys overlap their decodes.
+func (t *Tiered) Get(key string) (any, Tier, error) {
+	// Lock-free fast path. Any failure — not just a map miss — falls
+	// through to the locked path: a concurrent promotion can remove a hot
+	// file between the metadata read and the file read.
+	v, err := t.hot.Get(key)
+	if err == nil {
+		return v, TierHot, nil
+	}
+	if t.cold == nil {
+		return nil, TierNone, err
+	}
+	t.mu.Lock()
+	// Re-check hot under the movement lock: the key may have been promoted
+	// (or demoted into existence here) while we waited.
+	raw, start, hotErr := t.hot.read(key)
+	if hotErr == nil {
+		t.mu.Unlock()
+		return t.decodeAndRecord(t.hot, key, raw, time.Since(start), TierHot)
+	}
+	raw, start, err = t.cold.s.read(key)
+	if err != nil {
+		t.mu.Unlock()
+		// A cold miss must not mask a real hot-tier failure: if the hot
+		// tier holds the key but its read failed (I/O error), that error
+		// is the diagnosable one.
+		if !errors.Is(hotErr, ErrNotFound) {
+			return nil, TierNone, hotErr
+		}
+		return nil, TierNone, err
+	}
+	readDur := time.Since(start)
+	t.promoteLocked(key, raw)
+	t.mu.Unlock()
+	return t.decodeAndRecord(t.cold.s, key, raw, readDur, TierCold)
+}
+
+// decodeAndRecord finishes a locked-path load outside the movement lock:
+// decode the raw bytes and land the measured load cost — read plus decode,
+// the full price a consumer pays, excluding any promotion work — on the
+// serving tier's entry.
+func (t *Tiered) decodeAndRecord(tier *Store, key string, raw []byte, readDur time.Duration, served Tier) (any, Tier, error) {
+	decStart := time.Now()
+	v, err := Decode(raw)
+	if err != nil {
+		return nil, served, err
+	}
+	tier.recordRead(key, int64(len(raw)), readDur+time.Since(decStart))
+	return v, served, nil
+}
+
+// promoteLocked moves key's raw bytes from cold to hot, demoting the hot
+// tier's coldest entries into the spill tier to make room. Callers hold
+// t.mu. Demotion is copy-then-delete — a victim's bytes land in the cold
+// tier before its hot entry is removed — so a mid-demotion key is never
+// absent from both tiers, even to the engine's lock-free Has/Lookup
+// dedupe checks. A value larger than the whole hot budget stays cold; a
+// victim the cold tier cannot hold stays hot (possibly leaving too little
+// room, in which case the promotion is abandoned); losing the freed-room
+// race to a concurrent lock-free hot admission leaves the value cold too —
+// promotion is an optimization, never a correctness requirement.
+func (t *Tiered) promoteLocked(key string, raw []byte) {
+	size := int64(len(raw))
+	if b := t.hot.Budget(); b > 0 && size > b {
+		return
+	}
+	// Freshen the promoted key's cold recency first: the demotions below
+	// can trigger cold-tier evictions, and without this the key — read via
+	// the recency-neutral read() — could be the cold tier's own LRU victim.
+	t.cold.s.Touch(key)
+	for _, v := range t.hot.VictimCandidates(size) {
+		vraw, _, err := t.hot.read(v.Key)
+		if err != nil {
+			continue // unreadable victim; leave its entry alone
+		}
+		if err := t.cold.PutBytes(v.Key, vraw); err != nil {
+			continue // cold cannot hold it (whole-budget overflow); stays hot
+		}
+		if err := t.hot.Delete(v.Key); err == nil {
+			t.evictions.Add(1)
+		}
+	}
+	if err := t.hot.PutBytes(key, raw); err != nil {
+		// Still no room (undemotable victims, or a concurrent lock-free
+		// admission claimed what the demotions freed): the value stays
+		// cold. Re-admit the bytes in hand — the demotion churn above may
+		// have evicted the key's cold entry, and returning with the key in
+		// no tier would break the always-in-some-tier invariant.
+		if !t.cold.Has(key) {
+			_ = t.cold.PutBytes(key, raw)
+		}
+		return
+	}
+	t.hot.Touch(key)
+	t.promotions.Add(1)
+	t.cold.Delete(key)
+}

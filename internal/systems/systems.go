@@ -50,6 +50,12 @@ type Options struct {
 	BaseDir string
 	// BudgetBytes caps the materialization store (<=0 = unlimited).
 	BudgetBytes int64
+	// SpillBudgetBytes enables the cold spill tier for systems that
+	// persist: values the (hot) store budget rejects are admitted to a
+	// second-tier "<system>-spill" directory instead of being dropped, and
+	// cold hits are promoted back on load. 0 disables tiering, >0 caps the
+	// spill tier, <0 leaves it unbudgeted.
+	SpillBudgetBytes int64
 	// Workers bounds intra-iteration parallelism.
 	Workers int
 	// Sched selects the execution scheduling strategy (default: the
@@ -108,6 +114,12 @@ func New(kind Kind, o Options) (*core.Session, error) {
 	}
 	if cfg.StoreDir != "" && o.BaseDir == "" {
 		return nil, fmt.Errorf("systems: %s requires Options.BaseDir for its store", kind)
+	}
+	if cfg.StoreDir != "" && o.SpillBudgetBytes != 0 {
+		cfg.SpillDir = cfg.StoreDir + "-spill"
+		if o.SpillBudgetBytes > 0 {
+			cfg.SpillBudgetBytes = o.SpillBudgetBytes
+		}
 	}
 	return core.NewSession(cfg)
 }

@@ -86,6 +86,42 @@ func TestHelixStaysWithinBudget(t *testing.T) {
 	}
 }
 
+// TestHelixSpillTierAbsorbsBudgetPressure: with the same far-too-small hot
+// budget as TestHelixStaysWithinBudget plus an unbudgeted spill tier, the
+// session spills instead of dropping materializations, stays inside the
+// hot budget, and produces iteration metrics identical to the tierless run.
+func TestHelixSpillTierAbsorbsBudgetPressure(t *testing.T) {
+	const budget = 64 << 10
+	sc := workload.CensusScenario(workload.GenerateCensus(800, 200, 3))
+	plain := runScenarioMetrics(t, Helix, sc)
+
+	sess, err := New(Helix, Options{BaseDir: t.TempDir(), BudgetBytes: budget, SpillBudgetBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var spills int64
+	for i, step := range sc.Steps {
+		rep, err := sess.Run(step.Workflow)
+		if err != nil {
+			t.Fatalf("iteration %d: %v", i+1, err)
+		}
+		if rep.StoreUsed > budget {
+			t.Fatalf("iteration %d: hot tier used %d > budget %d", i+1, rep.StoreUsed, budget)
+		}
+		spills += rep.Spills
+		met := rep.Outputs["checked"].(ml.Metrics)
+		if math.Abs(met.Accuracy-plain[i].Accuracy) > 0 {
+			t.Errorf("iteration %d: accuracy %v diverges from tierless %v", i+1, met.Accuracy, plain[i].Accuracy)
+		}
+	}
+	if spills == 0 {
+		t.Fatalf("no spills across the scenario despite the %d-byte hot budget", budget)
+	}
+	if sess.Spill() == nil || sess.Spill().Used() == 0 {
+		t.Fatal("spill tier missing or empty")
+	}
+}
+
 func TestHelixUnoptNeverPersists(t *testing.T) {
 	sess, err := New(HelixUnopt, Options{})
 	if err != nil {
