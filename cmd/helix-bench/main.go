@@ -23,6 +23,7 @@
 //	helix-bench -ablation matpolicy
 //	helix-bench -ablation scheduler
 //	helix-bench -ablation dispatch -json BENCH_3.json
+//	helix-bench -ablation dispatch -faults          # chaos smoke: seeded recoverable faults
 //	helix-bench -ablation reweight
 //	helix-bench -ablation spill
 //	helix-bench -fig 2b -budget 65536 -spill -1 # tiered store on figure runs
@@ -90,6 +91,7 @@ func main() {
 	reweightName := flag.String("reweight", "adaptive", "online re-prioritization for figure runs: adaptive or off")
 	release := flag.Bool("release", true, "release consumed intermediates during execution (memory-bounded sessions)")
 	jsonPath := flag.String("json", "", "write dispatch-ablation measurements as JSON to this path (BENCH_3.json)")
+	faults := flag.Bool("faults", false, "inject seeded recoverable faults into the dispatch ablation (chaos mode); retry/recompute counters land in the report and -json")
 	seed := flag.Int64("seed", 2018, "dataset seed")
 	flag.Parse()
 
@@ -122,6 +124,9 @@ func main() {
 	if *jsonPath != "" && *ablation != "dispatch" {
 		fatal(fmt.Errorf("-json is only written by -ablation dispatch (got -ablation %q)", *ablation))
 	}
+	if *faults && *ablation != "dispatch" {
+		fatal(fmt.Errorf("-faults applies to -ablation dispatch (got -ablation %q)", *ablation))
+	}
 	if *fig == "2a" || *fig == "all" {
 		if err := runFig2a(*docs, opts, *seed); err != nil {
 			fatal(err)
@@ -147,7 +152,7 @@ func main() {
 			fatal(err)
 		}
 	case "dispatch":
-		if err := runDispatch(*workers, *jsonPath); err != nil {
+		if err := runDispatch(*workers, *jsonPath, *faults, *seed); err != nil {
 			fatal(err)
 		}
 	case "reweight":
@@ -507,11 +512,17 @@ func runSpill(workers int) error {
 // under work-stealing and global-heap dispatch at the same worker count,
 // value-checked against each other, with wall time, steal/handoff counts
 // and peak live bytes reported — and written as JSON when jsonPath is set
-// (the CI artifact BENCH_3.json).
-func runDispatch(workers int, jsonPath string) error {
-	fmt.Printf("=== ablation: work-stealing vs global-heap dispatch (%d workers) ===\n", workers)
-	fmt.Printf("%-16s %6s %12s %12s %8s %8s %9s %12s\n",
-		"shape", "nodes", "worksteal", "global-heap", "red", "steals", "handoffs", "peak-bytes")
+// (the CI artifact BENCH_3.json). With faults set, every run is wrapped in
+// a seeded recoverable fault schedule (the chaos smoke): walls then include
+// retry/backoff cost, and the retry counters land in the report.
+func runDispatch(workers int, jsonPath string, faults bool, seed int64) error {
+	mode := ""
+	if faults {
+		mode = ", seeded faults"
+	}
+	fmt.Printf("=== ablation: work-stealing vs global-heap dispatch (%d workers%s) ===\n", workers, mode)
+	fmt.Printf("%-16s %6s %12s %12s %8s %8s %9s %12s %8s\n",
+		"shape", "nodes", "worksteal", "global-heap", "red", "steals", "handoffs", "peak-bytes", "retries")
 	report := bench.DispatchReport{Workers: workers}
 	// Best of three per mode: single-shot walls on ms-scale shapes are at
 	// the mercy of host noise; the minimum is the honest dispatch cost.
@@ -520,7 +531,14 @@ func runDispatch(workers int, jsonPath string) error {
 		var best bench.DispatchMeasurement
 		var bestRes *exec.Result
 		for i := 0; i < reps; i++ {
-			m, res, err := bench.MeasureDispatch(sd, mode, workers)
+			var m bench.DispatchMeasurement
+			var res *exec.Result
+			var err error
+			if faults {
+				m, res, err = bench.MeasureDispatchFaults(sd, mode, workers, bench.DefaultFaultPlan(seed+int64(i)))
+			} else {
+				m, res, err = bench.MeasureDispatch(sd, mode, workers)
+			}
 			if err != nil {
 				return best, nil, err
 			}
@@ -553,8 +571,9 @@ func runDispatch(workers int, jsonPath string) error {
 			Shape: sd.Name, Nodes: sd.G.Len(),
 			WorkSteal: wsm, GlobalHeap: ghm, ReductionPct: red,
 		})
-		fmt.Printf("%-16s %6d %10.2fms %10.2fms %7.0f%% %8d %9d %12d\n",
-			sd.Name, sd.G.Len(), wsm.WallMS, ghm.WallMS, red, wsm.Steals, wsm.Handoffs, wsm.PeakLiveBytes)
+		fmt.Printf("%-16s %6d %10.2fms %10.2fms %7.0f%% %8d %9d %12d %8d\n",
+			sd.Name, sd.G.Len(), wsm.WallMS, ghm.WallMS, red, wsm.Steals, wsm.Handoffs, wsm.PeakLiveBytes,
+			wsm.Retries+ghm.Retries)
 	}
 	fmt.Println()
 	if jsonPath == "" {

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -92,12 +93,12 @@ func sharedSigDAG(tag string) *SchedDAG {
 	g.MustAddEdge(a, join)
 	g.MustAddEdge(b, join)
 	g.Node(join).Output = true
-	twin := func(in []any) (any, error) { return in[0].(int) + 100, nil }
+	twin := func(_ context.Context, in []any) (any, error) { return in[0].(int) + 100, nil }
 	return &SchedDAG{Name: "shared-sig", G: g, Tasks: []exec.Task{
-		{Key: "ssk-root-" + tag, Run: func([]any) (any, error) { return 1, nil }},
+		{Key: "ssk-root-" + tag, Run: func(context.Context, []any) (any, error) { return 1, nil }},
 		{Key: "ssk-twin-" + tag, Run: twin},
 		{Key: "ssk-twin-" + tag, Run: twin},
-		{Key: "ssk-join-" + tag, Run: func(in []any) (any, error) { return in[0].(int) * in[1].(int), nil }},
+		{Key: "ssk-join-" + tag, Run: func(_ context.Context, in []any) (any, error) { return in[0].(int) * in[1].(int), nil }},
 	}}
 }
 

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -40,7 +41,7 @@ func RandomDAG(seed int64) *SchedDAG {
 		base := i
 		tasks = append(tasks, exec.Task{
 			Key: fmt.Sprintf("rk%d_%d", seed, i),
-			Run: func(in []any) (any, error) {
+			Run: func(_ context.Context, in []any) (any, error) {
 				// Mix inputs order-sensitively so a scheduler delivering
 				// parents in the wrong order cannot produce the right bytes.
 				sum := base*2654435761 + 17

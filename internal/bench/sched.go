@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"time"
 
@@ -33,11 +34,46 @@ func (s *SchedDAG) Plan() *opt.Plan {
 	return &opt.Plan{States: states}
 }
 
+// sleepCtx sleeps for d unless ctx is cancelled first, in which case it
+// returns the context's error immediately — the pattern every sleeping
+// bench operator uses so first-error cancellation and per-node deadlines
+// actually interrupt in-flight work instead of waiting it out.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// spinCtx busy-loops for roughly d (occupying a core, unlike sleepCtx),
+// checking ctx periodically so cancellation interrupts the spin.
+func spinCtx(ctx context.Context, d time.Duration) error {
+	var spins uint64
+	for start := time.Now(); time.Since(start) < d; {
+		spins++
+		if spins%4096 == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+	}
+	return ctx.Err()
+}
+
 // sleepTask returns a deterministic task: sleep d, then emit a value
 // derived from the inputs and the node's own index.
 func sleepTask(idx int, d time.Duration) exec.Task {
-	return exec.Task{Run: func(in []any) (any, error) {
-		time.Sleep(d)
+	return exec.Task{Run: func(ctx context.Context, in []any) (any, error) {
+		if err := sleepCtx(ctx, d); err != nil {
+			return nil, err
+		}
 		sum := idx
 		for _, v := range in {
 			sum += v.(int)
@@ -51,12 +87,10 @@ func sleepTask(idx int, d time.Duration) exec.Task {
 // derived from the inputs and the node's own index. The spin counter never
 // feeds the result, so values stay deterministic across machines.
 func spinTask(idx int, d time.Duration) exec.Task {
-	return exec.Task{Run: func(in []any) (any, error) {
-		var spins uint64
-		for start := time.Now(); time.Since(start) < d; {
-			spins++
+	return exec.Task{Run: func(ctx context.Context, in []any) (any, error) {
+		if err := spinCtx(ctx, d); err != nil {
+			return nil, err
 		}
-		_ = spins
 		sum := idx
 		for _, v := range in {
 			sum += v.(int)
@@ -378,13 +412,13 @@ func MeasureReweight(sd *SchedDAG, h *exec.History, mode exec.Reweight, dispatch
 // then sleeps for rest — a CPU-flavoured long-pole operator whose wall
 // cost stays measurable on hosts without a spare core (see LiarDAG).
 func spinSleepTask(idx int, spin, rest time.Duration) exec.Task {
-	return exec.Task{Run: func(in []any) (any, error) {
-		var spins uint64
-		for start := time.Now(); time.Since(start) < spin; {
-			spins++
+	return exec.Task{Run: func(ctx context.Context, in []any) (any, error) {
+		if err := spinCtx(ctx, spin); err != nil {
+			return nil, err
 		}
-		_ = spins
-		time.Sleep(rest)
+		if err := sleepCtx(ctx, rest); err != nil {
+			return nil, err
+		}
 		sum := idx
 		for _, v := range in {
 			sum += v.(int)
@@ -398,7 +432,7 @@ func spinSleepTask(idx int, spin, rest time.Duration) exec.Task {
 // dominated by the scheduler itself, which is exactly what the contention
 // shapes measure.
 func busyTask(idx int) exec.Task {
-	return exec.Task{Run: func(in []any) (any, error) {
+	return exec.Task{Run: func(_ context.Context, in []any) (any, error) {
 		sum := idx
 		for _, v := range in {
 			sum += v.(int)
@@ -470,6 +504,12 @@ type DispatchMeasurement struct {
 	Steals        int64   `json:"steals"`
 	Handoffs      int64   `json:"handoffs"`
 	PeakLiveBytes int64   `json:"peak_live_bytes"`
+	// Fault counters: zero on clean runs, populated by -faults chaos runs.
+	// Additive relative to the committed baseline schema — benchdiff only
+	// compares wall times, so old baselines parse unchanged.
+	Retries       int64 `json:"retries"`
+	Recomputes    int64 `json:"recomputes"`
+	CorruptFrames int64 `json:"corrupt_frames"`
 }
 
 // MeasureDispatch executes the shape once under the given dispatch mode
@@ -480,12 +520,17 @@ type DispatchMeasurement struct {
 // comparable across modes; release is on, so Result.Values holds the
 // output nodes.
 func MeasureDispatch(sd *SchedDAG, dispatch exec.DispatchMode, workers int) (DispatchMeasurement, *exec.Result, error) {
+	return measureDispatch(sd, dispatch, workers, exec.FaultPolicy{})
+}
+
+func measureDispatch(sd *SchedDAG, dispatch exec.DispatchMode, workers int, faults exec.FaultPolicy) (DispatchMeasurement, *exec.Result, error) {
 	var gauge store.Gauge
 	e := &exec.Engine{
 		Workers:              workers,
 		Dispatch:             dispatch,
 		ReleaseIntermediates: true,
 		LiveBytes:            &gauge,
+		Faults:               faults,
 	}
 	res, err := e.Execute(sd.G, sd.Tasks, sd.Plan())
 	if err != nil {
@@ -500,6 +545,9 @@ func MeasureDispatch(sd *SchedDAG, dispatch exec.DispatchMode, workers int) (Dis
 		Steals:        res.Steals,
 		Handoffs:      res.Handoffs,
 		PeakLiveBytes: gauge.Peak(),
+		Retries:       res.Retries,
+		Recomputes:    res.Recomputes,
+		CorruptFrames: res.CorruptFrames,
 	}, res, nil
 }
 

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"path/filepath"
 	"strings"
@@ -20,8 +21,10 @@ import (
 func payloadTask(idx, payloadBytes int, d time.Duration) exec.Task {
 	return exec.Task{
 		Key: fmt.Sprintf("spill-p%d", idx),
-		Run: func(in []any) (any, error) {
-			time.Sleep(d)
+		Run: func(ctx context.Context, in []any) (any, error) {
+			if err := sleepCtx(ctx, d); err != nil {
+				return nil, err
+			}
 			seed := idx
 			for _, v := range in {
 				seed = seed*31 + v.(int)
@@ -49,7 +52,7 @@ func payloadTask(idx, payloadBytes int, d time.Duration) exec.Task {
 func SpillDAG(producers, payloadBytes int, d time.Duration) *SchedDAG {
 	g := dag.New()
 	root := g.MustAddNode("root", "scan")
-	tasks := []exec.Task{{Key: "spill-root", Run: func([]any) (any, error) { return 1, nil }}}
+	tasks := []exec.Task{{Key: "spill-root", Run: func(context.Context, []any) (any, error) { return 1, nil }}}
 	join := g.MustAddNode("join", "agg")
 	for p := 0; p < producers; p++ {
 		id := g.MustAddNode(fmt.Sprintf("pay%d", p), "op")
@@ -60,7 +63,7 @@ func SpillDAG(producers, payloadBytes int, d time.Duration) *SchedDAG {
 	g.Node(join).Output = true
 	tasks = append(tasks, exec.Task{
 		Key: "spill-join",
-		Run: func(in []any) (any, error) {
+		Run: func(_ context.Context, in []any) (any, error) {
 			sum := 17
 			for _, v := range in {
 				s := v.(string)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -69,13 +70,37 @@ func Compile(w *Workflow) (*Compiled, error) {
 	}
 	tasks := make([]exec.Task, len(ops))
 	for i, op := range ops {
-		op := op
 		tasks[i] = exec.Task{
 			Key: string(resSigs[i]),
-			Run: op.Apply,
+			Run: bindRun(op),
 		}
 	}
 	return &Compiled{Workflow: w, Graph: g, Ops: ops, Sigs: resSigs, Tasks: tasks}, nil
+}
+
+// CtxOperator is an optional Operator extension for long-running operators:
+// ApplyCtx receives the engine's run context, carrying first-error
+// cancellation and the fault policy's per-node deadline, so the operator
+// can be interrupted instead of waited out.
+type CtxOperator interface {
+	Operator
+	ApplyCtx(ctx context.Context, inputs []any) (any, error)
+}
+
+// bindRun adapts an operator to the engine's context-threaded task
+// signature. Context-aware operators get the context end-to-end; plain
+// operators get a pre-flight cancellation check, so a cancelled run at
+// least never starts them.
+func bindRun(op Operator) func(context.Context, []any) (any, error) {
+	if co, ok := op.(CtxOperator); ok {
+		return co.ApplyCtx
+	}
+	return func(ctx context.Context, inputs []any) (any, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return op.Apply(inputs)
+	}
 }
 
 // Category returns node id's operator category.

@@ -70,6 +70,11 @@ type Config struct {
 	// lost). Set it for debugging sessions that want to inspect
 	// intermediates post-hoc, or to A/B the peak-memory win.
 	KeepIntermediates bool
+	// Faults is the execution-time fault policy: per-node retry budget with
+	// backoff for transient failures, per-node deadlines, and error
+	// classification. The zero value disables retries and deadlines (one
+	// attempt, fail-fast — the historical behaviour).
+	Faults exec.FaultPolicy
 }
 
 // Session drives iterative development: one Session per developer working
@@ -128,6 +133,7 @@ func NewSession(cfg Config) (*Session, error) {
 		Reweight:             cfg.Reweight,
 		ReleaseIntermediates: !cfg.KeepIntermediates,
 		LiveBytes:            &s.live,
+		Faults:               cfg.Faults,
 	}
 	return s, nil
 }
@@ -176,7 +182,16 @@ type Report struct {
 	Spills     int64
 	Promotions int64
 	Evictions  int64
-	SourceText string
+	// Retries counts transient-failure retries the fault policy performed
+	// this iteration; Recomputes counts sub-DAG recomputations triggered by
+	// failed or corrupt loads; CorruptFrames counts cold-tier checksum
+	// failures detected; TierDisabled reports whether the cold-tier circuit
+	// breaker tripped during (or remains open after) the iteration.
+	Retries       int64
+	Recomputes    int64
+	CorruptFrames int64
+	TierDisabled  bool
+	SourceText    string
 }
 
 // Counts tallies node states in the executed plan.
@@ -238,20 +253,24 @@ func (s *Session) Run(w *Workflow) (*Report, error) {
 	s.iter++
 	s.prev = compiled
 	rep := &Report{
-		Iteration:  s.iter,
-		System:     s.cfg.SystemName,
-		Workflow:   w.Name(),
-		Wall:       res.Wall,
-		PlanCost:   plan.Cost,
-		Graph:      compiled.Graph,
-		Plan:       plan,
-		Nodes:      res.Nodes,
-		Changes:    changes,
-		Outputs:    outputs,
-		Spills:     res.Spills,
-		Promotions: res.Promotions,
-		Evictions:  res.Evictions,
-		SourceText: w.SourceText(),
+		Iteration:     s.iter,
+		System:        s.cfg.SystemName,
+		Workflow:      w.Name(),
+		Wall:          res.Wall,
+		PlanCost:      plan.Cost,
+		Graph:         compiled.Graph,
+		Plan:          plan,
+		Nodes:         res.Nodes,
+		Changes:       changes,
+		Outputs:       outputs,
+		Spills:        res.Spills,
+		Promotions:    res.Promotions,
+		Evictions:     res.Evictions,
+		Retries:       res.Retries,
+		Recomputes:    res.Recomputes,
+		CorruptFrames: res.CorruptFrames,
+		TierDisabled:  res.TierDisabled,
+		SourceText:    w.SourceText(),
 	}
 	if s.store != nil {
 		rep.StoreUsed = s.store.Used()

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -110,9 +111,9 @@ func TestMatWriterDedupesInFlightKeys(t *testing.T) {
 	// a and b produce the identical value under the identical key — the
 	// shared-subcomputation case content addressing creates.
 	tasks := []Task{
-		{Key: "shared-key", Run: func([]any) (any, error) { return "same", nil }},
-		{Key: "shared-key", Run: func([]any) (any, error) { return "same", nil }},
-		{Key: "kjoin", Run: func(in []any) (any, error) { return in[0].(string) + in[1].(string), nil }},
+		{Key: "shared-key", Run: func(context.Context, []any) (any, error) { return "same", nil }},
+		{Key: "shared-key", Run: func(context.Context, []any) (any, error) { return "same", nil }},
+		{Key: "kjoin", Run: func(_ context.Context, in []any) (any, error) { return in[0].(string) + in[1].(string), nil }},
 	}
 	st, err := store.Open(t.TempDir(), 0)
 	if err != nil {
@@ -154,12 +155,12 @@ func TestAncestorCostOverlapsRunningAncestor(t *testing.T) {
 	g.Node(a).Output = true
 	g.Node(x).Output = true
 	tasks := []Task{
-		{Key: "anc-a", Run: func([]any) (any, error) {
+		{Key: "anc-a", Run: func(context.Context, []any) (any, error) {
 			time.Sleep(30 * time.Millisecond)
 			return 1, nil
 		}},
-		{Key: "anc-l", Run: func(in []any) (any, error) { return in[0].(int) + 1, nil }},
-		{Key: "anc-x", Run: func(in []any) (any, error) { return in[0].(int) * 2, nil }},
+		{Key: "anc-l", Run: func(_ context.Context, in []any) (any, error) { return in[0].(int) + 1, nil }},
+		{Key: "anc-x", Run: func(_ context.Context, in []any) (any, error) { return in[0].(int) * 2, nil }},
 	}
 	st, err := store.Open(t.TempDir(), 0)
 	if err != nil {

@@ -43,6 +43,7 @@
 package exec
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -61,8 +62,13 @@ type Task struct {
 	// Key is the node's result signature — its content address in the store.
 	Key string
 	// Run computes the node's value from its parents' values (ordered as
-	// g.Parents). Must be safe to call from any goroutine.
-	Run func(inputs []any) (any, error)
+	// g.Parents). Must be safe to call from any goroutine. ctx carries the
+	// run's cancellation and the fault policy's per-node deadline:
+	// long-running operators should honor it (check ctx.Err() in loops,
+	// select on ctx.Done() around sleeps) so first-error cancellation and
+	// deadlines interrupt them instead of waiting them out. Errors wrapping
+	// ErrTransient are retried per Engine.Faults.
+	Run func(ctx context.Context, inputs []any) (any, error)
 }
 
 // NodeRun records what happened to one node during an Execute call.
@@ -118,6 +124,21 @@ type Result struct {
 	// Evictions counts hot-tier entries this run demoted to the spill tier
 	// to make room for promotions.
 	Evictions int64
+	// Retries counts operator attempts this run repeated after a transient
+	// fault (Engine.Faults); the node retried in place on its worker.
+	Retries int64
+	// Recomputes counts nodes this run recomputed from lineage after a
+	// planned load failed (corrupt frame, read I/O error, evicted entry) —
+	// the failing node plus any ancestors its recovery had to re-run.
+	Recomputes int64
+	// CorruptFrames counts cold-tier frames this run that failed checksum
+	// verification; each was deleted on detection and its value recovered
+	// by recompute.
+	CorruptFrames int64
+	// TierDisabled reports whether repeated cold-tier I/O failures tripped
+	// the circuit breaker during (or before) this run, degrading the store
+	// to hot-only.
+	TierDisabled bool
 }
 
 // Value returns the value of the named node, if present.
@@ -367,6 +388,12 @@ type Engine struct {
 	// workers; the zero value is WorkSteal (per-worker deques, lock-light).
 	// GlobalHeap retains the single shared ready heap for A/B benchmarks.
 	Dispatch DispatchMode
+	// Faults is the engine's fault-tolerance policy: per-node attempt
+	// budget with exponential backoff for transient operator failures, and
+	// an optional per-attempt deadline. The zero value disables both (one
+	// attempt, no deadline). Applies to every scheduler and dispatcher, and
+	// to lineage recomputes after failed loads.
+	Faults FaultPolicy
 	// Reweight selects online re-prioritization of the remaining DAG as
 	// measured durations diverge from the estimates behind the initial
 	// critical-path weights; the zero value is Adaptive. ReweightOff pins
@@ -475,12 +502,20 @@ func (e *Engine) BuildCostModel(g *dag.Graph, tasks []Task) (*opt.CostModel, err
 }
 
 // Execute runs the plan over the graph using the configured scheduling
-// strategy. The first node error cancels all not-yet-dispatched work;
-// errors from nodes already in flight are collected and joined. The
+// strategy. The first node error cancels all not-yet-dispatched work (and,
+// through the run context, interrupts in-flight operators that honor their
+// ctx); errors from nodes already in flight are collected and joined. The
 // returned Result is complete for every node that ran, and the background
 // materialization pipeline is flushed — also on error — before Execute
 // returns.
 func (e *Engine) Execute(g *dag.Graph, tasks []Task, plan *opt.Plan) (*Result, error) {
+	return e.ExecuteCtx(context.Background(), g, tasks, plan)
+}
+
+// ExecuteCtx is Execute under a caller-supplied context: cancelling ctx
+// cancels the run the same way a fatal node error does. The fault policy's
+// per-node deadlines nest under it.
+func (e *Engine) ExecuteCtx(ctx context.Context, g *dag.Graph, tasks []Task, plan *opt.Plan) (*Result, error) {
 	if len(tasks) != g.Len() {
 		return nil, fmt.Errorf("exec: %d tasks for %d nodes", len(tasks), g.Len())
 	}
@@ -498,17 +533,34 @@ func (e *Engine) Execute(g *dag.Graph, tasks []Task, plan *opt.Plan) (*Result, e
 	if e.Store != nil {
 		before = e.tiers().Counters()
 	}
+	stats := &faultStats{}
+	// Pin every planned-load key before dispatch so the spill tier's
+	// within-run eviction cannot delete a value the plan depends on; each
+	// pin is released as its load completes, with an end-of-run sweep for
+	// error paths. Pointless without a cold tier (the hot tier never
+	// deletes destructively), so skipped.
+	var pins *pinSet
+	if e.Store != nil && e.Spill != nil {
+		pins = newPinSet(e.tiers(), tasks, plan)
+		defer pins.releaseAll()
+	}
 	var err error
 	if e.Sched == LevelBarrier {
-		res, err = e.executeLevelBarrier(g, tasks, plan, res)
+		res, err = e.executeLevelBarrier(ctx, g, tasks, plan, res, stats, pins)
 	} else {
-		res, err = e.executeDataflow(g, tasks, plan, res)
+		res, err = e.executeDataflow(ctx, g, tasks, plan, res, stats, pins)
+	}
+	if res != nil {
+		res.Retries = stats.retries.Load()
+		res.Recomputes = stats.recomputes.Load()
 	}
 	if res != nil && e.Store != nil {
 		after := e.tiers().Counters()
 		res.Spills = after.Spills - before.Spills
 		res.Promotions = after.Promotions - before.Promotions
 		res.Evictions = after.Evictions - before.Evictions
+		res.CorruptFrames = after.CorruptFrames - before.CorruptFrames
+		res.TierDisabled = after.BreakerTrips > before.BreakerTrips || e.tiers().TierDisabled()
 	}
 	return res, err
 }
@@ -523,9 +575,11 @@ func (e *Engine) historySize(name string) (int64, bool) {
 
 // loadNode is the level-barrier executor's Load state: fetch the value
 // from either store tier and record it (under the results lock) with its
-// measured load time. The dataflow schedulers use runCtx.runNode, which
-// publishes to the lock-free slot plane instead.
-func (e *Engine) loadNode(g *dag.Graph, tasks []Task, id dag.NodeID, res *Result, mu *sync.Mutex) error {
+// measured load time. A failed load — corrupt frame, read I/O error,
+// vanished entry — degrades to a lineage recompute instead of a run
+// failure. The dataflow schedulers use runCtx.runNode, which publishes to
+// the lock-free slot plane instead.
+func (e *Engine) loadNode(ctx context.Context, g *dag.Graph, tasks []Task, plan *opt.Plan, id dag.NodeID, res *Result, mu *sync.Mutex, stats *faultStats, pins *pinSet) error {
 	name := g.Node(id).Name
 	nodeStart := time.Now()
 	if e.Store == nil {
@@ -533,8 +587,12 @@ func (e *Engine) loadNode(g *dag.Graph, tasks []Task, id dag.NodeID, res *Result
 	}
 	v, _, err := e.tiers().Get(tasks[id].Key)
 	if err != nil {
-		return fmt.Errorf("exec: load %s: %w", name, err)
+		rec := &recomputer{e: e, g: g, tasks: tasks, plan: plan, stats: stats}
+		if v, err = rec.recoverLoad(ctx, id, err); err != nil {
+			return fmt.Errorf("exec: load %s: %w", name, err)
+		}
 	}
+	pins.release(id)
 	mu.Lock()
 	res.Values[id] = v
 	res.Nodes[id].Duration = time.Since(nodeStart)

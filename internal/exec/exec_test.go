@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -31,9 +32,9 @@ func buildChain(t *testing.T) (*dag.Graph, []Task) {
 	g.MustAddEdge(b, c)
 	g.Node(c).Output = true
 	tasks := []Task{
-		{Key: "ka", Run: func([]any) (any, error) { return "a", nil }},
-		{Key: "kb", Run: func(in []any) (any, error) { return in[0].(string) + "b", nil }},
-		{Key: "kc", Run: func(in []any) (any, error) { return in[0].(string) + "c", nil }},
+		{Key: "ka", Run: func(context.Context, []any) (any, error) { return "a", nil }},
+		{Key: "kb", Run: func(_ context.Context, in []any) (any, error) { return in[0].(string) + "b", nil }},
+		{Key: "kc", Run: func(_ context.Context, in []any) (any, error) { return in[0].(string) + "c", nil }},
 	}
 	return g, tasks
 }
@@ -72,7 +73,7 @@ func TestExecutePrunedNodesSkipped(t *testing.T) {
 	dead := g.MustAddNode("dead", "x")
 	g.MustAddEdge(g.Lookup("a"), dead)
 	ran := int32(0)
-	tasks = append(tasks, Task{Key: "kd", Run: func([]any) (any, error) {
+	tasks = append(tasks, Task{Key: "kd", Run: func(context.Context, []any) (any, error) {
 		atomic.AddInt32(&ran, 1)
 		return "dead", nil
 	}})
@@ -104,7 +105,7 @@ func TestExecuteLoadFromStore(t *testing.T) {
 	plan.States[0] = opt.Prune
 	plan.States[1] = opt.Load
 	ranA := int32(0)
-	tasks[0].Run = func([]any) (any, error) { atomic.AddInt32(&ranA, 1); return "a", nil }
+	tasks[0].Run = func(context.Context, []any) (any, error) { atomic.AddInt32(&ranA, 1); return "a", nil }
 	e := &Engine{Store: st}
 	res, err := e.Execute(g, tasks, plan)
 	if err != nil {
@@ -135,7 +136,7 @@ func TestExecuteLoadWithoutStore(t *testing.T) {
 func TestExecutePropagatesOperatorError(t *testing.T) {
 	g, tasks := buildChain(t)
 	boom := errors.New("boom")
-	tasks[1].Run = func([]any) (any, error) { return nil, boom }
+	tasks[1].Run = func(context.Context, []any) (any, error) { return nil, boom }
 	e := &Engine{}
 	_, err := e.Execute(g, tasks, allCompute(3))
 	if !errors.Is(err, boom) {
@@ -243,8 +244,8 @@ func TestExecuteUnencodableValueNotMaterialized(t *testing.T) {
 		t.Fatal(err)
 	}
 	type unregistered struct{ X int }
-	tasks[0].Run = func([]any) (any, error) { return unregistered{1}, nil }
-	tasks[1].Run = func(in []any) (any, error) { return "b", nil }
+	tasks[0].Run = func(context.Context, []any) (any, error) { return unregistered{1}, nil }
+	tasks[1].Run = func(_ context.Context, in []any) (any, error) { return "b", nil }
 	e := &Engine{Store: st, Policy: opt.MaterializeAll{}}
 	res, err := e.Execute(g, tasks, allCompute(3))
 	if err != nil {
@@ -284,12 +285,12 @@ func TestExecuteParallelLevels(t *testing.T) {
 	// 8 nodes sleeping 30ms each must finish well under 8*30ms.
 	g := dag.New()
 	root := g.MustAddNode("root", "scan")
-	tasks := []Task{{Run: func([]any) (any, error) { return 0, nil }}}
+	tasks := []Task{{Run: func(context.Context, []any) (any, error) { return 0, nil }}}
 	for i := 0; i < 8; i++ {
 		id := g.MustAddNode(fmt.Sprintf("w%d", i), "x")
 		g.MustAddEdge(root, id)
 		g.Node(id).Output = true
-		tasks = append(tasks, Task{Run: func([]any) (any, error) {
+		tasks = append(tasks, Task{Run: func(context.Context, []any) (any, error) {
 			time.Sleep(30 * time.Millisecond)
 			return 0, nil
 		}})
@@ -311,7 +312,7 @@ func TestExecuteWorkerLimitRespected(t *testing.T) {
 	for i := 0; i < 6; i++ {
 		id := g.MustAddNode(fmt.Sprintf("n%d", i), "x")
 		g.Node(id).Output = true
-		tasks = append(tasks, Task{Run: func([]any) (any, error) {
+		tasks = append(tasks, Task{Run: func(context.Context, []any) (any, error) {
 			c := atomic.AddInt32(&cur, 1)
 			for {
 				p := atomic.LoadInt32(&peak)
@@ -392,7 +393,7 @@ func TestEngineEndToEndReuse(t *testing.T) {
 	// should load instead of recompute, skipping the slow operator.
 	g, tasks := buildChain(t)
 	slowRan := int32(0)
-	tasks[1].Run = func(in []any) (any, error) {
+	tasks[1].Run = func(_ context.Context, in []any) (any, error) {
 		atomic.AddInt32(&slowRan, 1)
 		time.Sleep(20 * time.Millisecond)
 		return in[0].(string) + "b", nil

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -17,11 +18,13 @@ import (
 // barrier separates levels, and materialization runs synchronously inside
 // the node's turn, so MatDuration is part of Duration. The first failure
 // stops new dispatches; errors from nodes already in flight are joined.
-func (e *Engine) executeLevelBarrier(g *dag.Graph, tasks []Task, plan *opt.Plan, res *Result) (*Result, error) {
+func (e *Engine) executeLevelBarrier(ctx context.Context, g *dag.Graph, tasks []Task, plan *opt.Plan, res *Result, stats *faultStats, pins *pinSet) (*Result, error) {
 	levels, err := g.Levels()
 	if err != nil {
 		return nil, err
 	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	// Closures feed the ancestor-cost term; policies that never read it
 	// (NeedsAncestorCost false) skip the precompute, and decideAndPersist
 	// guarantees the cost callback — the only closure consumer — is not
@@ -54,8 +57,9 @@ func (e *Engine) executeLevelBarrier(g *dag.Graph, tasks []Task, plan *opt.Plan,
 			go func(id dag.NodeID) {
 				defer wg.Done()
 				defer func() { <-sem }()
-				if err := e.runNodeSync(g, tasks, plan, id, res, &mu, closures, queued); err != nil {
+				if err := e.runNodeSync(ctx, g, tasks, plan, id, res, &mu, closures, queued, stats, pins); err != nil {
 					failed.Store(true)
+					cancel() // interrupt in-flight operators that honor ctx
 					errCh <- err
 				}
 			}(id)
@@ -68,7 +72,7 @@ func (e *Engine) executeLevelBarrier(g *dag.Graph, tasks []Task, plan *opt.Plan,
 		}
 		if len(errs) > 0 {
 			res.Wall = time.Since(start)
-			return res, errors.Join(errs...)
+			return res, errors.Join(dropCollateralCancels(errs)...)
 		}
 	}
 	res.Wall = time.Since(start)
@@ -77,12 +81,12 @@ func (e *Engine) executeLevelBarrier(g *dag.Graph, tasks []Task, plan *opt.Plan,
 
 // runNodeSync loads or computes one node, then applies the materialization
 // policy synchronously for computed nodes.
-func (e *Engine) runNodeSync(g *dag.Graph, tasks []Task, plan *opt.Plan, id dag.NodeID, res *Result, mu *sync.Mutex, closures [][]dag.NodeID, queued *keyDedupe) error {
+func (e *Engine) runNodeSync(ctx context.Context, g *dag.Graph, tasks []Task, plan *opt.Plan, id dag.NodeID, res *Result, mu *sync.Mutex, closures [][]dag.NodeID, queued *keyDedupe, stats *faultStats, pins *pinSet) error {
 	name := g.Node(id).Name
 	nodeStart := time.Now()
 	switch plan.States[id] {
 	case opt.Load:
-		return e.loadNode(g, tasks, id, res, mu)
+		return e.loadNode(ctx, g, tasks, plan, id, res, mu, stats, pins)
 
 	case opt.Compute:
 		inputs, err := gatherInputs(g, id, res, mu)
@@ -92,7 +96,7 @@ func (e *Engine) runNodeSync(g *dag.Graph, tasks []Task, plan *opt.Plan, id dag.
 		if tasks[id].Run == nil {
 			return fmt.Errorf("exec: node %s has no Run function", name)
 		}
-		v, err := tasks[id].Run(inputs)
+		v, err := e.runTask(ctx, id, tasks[id].Run, inputs, stats)
 		if err != nil {
 			return fmt.Errorf("exec: compute %s: %w", name, err)
 		}

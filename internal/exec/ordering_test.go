@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"reflect"
 	"sync"
@@ -26,7 +27,7 @@ func orderedDAG() (*dag.Graph, []Task, *[]string, *sync.Mutex) {
 		mu.Unlock()
 	}
 	task := func(name string) Task {
-		return Task{Run: func([]any) (any, error) {
+		return Task{Run: func(context.Context, []any) (any, error) {
 			logRun(name)
 			return 0, nil
 		}}
@@ -86,7 +87,7 @@ func TestCriticalPathTieBreakDeterministic(t *testing.T) {
 		var order []dag.NodeID
 		var mu sync.Mutex
 		task := func(id dag.NodeID) Task {
-			return Task{Run: func([]any) (any, error) {
+			return Task{Run: func(context.Context, []any) (any, error) {
 				mu.Lock()
 				order = append(order, id)
 				mu.Unlock()

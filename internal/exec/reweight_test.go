@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -20,7 +21,7 @@ func liarProbeDAG(decoys int, decoyDur time.Duration) (*dag.Graph, []Task, *Hist
 	var order []string
 	var mu sync.Mutex
 	mk := func(name string, d time.Duration) Task {
-		return Task{Run: func([]any) (any, error) {
+		return Task{Run: func(context.Context, []any) (any, error) {
 			mu.Lock()
 			order = append(order, name)
 			mu.Unlock()
@@ -43,8 +44,12 @@ func liarProbeDAG(decoys int, decoyDur time.Duration) (*dag.Graph, []Task, *Hist
 		name := fmt.Sprintf("liar%d", l)
 		id := g.MustAddNode(name, "liar")
 		g.MustAddEdge(prev, id)
+		// The lie: claimed cheap relative to the decoys' 50ms, but with
+		// enough absolute weight that a corrected decoy estimate (its
+		// measured sleep, including scheduler overshoot on a loaded box)
+		// still ranks below the chain.
 		tasks = append(tasks, mk(name, decoyDur))
-		h.ObserveCompute(name, time.Millisecond, 0) // the lie: claimed cheap
+		h.ObserveCompute(name, 10*time.Millisecond, 0)
 		prev = id
 	}
 	g.Node(prev).Output = true
@@ -125,12 +130,18 @@ func TestReweightNoOpUnderMinID(t *testing.T) {
 // reality to within the divergence thresholds, the default trigger never
 // fires — honest runs pay zero passes.
 func TestReweightDefaultsQuietOnAccurateEstimates(t *testing.T) {
-	g, tasks, _, _, _ := liarProbeDAG(8, 2*time.Millisecond)
+	g, tasks, _, _, _ := liarProbeDAG(8, 10*time.Millisecond)
 	h := NewHistory()
 	for i := 0; i < g.Len(); i++ {
-		// Accurate claims: sleep jitter may cross the absolute divergence
-		// floor, but stays far under the 50%-of-estimates relative bar.
-		h.ObserveCompute(g.Node(dag.NodeID(i)).Name, 2*time.Millisecond, 0)
+		// Accurate claims — including the root, which sleeps 0: every node's
+		// estimate matches its real duration, so sleep jitter may cross the
+		// absolute divergence floor but stays far under the 50%-of-estimates
+		// relative bar (10ms sleeps would need 5ms of overshoot per node).
+		d := 10 * time.Millisecond
+		if g.Node(dag.NodeID(i)).Name == "root" {
+			d = 100 * time.Microsecond
+		}
+		h.ObserveCompute(g.Node(dag.NodeID(i)).Name, d, 0)
 	}
 	e := &Engine{Workers: 4, History: h} // Adaptive by default
 	res, err := e.Execute(g, tasks, allCompute(g.Len()))

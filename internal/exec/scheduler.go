@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -30,6 +31,19 @@ type runCtx struct {
 	tasks []Task
 	plan  *opt.Plan
 	res   *Result
+
+	// ctx is the run's cancellation scope: derived from the caller's
+	// context, cancelled by the first fatal node error so in-flight
+	// operators that honor their ctx are interrupted instead of waited out.
+	// The fault policy's per-attempt deadlines nest under it.
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	// stats is the run's fault accounting (retries, lineage recomputes),
+	// shared with the recovery path; pins holds the planned-load pins
+	// released as loads complete (nil without a spill tier).
+	stats *faultStats
+	pins  *pinSet
 
 	// vals and published are the lock-free value plane of the dataflow
 	// schedulers: each slot is written exactly once, by the worker that ran
@@ -81,7 +95,7 @@ type runCtx struct {
 // the run's long pole is never left waiting behind cheap siblings. Dispatch
 // itself is work-stealing by default; Engine.Dispatch selects the
 // single-global-heap baseline for A/B comparisons.
-func (e *Engine) executeDataflow(g *dag.Graph, tasks []Task, plan *opt.Plan, res *Result) (*Result, error) {
+func (e *Engine) executeDataflow(ctx context.Context, g *dag.Graph, tasks []Task, plan *opt.Plan, res *Result, stats *faultStats, pins *pinSet) (*Result, error) {
 	// Dependency counting never drains a cyclic graph; reject it up front
 	// with the same diagnostic the topological sort produces. The order is
 	// reused for the critical-path weights below.
@@ -90,9 +104,13 @@ func (e *Engine) executeDataflow(g *dag.Graph, tasks []Task, plan *opt.Plan, res
 		return nil, err
 	}
 	start := time.Now()
+	rctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	runnable := func(id dag.NodeID) bool { return plan.States[id] != opt.Prune }
 	rc := &runCtx{
 		e: e, g: g, tasks: tasks, plan: plan, res: res,
+		ctx: rctx, cancel: cancel,
+		stats: stats, pins: pins,
 		vals:      make([]any, g.Len()),
 		published: make([]bool, g.Len()),
 		durs:      make([]atomic.Int64, g.Len()),
@@ -182,7 +200,7 @@ func (e *Engine) executeDataflow(g *dag.Graph, tasks []Task, plan *opt.Plan, res
 	}
 	res.Wall = time.Since(start)
 	if len(errs) > 0 {
-		return res, errors.Join(errs...)
+		return res, errors.Join(dropCollateralCancels(errs)...)
 	}
 	return res, nil
 }
@@ -283,6 +301,11 @@ func (d *heapDispatch) finish(id dag.NodeID, err error) {
 		d.rw.maybePass()
 	}
 	var release []dag.NodeID
+	if err != nil {
+		// Interrupt in-flight operators before taking the dispatch lock:
+		// they may be long-running, and nothing below waits on them.
+		d.runCtx.cancel()
+	}
 	d.mu.Lock()
 	d.remaining--
 	if err != nil {
@@ -368,13 +391,28 @@ func (rc *runCtx) runNode(id dag.NodeID) error {
 			return fmt.Errorf("exec: plan loads %s but engine has no store", name)
 		}
 		v, _, err := e.tiers().Get(rc.tasks[id].Key)
+		recovered := false
 		if err != nil {
-			return fmt.Errorf("exec: load %s: %w", name, err)
+			// A failed load — corrupt frame, read I/O error, vanished
+			// entry — degrades to a lineage recompute, local to this
+			// worker (see recomputer).
+			rec := &recomputer{e: e, g: g, tasks: rc.tasks, plan: rc.plan, stats: rc.stats}
+			if v, err = rec.recoverLoad(rc.ctx, id, err); err != nil {
+				return fmt.Errorf("exec: load %s: %w", name, err)
+			}
+			recovered = true
 		}
+		rc.pins.release(id)
 		rc.vals[id] = v
 		rc.published[id] = true
 		rc.durs[id].Store(time.Since(nodeStart).Nanoseconds())
 		rc.noteLive(id)
+		if recovered && rc.writer != nil {
+			// Heal the store: the corrupt frame was deleted on detection,
+			// so re-submitting the recovered value lets the policy
+			// re-materialize it off the critical path.
+			rc.writer.submit(id, name, rc.tasks[id].Key, v, time.Since(nodeStart))
+		}
 		return nil
 
 	case opt.Compute:
@@ -385,7 +423,7 @@ func (rc *runCtx) runNode(id dag.NodeID) error {
 		if rc.tasks[id].Run == nil {
 			return fmt.Errorf("exec: node %s has no Run function", name)
 		}
-		v, err := rc.tasks[id].Run(inputs)
+		v, err := e.runTask(rc.ctx, id, rc.tasks[id].Run, inputs, rc.stats)
 		if err != nil {
 			return fmt.Errorf("exec: compute %s: %w", name, err)
 		}

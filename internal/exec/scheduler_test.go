@@ -2,6 +2,7 @@ package exec
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -42,8 +43,8 @@ func TestDataflowOutOfOrderCompletion(t *testing.T) {
 		mu.Unlock()
 	}
 	tasks := make([]Task, g.Len())
-	tasks[root] = Task{Run: func([]any) (any, error) { return 0, nil }}
-	tasks[slow] = Task{Run: func([]any) (any, error) {
+	tasks[root] = Task{Run: func(context.Context, []any) (any, error) { return 0, nil }}
+	tasks[slow] = Task{Run: func(context.Context, []any) (any, error) {
 		time.Sleep(80 * time.Millisecond)
 		logDone("slow")
 		return 1, nil
@@ -51,7 +52,7 @@ func TestDataflowOutOfOrderCompletion(t *testing.T) {
 	for i := 0; i < depth; i++ {
 		name := fmt.Sprintf("c%d", i)
 		id := g.Lookup(name)
-		tasks[id] = Task{Run: func(in []any) (any, error) {
+		tasks[id] = Task{Run: func(_ context.Context, in []any) (any, error) {
 			time.Sleep(time.Millisecond)
 			logDone(name)
 			return in[0].(int) + 1, nil
@@ -90,15 +91,15 @@ func TestDataflowFailureCancelsPending(t *testing.T) {
 	errSlow := errors.New("slow failure")
 	var childRan int32
 	tasks := make([]Task, g.Len())
-	tasks[fastBoom] = Task{Run: func([]any) (any, error) {
+	tasks[fastBoom] = Task{Run: func(context.Context, []any) (any, error) {
 		time.Sleep(10 * time.Millisecond)
 		return nil, errFast
 	}}
-	tasks[slowBoom] = Task{Run: func([]any) (any, error) {
+	tasks[slowBoom] = Task{Run: func(context.Context, []any) (any, error) {
 		time.Sleep(40 * time.Millisecond)
 		return nil, errSlow
 	}}
-	tasks[child] = Task{Run: func([]any) (any, error) {
+	tasks[child] = Task{Run: func(context.Context, []any) (any, error) {
 		atomic.AddInt32(&childRan, 1)
 		return 0, nil
 	}}
@@ -160,17 +161,17 @@ func equivalenceDAG(t *testing.T) (*dag.Graph, []Task, *opt.Plan) {
 	g.MustAddEdge(root, dead)
 
 	tasks := make([]Task, g.Len())
-	tasks[root] = Task{Key: "kroot", Run: func([]any) (any, error) { return 1, nil }}
-	tasks[l] = Task{Key: "kleft", Run: func(in []any) (any, error) { return in[0].(int) * 3, nil }}
-	tasks[r] = Task{Key: "kright", Run: func(in []any) (any, error) { return in[0].(int) * 5, nil }}
-	tasks[join] = Task{Key: "kjoin", Run: func(in []any) (any, error) { return in[0].(int) + in[1].(int), nil }}
+	tasks[root] = Task{Key: "kroot", Run: func(context.Context, []any) (any, error) { return 1, nil }}
+	tasks[l] = Task{Key: "kleft", Run: func(_ context.Context, in []any) (any, error) { return in[0].(int) * 3, nil }}
+	tasks[r] = Task{Key: "kright", Run: func(_ context.Context, in []any) (any, error) { return in[0].(int) * 5, nil }}
+	tasks[join] = Task{Key: "kjoin", Run: func(_ context.Context, in []any) (any, error) { return in[0].(int) + in[1].(int), nil }}
 	for i, id := range leaves {
 		mult := i + 1
-		tasks[id] = Task{Key: fmt.Sprintf("kleaf%d", i), Run: func(in []any) (any, error) {
+		tasks[id] = Task{Key: fmt.Sprintf("kleaf%d", i), Run: func(_ context.Context, in []any) (any, error) {
 			return in[0].(int) * mult, nil
 		}}
 	}
-	tasks[dead] = Task{Key: "kdead", Run: func([]any) (any, error) { return 0, nil }}
+	tasks[dead] = Task{Key: "kdead", Run: func(context.Context, []any) (any, error) { return 0, nil }}
 
 	plan := allCompute(g.Len())
 	plan.States[dead] = opt.Prune
@@ -245,8 +246,8 @@ func TestDataflowFlushOnError(t *testing.T) {
 
 	errBoom := errors.New("boom")
 	tasks := make([]Task, g.Len())
-	tasks[okNode] = Task{Key: "kok", Run: func([]any) (any, error) { return "payload", nil }}
-	tasks[boom] = Task{Run: func([]any) (any, error) {
+	tasks[okNode] = Task{Key: "kok", Run: func(context.Context, []any) (any, error) { return "payload", nil }}
+	tasks[boom] = Task{Run: func(context.Context, []any) (any, error) {
 		time.Sleep(30 * time.Millisecond) // let ok finish and submit its write
 		return nil, errBoom
 	}}
@@ -281,8 +282,8 @@ func TestDataflowMatDurationRecorded(t *testing.T) {
 	g.Node(b).Output = true
 	payload := bytes.Repeat([]byte{7}, 1<<20)
 	tasks := []Task{
-		{Key: "ka", Run: func([]any) (any, error) { return payload, nil }},
-		{Key: "kb", Run: func(in []any) (any, error) { return len(in[0].([]byte)), nil }},
+		{Key: "ka", Run: func(context.Context, []any) (any, error) { return payload, nil }},
+		{Key: "kb", Run: func(_ context.Context, in []any) (any, error) { return len(in[0].([]byte)), nil }},
 	}
 	st, err := store.Open(t.TempDir(), 0)
 	if err != nil {
@@ -341,10 +342,13 @@ func TestReleaseIntermediatesDiamond(t *testing.T) {
 	g.MustAddEdge(c, d)
 	g.Node(d).Output = true
 	tasks := []Task{
-		{Run: func([]any) (any, error) { return 2, nil }},
-		{Run: func(in []any) (any, error) { return in[0].(int) * 3, nil }},
-		{Run: func(in []any) (any, error) { time.Sleep(10 * time.Millisecond); return in[0].(int) * 5, nil }},
-		{Run: func(in []any) (any, error) { return in[0].(int) + in[1].(int), nil }},
+		{Run: func(context.Context, []any) (any, error) { return 2, nil }},
+		{Run: func(_ context.Context, in []any) (any, error) { return in[0].(int) * 3, nil }},
+		{Run: func(_ context.Context, in []any) (any, error) {
+			time.Sleep(10 * time.Millisecond)
+			return in[0].(int) * 5, nil
+		}},
+		{Run: func(_ context.Context, in []any) (any, error) { return in[0].(int) + in[1].(int), nil }},
 	}
 	e := &Engine{Workers: 4, ReleaseIntermediates: true}
 	res, err := e.Execute(g, tasks, allCompute(4))

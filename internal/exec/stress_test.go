@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"testing"
@@ -30,7 +31,7 @@ func layeredDAG(levels, width int, keyTag string) (*dag.Graph, []Task) {
 			base := l*width + w
 			tasks = append(tasks, Task{
 				Key: fmt.Sprintf("k-%s-%d", keyTag, base),
-				Run: func(in []any) (any, error) {
+				Run: func(_ context.Context, in []any) (any, error) {
 					sum := base
 					for _, v := range in {
 						sum += v.(int)
@@ -120,7 +121,7 @@ func TestReleaseWriterErrorCancellationStress(t *testing.T) {
 				// Fail one second-layer node; stagger it slightly so first-layer
 				// writes and releases are mid-flight when the cancellation lands.
 				victim := g.Lookup("n1_3")
-				tasks[victim] = Task{Key: tasks[victim].Key, Run: func(in []any) (any, error) {
+				tasks[victim] = Task{Key: tasks[victim].Key, Run: func(ctx context.Context, in []any) (any, error) {
 					time.Sleep(time.Duration(iter%3) * 100 * time.Microsecond)
 					return nil, boom
 				}}
@@ -169,9 +170,9 @@ func TestReweightStealStress(t *testing.T) {
 				for i := range tasks {
 					run := tasks[i].Run
 					delay := time.Duration((i*13+iter)%5) * 40 * time.Microsecond
-					tasks[i] = Task{Key: tasks[i].Key, Run: func(in []any) (any, error) {
+					tasks[i] = Task{Key: tasks[i].Key, Run: func(ctx context.Context, in []any) (any, error) {
 						time.Sleep(delay)
-						return run(in)
+						return run(ctx, in)
 					}}
 				}
 				ref := &Engine{Workers: 1, Reweight: ReweightOff}
@@ -228,7 +229,7 @@ func TestReweightErrorCancellationStress(t *testing.T) {
 			for iter := 0; iter < 8; iter++ {
 				g, tasks := layeredDAG(4, 6, fmt.Sprintf("rwerr-%s-%d", mode, iter))
 				victim := g.Lookup("n1_3")
-				tasks[victim] = Task{Key: tasks[victim].Key, Run: func(in []any) (any, error) {
+				tasks[victim] = Task{Key: tasks[victim].Key, Run: func(ctx context.Context, in []any) (any, error) {
 					time.Sleep(time.Duration(iter%3) * 100 * time.Microsecond)
 					return nil, boom
 				}}
@@ -264,9 +265,9 @@ func TestSpillPromoteReleaseStress(t *testing.T) {
 				for i := range tasks {
 					run := tasks[i].Run
 					delay := time.Duration((i*11+iter)%5) * 40 * time.Microsecond
-					tasks[i] = Task{Key: tasks[i].Key, Run: func(in []any) (any, error) {
+					tasks[i] = Task{Key: tasks[i].Key, Run: func(ctx context.Context, in []any) (any, error) {
 						time.Sleep(delay)
-						return run(in)
+						return run(ctx, in)
 					}}
 				}
 				ref := &Engine{Workers: 1}
@@ -357,7 +358,7 @@ func TestSpillErrorCancellationStress(t *testing.T) {
 			for iter := 0; iter < 8; iter++ {
 				g, tasks := layeredDAG(4, 6, fmt.Sprintf("spillerr-%s-%d", mode, iter))
 				victim := g.Lookup("n1_3")
-				tasks[victim] = Task{Key: tasks[victim].Key, Run: func(in []any) (any, error) {
+				tasks[victim] = Task{Key: tasks[victim].Key, Run: func(ctx context.Context, in []any) (any, error) {
 					time.Sleep(time.Duration(iter%3) * 100 * time.Microsecond)
 					return nil, boom
 				}}
@@ -409,9 +410,9 @@ func TestStealFinishReleaseStress(t *testing.T) {
 		for i := range tasks {
 			run := tasks[i].Run
 			delay := time.Duration((i*7+iter)%5) * 50 * time.Microsecond
-			tasks[i] = Task{Key: tasks[i].Key, Run: func(in []any) (any, error) {
+			tasks[i] = Task{Key: tasks[i].Key, Run: func(ctx context.Context, in []any) (any, error) {
 				time.Sleep(delay)
-				return run(in)
+				return run(ctx, in)
 			}}
 		}
 		ref := &Engine{Workers: 1}

@@ -184,6 +184,9 @@ func (d *wsDispatch) finish(w int, id dag.NodeID, err error) (dag.NodeID, bool) 
 	var readyBuf [8]dag.NodeID
 	ready := readyBuf[:0]
 	if err != nil {
+		// Interrupt in-flight operators first: they may be long-running,
+		// and nothing below waits on them.
+		d.runCtx.cancel()
 		d.errMu.Lock()
 		d.errs = append(d.errs, err)
 		d.errMu.Unlock()

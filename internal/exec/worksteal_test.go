@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"reflect"
@@ -19,13 +20,13 @@ import (
 func wideSleepDAG(width int, d time.Duration) (*dag.Graph, []Task) {
 	g := dag.New()
 	root := g.MustAddNode("root", "scan")
-	tasks := []Task{{Run: func([]any) (any, error) { return 0, nil }}}
+	tasks := []Task{{Run: func(context.Context, []any) (any, error) { return 0, nil }}}
 	for i := 0; i < width; i++ {
 		id := g.MustAddNode(fmt.Sprintf("leaf%d", i), "op")
 		g.MustAddEdge(root, id)
 		g.Node(id).Output = true
 		idx := int(id)
-		tasks = append(tasks, Task{Run: func(in []any) (any, error) {
+		tasks = append(tasks, Task{Run: func(_ context.Context, in []any) (any, error) {
 			time.Sleep(d)
 			return in[0].(int) + idx, nil
 		}})
@@ -78,15 +79,15 @@ func TestGlobalHeapFailureCancelsPending(t *testing.T) {
 	errSlow := errors.New("slow failure")
 	var childRan int32
 	tasks := make([]Task, g.Len())
-	tasks[fastBoom] = Task{Run: func([]any) (any, error) {
+	tasks[fastBoom] = Task{Run: func(context.Context, []any) (any, error) {
 		time.Sleep(10 * time.Millisecond)
 		return nil, errFast
 	}}
-	tasks[slowBoom] = Task{Run: func([]any) (any, error) {
+	tasks[slowBoom] = Task{Run: func(context.Context, []any) (any, error) {
 		time.Sleep(40 * time.Millisecond)
 		return nil, errSlow
 	}}
-	tasks[child] = Task{Run: func([]any) (any, error) {
+	tasks[child] = Task{Run: func(context.Context, []any) (any, error) {
 		atomic.AddInt32(&childRan, 1)
 		return 0, nil
 	}}
@@ -131,7 +132,7 @@ func TestWorkStealSingleWorkerDeterministic(t *testing.T) {
 		root := g.MustAddNode("root", "scan")
 		var order []dag.NodeID
 		task := func(id dag.NodeID) Task {
-			return Task{Run: func([]any) (any, error) {
+			return Task{Run: func(context.Context, []any) (any, error) {
 				order = append(order, id) // single worker: no lock needed
 				return 0, nil
 			}}
@@ -188,7 +189,7 @@ func TestColdWeightsUseStructuralFloor(t *testing.T) {
 	g.Node(narrow).Output = true
 	var order []string
 	task := func(name string) Task {
-		return Task{Run: func([]any) (any, error) {
+		return Task{Run: func(context.Context, []any) (any, error) {
 			order = append(order, name)
 			return 0, nil
 		}}

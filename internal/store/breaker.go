@@ -1,0 +1,95 @@
+package store
+
+import (
+	"sync"
+	"time"
+)
+
+// Default breaker tuning: a handful of consecutive failures is already far
+// beyond what a healthy disk produces, and the cooldown keeps a run that
+// outlives it from hammering a device that is actively failing.
+const (
+	DefaultBreakerThreshold = 3
+	DefaultBreakerCooldown  = 5 * time.Second
+)
+
+type breakerState int
+
+const (
+	brkClosed breakerState = iota
+	brkOpen
+	brkHalfOpen
+)
+
+// breaker is the cold tier's circuit breaker: consecutive cold-tier I/O
+// failures (read errors, corrupt frames, failed spill writes) trip it open,
+// which makes the Tiered store behave as if no cold tier were attached —
+// hot-only graceful degradation, with every planned cold load degrading to
+// a recompute. After the cooldown one probe operation is let through
+// (half-open); its success closes the breaker, its failure re-opens it.
+type breaker struct {
+	mu        sync.Mutex
+	threshold int // consecutive failures to trip; <=0 disables the breaker
+	cooldown  time.Duration
+	state     breakerState
+	failures  int
+	openedAt  time.Time
+	trips     int64
+}
+
+func newBreaker() *breaker {
+	return &breaker{threshold: DefaultBreakerThreshold, cooldown: DefaultBreakerCooldown}
+}
+
+// allow reports whether a cold-tier operation may proceed. In the open
+// state it flips to half-open once the cooldown has elapsed, admitting
+// exactly one probe; concurrent callers see half-open and stay out.
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case brkClosed:
+		return true
+	case brkOpen:
+		if time.Since(b.openedAt) >= b.cooldown {
+			b.state = brkHalfOpen
+			return true
+		}
+		return false
+	default: // half-open: one probe already in flight
+		return false
+	}
+}
+
+// success records a completed cold-tier operation, resetting the
+// consecutive-failure count and closing a half-open breaker.
+func (b *breaker) success() {
+	b.mu.Lock()
+	b.failures = 0
+	b.state = brkClosed
+	b.mu.Unlock()
+}
+
+// failure records a failed cold-tier operation; enough in a row (or one
+// while half-open) trips the breaker open.
+func (b *breaker) failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.threshold <= 0 {
+		return
+	}
+	b.failures++
+	if b.state == brkHalfOpen || (b.state == brkClosed && b.failures >= b.threshold) {
+		b.state = brkOpen
+		b.openedAt = time.Now()
+		b.trips++
+	}
+}
+
+// snapshot returns the trip count and whether the breaker is currently
+// disabling the cold tier.
+func (b *breaker) snapshot() (trips int64, open bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips, b.state != brkClosed
+}

@@ -1,0 +1,70 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// ErrCorrupt is returned by reads from a framed (cold-tier) store whose
+// on-disk frame fails verification: bad magic, a length that disagrees with
+// the file, or a checksum mismatch. The execution engine treats it — like
+// any cold read I/O error — as a cache miss and recomputes the value from
+// its DAG lineage instead of failing the run.
+var ErrCorrupt = errors.New("store: frame corrupt")
+
+// Cold-tier frame layout, little-endian:
+//
+//	offset 0  magic   uint32  "HXF1"
+//	offset 4  length  uint64  payload bytes that follow the header
+//	offset 12 crc     uint32  CRC-32C (Castagnoli) of the payload
+//	offset 16 payload
+//
+// The hot tier stays unframed: its files never outlive a budget decision
+// made in the same process, while spill files are the tier a crash or a bad
+// disk sector can hand back to a later iteration.
+const (
+	frameMagic      uint32 = 0x48584631 // "HXF1"
+	frameHeaderSize        = 16
+)
+
+// castagnoli is the CRC-32C table; hardware-accelerated on amd64/arm64.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// writeFrame writes the header followed by the payload. No payload copy is
+// made — framing costs one 16-byte header write.
+func writeFrame(w io.Writer, payload []byte) error {
+	var hdr [frameHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], frameMagic)
+	binary.LittleEndian.PutUint64(hdr[4:12], uint64(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[12:16], crc32.Checksum(payload, castagnoli))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// verifyFrame checks a raw framed file and returns the payload slice (an
+// alias into raw, not a copy). Every failure mode wraps ErrCorrupt so
+// callers classify with a single errors.Is.
+func verifyFrame(raw []byte) ([]byte, error) {
+	if len(raw) < frameHeaderSize {
+		return nil, fmt.Errorf("%w: short frame (%d bytes)", ErrCorrupt, len(raw))
+	}
+	if m := binary.LittleEndian.Uint32(raw[0:4]); m != frameMagic {
+		return nil, fmt.Errorf("%w: bad magic %#x", ErrCorrupt, m)
+	}
+	n := binary.LittleEndian.Uint64(raw[4:12])
+	payload := raw[frameHeaderSize:]
+	if uint64(len(payload)) != n {
+		return nil, fmt.Errorf("%w: length %d, have %d payload bytes", ErrCorrupt, n, len(payload))
+	}
+	want := binary.LittleEndian.Uint32(raw[12:16])
+	if got := crc32.Checksum(payload, castagnoli); got != want {
+		return nil, fmt.Errorf("%w: checksum %#x, want %#x", ErrCorrupt, got, want)
+	}
+	return payload, nil
+}

@@ -1,6 +1,8 @@
 package store
 
 import (
+	"fmt"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -34,9 +36,13 @@ type Spill struct {
 
 // OpenSpill creates or reuses a spill tier rooted at dir with the given
 // budget in bytes (<=0 disables the budget). Existing files are adopted,
-// exactly like Open.
+// exactly like Open. Unlike the hot tier, spill files are framed — every
+// write carries a length+CRC-32C header (see frame.go) verified on read —
+// and admissions fsync before the rename, so neither a crash mid-write nor
+// later on-disk damage can hand a later iteration silently wrong bytes:
+// both surface as ErrCorrupt, which the engine treats as a cache miss.
 func OpenSpill(dir string, budget int64) (*Spill, error) {
-	s, err := Open(dir, budget)
+	s, err := open(dir, budget, true, true)
 	if err != nil {
 		return nil, err
 	}
@@ -93,6 +99,10 @@ func (sp *Spill) Lookup(key string) (Entry, bool) { return sp.s.Lookup(key) }
 // Delete removes a spilled entry, releasing its budget.
 func (sp *Spill) Delete(key string) error { return sp.s.Delete(key) }
 
+// Pinned reports whether key currently holds at least one eviction pin
+// (see Tiered.Pin).
+func (sp *Spill) Pinned(key string) bool { return sp.s.Pinned(key) }
+
 // Entries returns a snapshot of all spilled entries sorted by key.
 func (sp *Spill) Entries() []Entry { return sp.s.Entries() }
 
@@ -113,3 +123,53 @@ func (sp *Spill) EstimateLoad(size int64) time.Duration { return sp.s.EstimateLo
 // Evictions returns how many entries this tier has deleted to make room
 // since it was opened.
 func (sp *Spill) Evictions() int64 { return sp.evictions.Load() }
+
+// FaultKind selects a fault for InjectFault, the store-level half of the
+// deterministic fault-injection harness.
+type FaultKind int
+
+const (
+	// FaultBitFlip flips one payload bit on disk; the frame's checksum
+	// verify fails and reads return ErrCorrupt.
+	FaultBitFlip FaultKind = iota
+	// FaultTruncate cuts the file short; the frame's length check fails and
+	// reads return ErrCorrupt.
+	FaultTruncate
+	// FaultEIO makes every subsequent read of the key fail with a synthetic
+	// I/O error (a failing device, not bad bytes). Cleared when the entry
+	// is deleted or overwritten by a fresh admission.
+	FaultEIO
+)
+
+// InjectFault damages key's stored frame (or arms a read fault) for tests
+// and the chaos harness. Deterministic: the same fault on the same key
+// always produces the same failure mode.
+func (sp *Spill) InjectFault(key string, kind FaultKind) error {
+	if !sp.s.Has(key) {
+		return fmt.Errorf("%w: %s", ErrNotFound, key)
+	}
+	path := sp.s.path(key)
+	switch kind {
+	case FaultEIO:
+		sp.s.injectReadFault(key, -1)
+		return nil
+	case FaultBitFlip:
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		if len(raw) == 0 {
+			return fmt.Errorf("store: inject %s: empty file", key)
+		}
+		raw[len(raw)-1] ^= 0x01 // last byte is always payload (or a short frame)
+		return os.WriteFile(path, raw, 0o644)
+	case FaultTruncate:
+		info, err := os.Stat(path)
+		if err != nil {
+			return err
+		}
+		return os.Truncate(path, info.Size()/2)
+	default:
+		return fmt.Errorf("store: unknown fault kind %d", kind)
+	}
+}

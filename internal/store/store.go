@@ -55,6 +55,27 @@ type Store struct {
 	used    int64
 	entries map[string]*Entry
 
+	// pins holds refcounts for keys the execution engine still plans to
+	// load this run; EvictColdest never deletes a pinned entry. Entry.Size,
+	// the budget, and eviction order are unaffected — pinning only narrows
+	// the victim set.
+	pins map[string]int
+
+	// framed stores (the cold spill tier) wrap every file in a
+	// length+checksum header (see frame.go) and verify it on read; reads of
+	// a damaged frame return ErrCorrupt. syncWrites additionally fsyncs the
+	// temp file before the rename, so a crash mid-write can never leave a
+	// half-written file that later parses as valid.
+	framed     bool
+	syncWrites bool
+
+	// failReads is the test-only read fault hook: keys with a non-zero
+	// count fail their next reads with an injected I/O error (<0 =
+	// persistent). Guarded by faultMu, not mu, so the hook never contends
+	// with the metadata lock.
+	faultMu   sync.Mutex
+	failReads map[string]int
+
 	// Throughput estimates (bytes/sec), exponentially smoothed.
 	readBps  float64
 	writeBps float64
@@ -67,15 +88,22 @@ const DefaultThroughput = 500e6
 // Open creates or reuses a store rooted at dir with the given budget in
 // bytes (<=0 disables the budget). Existing files in dir are adopted.
 func Open(dir string, budget int64) (*Store, error) {
+	return open(dir, budget, false, false)
+}
+
+func open(dir string, budget int64, framed, syncWrites bool) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: create dir: %w", err)
 	}
 	s := &Store{
-		dir:      dir,
-		budget:   budget,
-		entries:  make(map[string]*Entry),
-		readBps:  DefaultThroughput,
-		writeBps: DefaultThroughput,
+		dir:        dir,
+		budget:     budget,
+		entries:    make(map[string]*Entry),
+		pins:       make(map[string]int),
+		framed:     framed,
+		syncWrites: syncWrites,
+		readBps:    DefaultThroughput,
+		writeBps:   DefaultThroughput,
 	}
 	files, err := os.ReadDir(dir)
 	if err != nil {
@@ -89,10 +117,20 @@ func Open(dir string, budget int64) (*Store, error) {
 		if err != nil {
 			continue // file vanished between ReadDir and Info
 		}
-		e := &Entry{Key: f.Name(), Size: info.Size(), Stored: info.ModTime(), LastAccess: info.ModTime()}
+		size := info.Size()
+		if framed {
+			// Entry.Size is always the payload size; the header is a fixed
+			// on-disk overhead the budget does not account. A file shorter
+			// than a header (or an unframed file adopted from an older
+			// layout) is surfaced as ErrCorrupt on first read.
+			if size -= frameHeaderSize; size < 0 {
+				size = 0
+			}
+		}
+		e := &Entry{Key: f.Name(), Size: size, Stored: info.ModTime(), LastAccess: info.ModTime()}
 		e.LoadCost = s.estimateLoad(e.Size)
 		s.entries[f.Name()] = e
-		s.used += info.Size()
+		s.used += size
 	}
 	return s, nil
 }
@@ -220,7 +258,7 @@ func (s *Store) PutBytes(key string, raw []byte) error {
 
 	start := time.Now()
 	tmp := s.path(key) + ".tmp"
-	err := os.WriteFile(tmp, raw, 0o644)
+	err := s.writeFile(tmp, raw)
 	if err == nil {
 		err = os.Rename(tmp, s.path(key))
 	}
@@ -237,6 +275,30 @@ func (s *Store) PutBytes(key string, raw []byte) error {
 	now := time.Now()
 	s.entries[key] = &Entry{Key: key, Size: size, LoadCost: s.estimateLoad(size), Stored: now, LastAccess: now}
 	return nil
+}
+
+// writeFile writes one payload to path: framed stores prepend the
+// length+checksum header, and syncWrites stores fsync before returning so
+// the caller's rename publishes only fully-durable bytes (fsync-then-rename
+// — a crash mid-write leaves a .tmp that is never adopted, never a
+// half-written frame under the real key).
+func (s *Store) writeFile(path string, payload []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if s.framed {
+		err = writeFrame(f, payload)
+	} else {
+		_, err = f.Write(payload)
+	}
+	if err == nil && s.syncWrites {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // PutEncoded stores an already-encoded value under key, enforcing the
@@ -286,9 +348,49 @@ func (s *Store) GetBytes(key string) ([]byte, error) {
 	return raw, nil
 }
 
+// errInjectedRead is the synthetic I/O failure raised by the injectReadFault
+// test hook; it stands in for an EIO from a failing device.
+var errInjectedRead = errors.New("injected I/O fault")
+
+// injectReadFault arms the read fault hook: the next n reads of key fail
+// with an injected I/O error (n<0 = every read until the entry is deleted).
+func (s *Store) injectReadFault(key string, n int) {
+	s.faultMu.Lock()
+	if s.failReads == nil {
+		s.failReads = make(map[string]int)
+	}
+	if n == 0 {
+		delete(s.failReads, key)
+	} else {
+		s.failReads[key] = n
+	}
+	s.faultMu.Unlock()
+}
+
+// takeReadFault consumes one armed read fault for key, if any.
+func (s *Store) takeReadFault(key string) bool {
+	s.faultMu.Lock()
+	defer s.faultMu.Unlock()
+	n, ok := s.failReads[key]
+	if !ok {
+		return false
+	}
+	if n > 0 {
+		if n--; n == 0 {
+			delete(s.failReads, key)
+		} else {
+			s.failReads[key] = n
+		}
+	}
+	return true
+}
+
 // read fetches key's raw bytes without recording an observation; the
 // caller stops the clock (after decoding, when it decodes) and calls
 // recordRead, so LoadCost always measures the full path a consumer paid.
+// On a framed store the frame is verified and stripped here, so every
+// consumer of raw bytes — Get, GetBytes, tiered promotion — sees either
+// intact payload bytes or ErrCorrupt.
 func (s *Store) read(key string) ([]byte, time.Time, error) {
 	s.mu.RLock()
 	_, ok := s.entries[key]
@@ -298,9 +400,19 @@ func (s *Store) read(key string) ([]byte, time.Time, error) {
 	if !ok {
 		return nil, start, fmt.Errorf("%w: %s", ErrNotFound, key)
 	}
+	if s.takeReadFault(key) {
+		return nil, start, fmt.Errorf("store: read %s: %w", key, errInjectedRead)
+	}
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return nil, start, fmt.Errorf("store: read %s: %w", key, err)
+	}
+	if s.framed {
+		payload, ferr := verifyFrame(raw)
+		if ferr != nil {
+			return nil, start, fmt.Errorf("store: read %s: %w", key, ferr)
+		}
+		raw = payload
 	}
 	return raw, start, nil
 }
@@ -315,6 +427,34 @@ func (s *Store) recordRead(key string, size int64, elapsed time.Duration) {
 	}
 	s.observeRead(size, elapsed)
 	s.mu.Unlock()
+}
+
+// Pin marks key as planned-for-load: EvictColdest will not delete it until
+// a matching Unpin. Pins are refcounted (two pinners must both unpin) and
+// key need not be stored yet — a pin placed before a demotion lands still
+// protects the demoted bytes.
+func (s *Store) Pin(key string) {
+	s.mu.Lock()
+	s.pins[key]++
+	s.mu.Unlock()
+}
+
+// Unpin releases one Pin of key.
+func (s *Store) Unpin(key string) {
+	s.mu.Lock()
+	if s.pins[key] > 1 {
+		s.pins[key]--
+	} else {
+		delete(s.pins, key)
+	}
+	s.mu.Unlock()
+}
+
+// Pinned reports whether key currently holds at least one pin.
+func (s *Store) Pinned(key string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.pins[key] > 0
 }
 
 // Touch refreshes key's access recency without reading it, so a value a
@@ -374,8 +514,11 @@ func (s *Store) VictimCandidates(need int64) []Entry {
 // EvictColdest removes least-recently-accessed entries until the free
 // budget reaches need bytes, deleting their files outright, and returns
 // the evicted entries. The spill tier uses it to admit new values; an
-// evicted value is gone. On an unbudgeted store, or when need already
-// fits, nothing is evicted.
+// evicted value is gone. Pinned entries (keys the current run still plans
+// to load) are never victims, so within-run eviction cannot delete a value
+// the plan depends on — if only pinned entries remain, the admission simply
+// fails its budget check instead. On an unbudgeted store, or when need
+// already fits, nothing is evicted.
 func (s *Store) EvictColdest(need int64) []Entry {
 	s.mu.Lock()
 	if s.budget <= 0 || s.budget-s.used >= need {
@@ -386,6 +529,9 @@ func (s *Store) EvictColdest(need int64) []Entry {
 	for _, e := range s.coldestFirst() {
 		if s.budget-s.used >= need {
 			break
+		}
+		if s.pins[e.Key] > 0 {
+			continue // planned-load key; never deleted mid-run
 		}
 		delete(s.entries, e.Key)
 		s.used -= e.Size
@@ -428,6 +574,7 @@ func (s *Store) Delete(key string) error {
 	s.used -= e.Size
 	path := s.path(key)
 	s.mu.Unlock()
+	s.injectReadFault(key, 0) // a deleted entry's armed faults die with it
 	if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
 		return fmt.Errorf("store: delete %s: %w", key, err)
 	}

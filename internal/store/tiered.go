@@ -46,6 +46,14 @@ type TierCounters struct {
 	// for new admissions (those values are gone; the next iteration's cost
 	// model sees them as not loadable and recomputes).
 	ColdEvictions int64
+	// CorruptFrames counts cold-tier reads that failed frame verification
+	// (ErrCorrupt). Each corrupt frame is deleted on detection, so the
+	// damage degrades to a one-time cache miss.
+	CorruptFrames int64
+	// BreakerTrips counts how many times repeated cold-tier I/O failures
+	// tripped the circuit breaker open (disabling the cold tier until its
+	// cooldown elapses).
+	BreakerTrips int64
 }
 
 // Tiered composes the budgeted hot store with an optional cold spill tier
@@ -75,14 +83,72 @@ type Tiered struct {
 	// tiers while a locked reader looks for it.
 	mu sync.Mutex
 
+	// brk is the cold tier's circuit breaker: repeated cold I/O failures
+	// trip it open, and while open the store behaves as if no cold tier
+	// were attached (hot-only graceful degradation). Only the I/O paths —
+	// cold reads and spill writes — consult it; metadata views (Has,
+	// Lookup, Entries) stay truthful about what is on disk.
+	brk *breaker
+
 	spills     atomic.Int64
 	promotions atomic.Int64
 	evictions  atomic.Int64
+	corrupt    atomic.Int64
 }
 
 // NewTiered combines a hot store with an optional (nil-able) spill tier.
 func NewTiered(hot *Store, cold *Spill) *Tiered {
-	return &Tiered{hot: hot, cold: cold}
+	return &Tiered{hot: hot, cold: cold, brk: newBreaker()}
+}
+
+// ConfigureBreaker retunes the cold tier's circuit breaker: threshold is
+// the consecutive-failure count that trips it (<=0 disables it), cooldown
+// how long it stays open before admitting a half-open probe. Call before
+// the store is shared across goroutines.
+func (t *Tiered) ConfigureBreaker(threshold int, cooldown time.Duration) {
+	t.brk.mu.Lock()
+	t.brk.threshold = threshold
+	t.brk.cooldown = cooldown
+	t.brk.mu.Unlock()
+}
+
+// TierDisabled reports whether the breaker currently has the cold tier
+// disabled (open or probing half-open).
+func (t *Tiered) TierDisabled() bool {
+	if t.cold == nil {
+		return false
+	}
+	_, open := t.brk.snapshot()
+	return open
+}
+
+// Pin marks key as planned-for-load in the cold tier, exempting it from the
+// spill tier's LRU eviction until Unpin. The hot tier never deletes values
+// destructively (demotion is copy-then-delete into cold, where the pin
+// applies), so pinning the cold tier alone guarantees a planned-load key
+// survives the whole run. Pins are refcounted; no-op without a cold tier.
+func (t *Tiered) Pin(key string) {
+	if t.cold != nil {
+		t.cold.s.Pin(key)
+	}
+}
+
+// Unpin releases one Pin of key.
+func (t *Tiered) Unpin(key string) {
+	if t.cold != nil {
+		t.cold.s.Unpin(key)
+	}
+}
+
+// coldPutResult lands a cold-tier write outcome on the breaker: a budget
+// rejection is an honest, healthy answer (the mechanism works; the value
+// just does not fit), only real I/O failures count toward tripping.
+func (t *Tiered) coldPutResult(err error) {
+	if err == nil || errors.Is(err, ErrBudgetExceeded) {
+		t.brk.success()
+	} else {
+		t.brk.failure()
+	}
 }
 
 // Hot exposes the hot tier.
@@ -94,10 +160,12 @@ func (t *Tiered) Cold() *Spill { return t.cold }
 // Counters snapshots the cumulative cross-tier traffic.
 func (t *Tiered) Counters() TierCounters {
 	c := TierCounters{
-		Spills:     t.spills.Load(),
-		Promotions: t.promotions.Load(),
-		Evictions:  t.evictions.Load(),
+		Spills:        t.spills.Load(),
+		Promotions:    t.promotions.Load(),
+		Evictions:     t.evictions.Load(),
+		CorruptFrames: t.corrupt.Load(),
 	}
+	c.BreakerTrips, _ = t.brk.snapshot()
 	if t.cold != nil {
 		c.ColdEvictions = t.cold.Evictions()
 	}
@@ -185,9 +253,16 @@ func (t *Tiered) PutBytes(key string, raw []byte) (Tier, error) {
 	if t.cold.Has(key) {
 		return TierCold, nil // idempotent re-admission, like Store.PutBytes
 	}
-	if err := t.cold.PutBytes(key, raw); err != nil {
-		return TierNone, fmt.Errorf("store: spill %s: %w", key, err)
+	if !t.brk.allow() {
+		// Breaker open: the cold tier is disabled, so the hot rejection
+		// stands — the value is simply not materialized this run.
+		return TierNone, err
 	}
+	if cerr := t.cold.PutBytes(key, raw); cerr != nil {
+		t.coldPutResult(cerr)
+		return TierNone, fmt.Errorf("store: spill %s: %w", key, cerr)
+	}
+	t.coldPutResult(nil)
 	t.spills.Add(1)
 	return TierCold, nil
 }
@@ -224,8 +299,27 @@ func (t *Tiered) Get(key string) (any, Tier, error) {
 		t.mu.Unlock()
 		return t.decodeAndRecord(t.hot, key, raw, time.Since(start), TierHot)
 	}
+	if !t.brk.allow() {
+		t.mu.Unlock()
+		// Breaker open: behave as if no cold tier were attached. The hot
+		// miss (or failure) is the answer; the engine degrades the load to
+		// a recompute.
+		return nil, TierNone, hotErr
+	}
 	raw, start, err = t.cold.s.read(key)
 	if err != nil {
+		if errors.Is(err, ErrCorrupt) {
+			// Damaged bytes are unrecoverable: count and delete the frame
+			// so the corruption degrades to a one-time cache miss instead
+			// of poisoning every later read of the key.
+			t.corrupt.Add(1)
+			_ = t.cold.Delete(key)
+		}
+		if !errors.Is(err, ErrNotFound) {
+			t.brk.failure() // corrupt frame or read I/O error
+		} else {
+			t.brk.success() // an honest miss is a healthy cold tier
+		}
 		t.mu.Unlock()
 		// A cold miss must not mask a real hot-tier failure: if the hot
 		// tier holds the key but its read failed (I/O error), that error
@@ -235,6 +329,7 @@ func (t *Tiered) Get(key string) (any, Tier, error) {
 		}
 		return nil, TierNone, err
 	}
+	t.brk.success()
 	readDur := time.Since(start)
 	t.promoteLocked(key, raw)
 	t.mu.Unlock()
@@ -280,8 +375,10 @@ func (t *Tiered) promoteLocked(key string, raw []byte) {
 			continue // unreadable victim; leave its entry alone
 		}
 		if err := t.cold.PutBytes(v.Key, vraw); err != nil {
+			t.coldPutResult(err)
 			continue // cold cannot hold it (whole-budget overflow); stays hot
 		}
+		t.coldPutResult(nil)
 		if err := t.hot.Delete(v.Key); err == nil {
 			t.evictions.Add(1)
 		}
@@ -293,7 +390,7 @@ func (t *Tiered) promoteLocked(key string, raw []byte) {
 		// have evicted the key's cold entry, and returning with the key in
 		// no tier would break the always-in-some-tier invariant.
 		if !t.cold.Has(key) {
-			_ = t.cold.PutBytes(key, raw)
+			t.coldPutResult(t.cold.PutBytes(key, raw))
 		}
 		return
 	}

@@ -73,6 +73,10 @@ type Options struct {
 	// KeepIntermediates disables the session's memory-bounded release of
 	// consumed intermediate values (see core.Config.KeepIntermediates).
 	KeepIntermediates bool
+	// Faults is the execution-time fault policy (retry budget, backoff,
+	// per-node deadlines); the zero value keeps the historical fail-fast
+	// single-attempt behaviour (see core.Config.Faults).
+	Faults exec.FaultPolicy
 }
 
 // New builds a configured session for the named system.
@@ -86,6 +90,7 @@ func New(kind Kind, o Options) (*core.Session, error) {
 		Dispatch:          o.Dispatch,
 		Reweight:          o.Reweight,
 		KeepIntermediates: o.KeepIntermediates,
+		Faults:            o.Faults,
 	}
 	switch kind {
 	case Helix:
