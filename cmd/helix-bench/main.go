@@ -26,6 +26,7 @@
 //	helix-bench -ablation dispatch -faults          # chaos smoke: seeded recoverable faults
 //	helix-bench -ablation reweight
 //	helix-bench -ablation spill
+//	helix-bench -ablation eviction
 //	helix-bench -fig 2b -budget 65536 -spill -1 # tiered store on figure runs
 //	helix-bench -fig 2b -sched level-barrier    # A/B the old executor
 //	helix-bench -fig 2b -sched dataflow-minid   # A/B the old ready-queue order
@@ -60,6 +61,11 @@
 // docs/store.md); "-ablation spill" drives the spill-pressure shape
 // through two iterations under an unbudgeted reference, a rejecting hot
 // tier, and a hot tier backed by spill, value-checked throughout.
+// "-ablation eviction" compares the cold tier's victim policies — pure
+// LRU, reward-aware saving-per-byte, and reward-aware with the min-cut
+// global evict-set planner — on the recompute-heavy shape under a cold
+// budget that forces eviction, reporting the second-iteration wall
+// reduction and whether each policy kept the expensive chain's crown.
 package main
 
 import (
@@ -74,13 +80,14 @@ import (
 	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/opt"
+	"repro/internal/store"
 	"repro/internal/systems"
 	"repro/internal/workload"
 )
 
 func main() {
 	fig := flag.String("fig", "", "figure to regenerate: 2a, 2b, or all")
-	ablation := flag.String("ablation", "", "ablation to run: optflag, matpolicy, scheduler, dispatch, reweight, spill")
+	ablation := flag.String("ablation", "", "ablation to run: optflag, matpolicy, scheduler, dispatch, reweight, spill, eviction")
 	rows := flag.Int("rows", 20000, "census training rows (fig 2b)")
 	docs := flag.Int("docs", 400, "news training documents (fig 2a)")
 	budget := flag.Int64("budget", 0, "storage budget in bytes (0 = unlimited)")
@@ -161,6 +168,10 @@ func main() {
 		}
 	case "spill":
 		if err := runSpill(*workers); err != nil {
+			fatal(err)
+		}
+	case "eviction":
+		if err := runEviction(*workers); err != nil {
 			fatal(err)
 		}
 	default:
@@ -503,6 +514,79 @@ func runSpill(workers int) error {
 		fmt.Printf("%-12s %10s %8.2fms %8.2fms %7d %7d %7d %10d %10d %8d\n",
 			m.Config, budget, m.Iter1WallMS, m.Iter2WallMS, m.Spills, m.Promotions, m.Evictions,
 			m.HotUsed, m.ColdUsed, m.Loaded2)
+	}
+	fmt.Println()
+	return nil
+}
+
+// runEviction is the 3-way cold-tier eviction ablation on the
+// recompute-heavy shape: pure LRU, reward-aware (smallest
+// saving-per-byte), and reward-aware with the min-cut global evict-set
+// planner, each under the same cold budget, best of three. The second
+// iteration's wall is the policy's verdict — LRU deletes the serial chain
+// (oldest entries) and replays ~20ms of serial recompute; the reward
+// policies sacrifice cheap fillers instead, and the reduction printed at
+// the bottom is the tentpole's ≥20% acceptance number. Crown retention
+// (did the chain's expensive last link survive?) is checked per config,
+// and all outputs are value-checked against an unpressured reference run.
+func runEviction(workers int) error {
+	fmt.Printf("=== ablation: cold-tier eviction policy (recompute-heavy shape, %d workers) ===\n", workers)
+	base, cleanup, err := tempBase("eviction")
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+
+	ref, err := bench.RunSched(bench.DefaultRecomputeHeavyDAG(), exec.Dataflow, workers)
+	if err != nil {
+		return err
+	}
+	const reps = 3
+	configs := []struct {
+		policy    store.EvictionPolicy
+		maxflow   bool
+		wantCrown bool
+	}{
+		{store.EvictLRU, false, false},
+		{store.EvictReward, false, true},
+		{store.EvictReward, true, true},
+	}
+	rows := make([]bench.EvictionMeasurement, 0, len(configs))
+	for _, cfg := range configs {
+		name := bench.EvictionConfigName(cfg.policy, cfg.maxflow)
+		var best bench.EvictionMeasurement
+		for i := 0; i < reps; i++ {
+			sd := bench.DefaultRecomputeHeavyDAG()
+			dir := filepath.Join(base, fmt.Sprintf("%s-%d", name, i))
+			m, res, err := bench.MeasureEviction(sd, dir, bench.RecomputeHeavyColdBudget, cfg.policy, cfg.maxflow, workers)
+			if err != nil {
+				return fmt.Errorf("eviction ablation: %s: %w", name, err)
+			}
+			for it, r := range res {
+				if err := bench.OutputValuesEqual(sd.G, ref, r); err != nil {
+					return fmt.Errorf("eviction ablation: %s iter %d: %w", name, it+1, err)
+				}
+			}
+			if m.CrownRetained != cfg.wantCrown {
+				return fmt.Errorf("eviction ablation: %s: crown retained %v, want %v", name, m.CrownRetained, cfg.wantCrown)
+			}
+			if i == 0 || m.Iter2WallMS < best.Iter2WallMS {
+				best = m
+			}
+		}
+		rows = append(rows, best)
+	}
+	fmt.Printf("%-16s %12s %10s %10s %8s %10s %7s %9s\n",
+		"config", "cold-budget", "iter1", "iter2", "evicts", "cold-used", "loads2", "crown")
+	for _, m := range rows {
+		fmt.Printf("%-16s %10dKB %8.2fms %8.2fms %8d %10d %7d %9v\n",
+			m.Config, m.ColdBudget>>10, m.Iter1WallMS, m.Iter2WallMS, m.Evictions,
+			m.ColdUsed, m.Loaded2, m.CrownRetained)
+	}
+	lru, reward := rows[0], rows[1]
+	if lru.Iter2WallMS > 0 {
+		fmt.Printf("reward-aware eviction iter-2 wall reduction vs LRU: %.1f%%\n",
+			100*(1-reward.Iter2WallMS/lru.Iter2WallMS))
 	}
 	fmt.Println()
 	return nil

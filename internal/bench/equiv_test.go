@@ -326,6 +326,181 @@ func TestRandomizedSpillEquivalence(t *testing.T) {
 	}
 }
 
+// TestRandomizedEvictionEquivalence turns the cold tier's eviction policy
+// into a harness dimension: across seeded random graphs with mixed plans,
+// every combination of eviction policy (LRU vs reward-aware, the latter
+// also with the min-cut evict-set planner) × dispatch mode × forced
+// re-prioritization × injected transient faults runs against a cold tier
+// sized to just hold the prepopulated loadable keys — so every fresh
+// materialization during the run must evict — and must still agree with
+// the unbudgeted level-barrier reference on state counts and byte-identical
+// values. Eviction is pure cache policy: it may change what survives the
+// run (not asserted here), never what the run computes.
+func TestRandomizedEvictionEquivalence(t *testing.T) {
+	const graphs = 6
+	const tinyHot = 64 // bytes: force nearly everything through cold admission
+	const coldSlack = 64
+	var totalEvictions, totalRetries int64
+	for seed := int64(200); seed < 200+graphs; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			sd := RandomDAG(seed)
+			n := sd.G.Len()
+			prime := &exec.Engine{Workers: 4}
+			truth, err := prime.Execute(sd.G, sd.Tasks, sd.Plan())
+			if err != nil {
+				t.Fatalf("prime run: %v", err)
+			}
+			rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+			keep := make([]bool, n)
+			cm := opt.NewCostModel(n)
+			for i := 0; i < n; i++ {
+				keep[i] = rng.Float64() < 0.5
+				cm.Compute[i] = int64(rng.Intn(1000) + 1)
+				if keep[i] {
+					cm.Loadable[i] = true
+					cm.Load[i] = int64(rng.Intn(1000) + 1)
+				}
+			}
+			plan, err := opt.Optimal(sd.G, cm)
+			if err != nil {
+				t.Fatalf("plan: %v", err)
+			}
+
+			prepopulate := func(tiers *store.Tiered) {
+				for i := 0; i < n; i++ {
+					if !keep[i] {
+						continue
+					}
+					raw, err := store.Encode(truth.Values[dag.NodeID(i)])
+					if err != nil {
+						t.Fatal(err)
+					}
+					if _, err := tiers.PutBytes(sd.Tasks[i].Key, raw); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+
+			// Size the cold budget from a dry prepopulation (framed sizes
+			// differ from raw), plus slack small enough that the run's own
+			// materializations are guaranteed to hit eviction pressure.
+			dry, err := store.OpenSpill(t.TempDir(), 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dryHot, err := store.Open(t.TempDir(), tinyHot)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prepopulate(store.NewTiered(dryHot, dry))
+			coldBudget := dry.Used() + coldSlack
+
+			refStore, err := store.Open(t.TempDir(), 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prepopulate(store.NewTiered(refStore, nil))
+			refEng := &exec.Engine{
+				Workers: 4, Sched: exec.LevelBarrier,
+				Store: refStore, Policy: opt.MaterializeAll{},
+			}
+			ref, err := refEng.Execute(sd.G, sd.Tasks, plan)
+			if err != nil {
+				t.Fatalf("reference: %v", err)
+			}
+			refC, refL, refP := stateCounts(ref)
+
+			type evictMode struct {
+				name    string
+				policy  store.EvictionPolicy
+				maxflow bool
+			}
+			for _, em := range []evictMode{
+				{"lru", store.EvictLRU, false},
+				{"reward", store.EvictReward, false},
+				{"reward+maxflow", store.EvictReward, true},
+			} {
+				for _, dispatch := range []exec.DispatchMode{exec.WorkSteal, exec.GlobalHeap} {
+					for _, reweight := range []bool{false, true} {
+						for _, faults := range []bool{false, true} {
+							name := fmt.Sprintf("%s-%s-rw%v-f%v", em.name, dispatch, reweight, faults)
+							hot, err := store.Open(t.TempDir(), tinyHot)
+							if err != nil {
+								t.Fatal(err)
+							}
+							cold, err := store.OpenSpill(t.TempDir(), coldBudget)
+							if err != nil {
+								t.Fatal(err)
+							}
+							cold.SetEvictionPolicy(em.policy)
+							prepopulate(store.NewTiered(hot, cold))
+							run := sd
+							e := &exec.Engine{
+								Workers:  4,
+								Sched:    exec.Dataflow,
+								Order:    exec.CriticalPath,
+								Dispatch: dispatch,
+								Store:    hot,
+								Spill:    cold,
+								Policy:   opt.MaterializeAll{},
+								Reweight: exec.ReweightOff,
+							}
+							if em.maxflow {
+								if err := e.UseMaxflowEviction(sd.G, sd.Tasks); err != nil {
+									t.Fatal(err)
+								}
+							}
+							if reweight {
+								e.Reweight = exec.Adaptive
+								e.ReweightInterval = 1
+								e.ReweightMinDivergence = time.Nanosecond
+							}
+							if faults {
+								fp := DefaultFaultPlan(seed)
+								run, _ = WithFaults(sd, fp)
+								e.Faults = fp.Policy()
+							}
+							res, err := e.Execute(run.G, run.Tasks, plan)
+							if err != nil {
+								t.Fatalf("%s: %v", name, err)
+							}
+							totalEvictions += cold.Evictions()
+							totalRetries += res.Retries
+							gotC, gotL, gotP := stateCounts(res)
+							if gotC != refC || gotL != refL || gotP != refP {
+								t.Errorf("%s: counts computed/loaded/pruned = %d/%d/%d, reference %d/%d/%d",
+									name, gotC, gotL, gotP, refC, refL, refP)
+							}
+							if cold.Used() > coldBudget {
+								t.Errorf("%s: cold tier used %d over its %d budget", name, cold.Used(), coldBudget)
+							}
+							for i := 0; i < n; i++ {
+								id := dag.NodeID(i)
+								refV, refOK := ref.Values[id]
+								gotV, gotOK := res.Values[id]
+								if gotOK != refOK {
+									t.Errorf("%s: node %d present=%v, reference %v", name, i, gotOK, refOK)
+									continue
+								}
+								if gotOK && !bytes.Equal(encodeValue(t, gotV), encodeValue(t, refV)) {
+									t.Errorf("%s: node %d value differs from reference", name, i)
+								}
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+	if totalEvictions == 0 {
+		t.Error("no run in the whole harness evicted despite the tight cold budget")
+	}
+	if totalRetries == 0 {
+		t.Error("no faulted run retried despite injected transient faults")
+	}
+}
+
 // TestRandomizedSchedulerEquivalence is the property harness of the
 // scheduler rewrite: across ≥50 seeded random graphs with mixed
 // load/compute/prune plans, every dataflow configuration (work-stealing ×

@@ -336,21 +336,35 @@ func LiarHistory(sd *SchedDAG, decoyClaim, chainClaim time.Duration) *exec.Histo
 // Canonical LiarDAG instance shared by BenchmarkSchedulerLiar and
 // helix-bench's `-ablation reweight`: 12 starter decoys × 1.5ms + 16 fat
 // decoys × 8ms (all claimed 30ms) against a 10-link × 2ms chain (claimed
-// 1.5ms per link). At 8 workers under strict-priority dispatch the lie
-// costs static critical-path the whole chain as a serial tail (~20ms),
-// while adaptive re-weighting starts the chain within ~2ms.
+// 1ms per link, a claimed 10ms path — under a third of the decoys' 30ms,
+// so the lie buries the chain under both dispatchers: strictly by rank in
+// the global heap, and past the work-stealing stranding consult's 2×
+// threshold). Under static dispatch the lie costs the run the whole ~20ms
+// chain as a serial tail after the decoy drain, while adaptive
+// re-weighting starts the chain within a few ms of the starters' reveal
+// and overlaps it with the drain.
 const (
 	liarStarters   = 12
 	liarFats       = 16
 	liarChainDepth = 10
 )
 
+// reweightMeasureInterval is the completion floor between re-prioritization
+// passes used by MeasureReweight's engines: low enough that the very first
+// revealed completion of a ~40-node shape can trigger the corrective pass
+// while every other worker still holds an uncommitted decoy. Noise
+// filtering is the divergence gates' job (≥1ms absolute and ≥50% relative
+// error before any pass fires), not the completion floor's — an honest run
+// still pays zero passes at this setting. See the MeasureReweight doc
+// comment.
+const reweightMeasureInterval = 2
+
 var (
 	liarStarterDur = 1500 * time.Microsecond
 	liarFatDur     = 8 * time.Millisecond
 	liarChainDur   = 2 * time.Millisecond
 	liarDecoyClaim = 30 * time.Millisecond
-	liarChainClaim = 1500 * time.Microsecond
+	liarChainClaim = 1 * time.Millisecond
 )
 
 // DefaultLiarDAG returns the canonical deceptive-estimate shape.
@@ -384,15 +398,28 @@ type ReweightMeasurement struct {
 //
 // The headline Adaptive-vs-Off comparison on LiarDAG uses GlobalHeap
 // dispatch deliberately: a single strictly priority-ordered queue isolates
-// the re-weighting effect. Work-stealing obeys priority only per-queue —
-// steal-half repeatedly moves the best half of a victim's deque and
-// strands the globally-worst nodes on deques whose owners then run them
-// early, so a deceptively under-weighted long pole gets picked up within
-// a few milliseconds by accident and the static-vs-adaptive gap mostly
-// closes. That accidental robustness is a property of the dispatcher, not
-// of the estimates; both numbers are reported by the reweight ablation.
+// the re-weighting effect. Work-stealing used to blunt the comparison —
+// steal-half repeatedly moved the best half of a victim's deque and
+// stranded the globally-worst nodes on deques whose owners then ran them
+// early, so a deceptively under-weighted long pole got picked up within a
+// few milliseconds by accident and the static-vs-adaptive gap mostly
+// closed. The stranding consult (see docs/scheduler.md, "Hybrid steal")
+// fixed that: a worker now declines a local top far below the published
+// global best, so work-stealing honors deceptive weights as faithfully as
+// the global heap does and the adaptive margin holds under both
+// dispatchers (asserted by TestLiarAdaptiveBeatsStatic, which runs both).
+// Both numbers are reported by the reweight ablation.
+//
+// The engine is configured with reweightMeasureInterval rather than the
+// default completion floor: the default (8, tuned for graphs with
+// thousands of nodes) would hold the first corrective pass until most of
+// the canonical shape's starters have finished — by which point nearly
+// every worker has already committed to a multi-millisecond decoy — and
+// the measured gap would understate what re-weighting buys at a trigger
+// matched to the graph's scale.
 func MeasureReweight(sd *SchedDAG, h *exec.History, mode exec.Reweight, dispatch exec.DispatchMode, workers int) (ReweightMeasurement, *exec.Result, error) {
-	e := &exec.Engine{Workers: workers, History: h, Reweight: mode, Dispatch: dispatch}
+	e := &exec.Engine{Workers: workers, History: h, Reweight: mode, Dispatch: dispatch,
+		ReweightInterval: reweightMeasureInterval}
 	res, err := e.Execute(sd.G, sd.Tasks, sd.Plan())
 	if err != nil {
 		return ReweightMeasurement{}, nil, err
@@ -496,14 +523,19 @@ func RunSchedDispatch(sd *SchedDAG, sched exec.Strategy, order exec.Ordering, di
 // ablation (the BENCH_3.json schema): one shape executed once under one
 // dispatch mode.
 type DispatchMeasurement struct {
-	Shape         string  `json:"shape"`
-	Nodes         int     `json:"nodes"`
-	Dispatch      string  `json:"dispatch"`
-	Workers       int     `json:"workers"`
-	WallMS        float64 `json:"wall_ms"`
-	Steals        int64   `json:"steals"`
-	Handoffs      int64   `json:"handoffs"`
-	PeakLiveBytes int64   `json:"peak_live_bytes"`
+	Shape    string  `json:"shape"`
+	Nodes    int     `json:"nodes"`
+	Dispatch string  `json:"dispatch"`
+	Workers  int     `json:"workers"`
+	WallMS   float64 `json:"wall_ms"`
+	Steals   int64   `json:"steals"`
+	Handoffs int64   `json:"handoffs"`
+	// AffinityKeeps counts newly-ready children the work-stealing
+	// dispatcher kept on the producing worker's own deque (locality-aware
+	// dispatch; additive relative to the committed baseline schema, like
+	// the fault counters below).
+	AffinityKeeps int64 `json:"affinity_keeps"`
+	PeakLiveBytes int64 `json:"peak_live_bytes"`
 	// Fault counters: zero on clean runs, populated by -faults chaos runs.
 	// Additive relative to the committed baseline schema — benchdiff only
 	// compares wall times, so old baselines parse unchanged.
@@ -544,6 +576,7 @@ func measureDispatch(sd *SchedDAG, dispatch exec.DispatchMode, workers int, faul
 		WallMS:        float64(res.Wall.Microseconds()) / 1000,
 		Steals:        res.Steals,
 		Handoffs:      res.Handoffs,
+		AffinityKeeps: res.AffinityKeeps,
 		PeakLiveBytes: gauge.Peak(),
 		Retries:       res.Retries,
 		Recomputes:    res.Recomputes,
@@ -584,6 +617,7 @@ func DefaultShapes() []*SchedDAG {
 		CPUFanoutDAG(12, 6, time.Millisecond),
 		ContentionDAG(128, 32),
 		DefaultSpillDAG(),
+		DefaultRecomputeHeavyDAG(),
 	}
 }
 

@@ -67,23 +67,29 @@ func TestSchedShapesEquivalentAcrossStrategies(t *testing.T) {
 // dispatch starts the long chain immediately, min-ID drains every cheap
 // branch first. The shape is sleep-based so the expected ~33% gap does
 // not depend on spare cores; the assertion demands only a 10% win to
-// stay far from scheduler jitter.
+// stay far from scheduler jitter. The two modes run interleaved, each
+// taking its min over five runs: a throttled-host freeze storm then
+// inflates samples of both modes instead of swallowing one mode's whole
+// series and compressing the ratio.
 func TestFanoutChainCriticalPathBeatsMinID(t *testing.T) {
 	sd := FanoutChainDAG(12, 6, time.Millisecond)
-	best := func(order exec.Ordering) time.Duration {
-		min := time.Duration(1<<62 - 1)
-		for i := 0; i < 3; i++ {
-			res, err := RunSchedOrdered(sd, exec.Dataflow, order, 4, false)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if res.Wall < min {
-				min = res.Wall
-			}
+	one := func(order exec.Ordering) time.Duration {
+		res, err := RunSchedOrdered(sd, exec.Dataflow, order, 4, false)
+		if err != nil {
+			t.Fatal(err)
 		}
-		return min
+		return res.Wall
 	}
-	cp, mi := best(exec.CriticalPath), best(exec.MinID)
+	cp := time.Duration(1<<62 - 1)
+	mi := cp
+	for i := 0; i < 5; i++ {
+		if w := one(exec.CriticalPath); w < cp {
+			cp = w
+		}
+		if w := one(exec.MinID); w < mi {
+			mi = w
+		}
+	}
 	if float64(cp) > 0.9*float64(mi) {
 		t.Errorf("critical-path %v not measurably faster than min-id %v on fanout-chain", cp, mi)
 	}
@@ -143,26 +149,30 @@ func TestDispatchModesEquivalentOnShapes(t *testing.T) {
 
 // TestContentionWorkStealNotSlower is the CI-safe guard on the dispatch
 // rewrite: on the contention shape, work-stealing must not lose to the
-// global heap beyond noise (best of 3 each). The ≥20% win itself is a
-// benchmark target (BenchmarkSchedulerContention), not a test assertion —
+// global heap beyond noise (best of 5 each, interleaved so a freeze
+// storm hits both modes' samples). The ≥20% win itself is a benchmark
+// target (BenchmarkSchedulerContention), not a test assertion —
 // wall-clock ratios on starved shared runners are too noisy to gate a
 // build on.
 func TestContentionWorkStealNotSlower(t *testing.T) {
 	sd := ContentionDAG(32, 16)
-	best := func(mode exec.DispatchMode) time.Duration {
-		min := time.Duration(1<<62 - 1)
-		for i := 0; i < 3; i++ {
-			res, err := RunSchedDispatch(sd, exec.Dataflow, exec.CriticalPath, mode, 8, false)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if res.Wall < min {
-				min = res.Wall
-			}
+	one := func(mode exec.DispatchMode) time.Duration {
+		res, err := RunSchedDispatch(sd, exec.Dataflow, exec.CriticalPath, mode, 8, false)
+		if err != nil {
+			t.Fatal(err)
 		}
-		return min
+		return res.Wall
 	}
-	ws, gh := best(exec.WorkSteal), best(exec.GlobalHeap)
+	ws := time.Duration(1<<62 - 1)
+	gh := ws
+	for i := 0; i < 5; i++ {
+		if w := one(exec.WorkSteal); w < ws {
+			ws = w
+		}
+		if w := one(exec.GlobalHeap); w < gh {
+			gh = w
+		}
+	}
 	if float64(ws) > 1.5*float64(gh) {
 		t.Errorf("work-stealing %v slower than global heap %v beyond noise on contention shape", ws, gh)
 	}
@@ -203,41 +213,56 @@ func TestMeasureDispatch(t *testing.T) {
 }
 
 // TestLiarAdaptiveBeatsStatic is the online re-prioritization acceptance
-// check on the deceptive-estimate LiarDAG shape under strict-priority
-// (global-heap) dispatch: the lying history buries the true long-pole
-// chain behind claimed-expensive decoys, so static critical-path pays the
-// whole chain as a serial tail while adaptive re-weighting corrects the
-// decoy group off the first measured completions. The design-point gap is
-// ~37% at 8 workers (min-of-3); the assertion demands 20%, the shape is
-// sleep-dominated so the gap does not depend on spare cores, and values
-// must be byte-identical across modes.
+// check on the deceptive-estimate LiarDAG shape: the lying history buries
+// the true long-pole chain behind claimed-expensive decoys, so static
+// critical-path pays the whole chain as a serial tail while adaptive
+// re-weighting corrects the decoy group off the first measured
+// completions. Asserted under both dispatchers: the global heap buries the
+// chain strictly by rank, and work-stealing — since the stranding-consult
+// fix — declines a deceptively under-weighted local top in favor of the
+// published global best, so the lie costs it the same serial tail instead
+// of being accidentally rescued by steal-half stranding (the PR 4
+// finding, now closed). The design-point gap is ~25-40% at 8 workers; the
+// assertion demands 15%: on a throttled CI host a slow window inflates
+// both modes' walls by the same additive freeze time, which preserves the
+// absolute gap but pushes the ratio toward 1, so the factor carries slack
+// for exactly that signature. The shape is sleep-dominated so the gap
+// does not depend on spare cores, each mode takes its min over five runs
+// (one clean run per mode is all the comparison needs), and values must
+// be byte-identical across modes.
 func TestLiarAdaptiveBeatsStatic(t *testing.T) {
-	best := func(mode exec.Reweight) (time.Duration, *exec.Result) {
-		min := time.Duration(1<<62 - 1)
-		var bestRes *exec.Result
-		for i := 0; i < 3; i++ {
-			sd := DefaultLiarDAG()
-			_, res, err := MeasureReweight(sd, DefaultLiarHistory(sd), mode, exec.GlobalHeap, 8)
-			if err != nil {
+	const factor = 0.85
+	for _, dispatch := range []exec.DispatchMode{exec.GlobalHeap, exec.WorkSteal} {
+		t.Run(dispatch.String(), func(t *testing.T) {
+			best := func(mode exec.Reweight) (time.Duration, *exec.Result) {
+				min := time.Duration(1<<62 - 1)
+				var bestRes *exec.Result
+				for i := 0; i < 5; i++ {
+					sd := DefaultLiarDAG()
+					_, res, err := MeasureReweight(sd, DefaultLiarHistory(sd), mode, dispatch, 8)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if res.Wall < min {
+						min = res.Wall
+						bestRes = res
+					}
+					if mode == exec.Adaptive && res.Reweights == 0 {
+						t.Error("adaptive run performed no re-prioritization passes")
+					}
+				}
+				return min, bestRes
+			}
+			ad, adRes := best(exec.Adaptive)
+			off, offRes := best(exec.ReweightOff)
+			if err := SchedValuesEqual(adRes, offRes); err != nil {
 				t.Fatal(err)
 			}
-			if res.Wall < min {
-				min = res.Wall
-				bestRes = res
+			if float64(ad) > factor*float64(off) {
+				t.Errorf("adaptive min-wall %v not ≥%.0f%% below static %v on the liar shape under %s",
+					ad, 100*(1-factor), off, dispatch)
 			}
-			if mode == exec.Adaptive && res.Reweights == 0 {
-				t.Error("adaptive run performed no re-prioritization passes")
-			}
-		}
-		return min, bestRes
-	}
-	ad, adRes := best(exec.Adaptive)
-	off, offRes := best(exec.ReweightOff)
-	if err := SchedValuesEqual(adRes, offRes); err != nil {
-		t.Fatal(err)
-	}
-	if float64(ad) > 0.8*float64(off) {
-		t.Errorf("adaptive min-wall %v not ≥20%% below static %v on the liar shape", ad, off)
+		})
 	}
 }
 

@@ -45,6 +45,7 @@ package exec
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"sync"
@@ -111,6 +112,12 @@ type Result struct {
 	// Handoffs counts ready nodes a finishing worker routed through the
 	// global overflow queue to parked workers (work-stealing dispatch only).
 	Handoffs int64
+	// AffinityKeeps counts newly-ready children the work-stealing
+	// dispatcher kept on the producing worker's deque instead of handing
+	// off — the surplus beyond one-node-per-parked-worker, left where
+	// their freshly computed inputs are warm (work-stealing dispatch
+	// only).
+	AffinityKeeps int64
 	// Reweights counts the online re-prioritization passes the run
 	// performed (dataflow scheduler, critical-path ordering, Adaptive
 	// reweighting only; always 0 otherwise).
@@ -476,11 +483,18 @@ func (e *Engine) matWriters() int {
 // attached a key is loadable from either tier, priced at the holding
 // tier's own load estimate — a spilled value really is slower to load, and
 // the optimizer should sometimes prefer recomputing it.
+//
+// With a spill tier attached, building the model also refreshes each
+// loadable entry's recompute-saving eviction hint from the same history
+// costs (compute + ancestor closure), so entries adopted from disk or
+// carried across iterations rank honestly in the cold tier's reward-aware
+// eviction even though no decideAndPersist stamped them this run.
 func (e *Engine) BuildCostModel(g *dag.Graph, tasks []Task) (*opt.CostModel, error) {
 	if len(tasks) != g.Len() {
 		return nil, fmt.Errorf("exec: %d tasks for %d nodes", len(tasks), g.Len())
 	}
 	cm := opt.NewCostModel(g.Len())
+	loadable := make([]dag.NodeID, 0)
 	for i := 0; i < g.Len(); i++ {
 		name := g.Node(dag.NodeID(i)).Name
 		if e.History != nil {
@@ -495,10 +509,86 @@ func (e *Engine) BuildCostModel(g *dag.Graph, tasks []Task) (*opt.CostModel, err
 				if cm.Load[i] <= 0 {
 					cm.Load[i] = 1 // loads are never free
 				}
+				loadable = append(loadable, dag.NodeID(i))
+			}
+		}
+	}
+	if e.Spill != nil && len(loadable) > 0 {
+		if anc, err := opt.AncestorComputeCosts(g, cm.Compute); err == nil {
+			tv := e.tiers()
+			for _, id := range loadable {
+				tv.SetHint(tasks[id].Key, store.RewardHint{RecomputeNanos: cm.Compute[id] + anc[id]})
 			}
 		}
 	}
 	return cm, nil
+}
+
+// UseMaxflowEviction installs the global evict-set planner
+// (opt.PlanEvictSet, the min-cut project-selection formulation) on the
+// spill tier for the given workflow: when the cold tier must free room, it
+// plans the whole evict set at once — sharing recompute chains between
+// victims and truncating them at still-stored ancestors — instead of
+// ranking entries one by one. Per-node recompute costs are read from the
+// engine's History at eviction time, so costs measured earlier in the same
+// run are visible. Install after the graph is fixed for the session;
+// passing a nil graph removes the planner. Errors if no spill tier is
+// attached.
+func (e *Engine) UseMaxflowEviction(g *dag.Graph, tasks []Task) error {
+	if e.Spill == nil {
+		return errors.New("exec: UseMaxflowEviction: no spill tier attached")
+	}
+	if g == nil {
+		e.Spill.SetEvictPlanner(nil)
+		return nil
+	}
+	if len(tasks) != g.Len() {
+		return fmt.Errorf("exec: %d tasks for %d nodes", len(tasks), g.Len())
+	}
+	producer := make(map[string]dag.NodeID, g.Len())
+	for i := 0; i < g.Len(); i++ {
+		if k := tasks[i].Key; k != "" {
+			if _, dup := producer[k]; !dup {
+				producer[k] = dag.NodeID(i)
+			}
+		}
+	}
+	names := make([]string, g.Len())
+	for i := range names {
+		names[i] = g.Node(dag.NodeID(i)).Name
+	}
+	e.Spill.SetEvictPlanner(func(cands []store.Entry, need int64) []string {
+		// Runs with the store lock held: read only the engine's history and
+		// the snapshot above, never back into the store.
+		compute := make([]int64, len(names))
+		if e.History != nil {
+			for i, name := range names {
+				if d, ok := e.History.Compute(name); ok {
+					compute[i] = d.Nanoseconds()
+				}
+			}
+		}
+		items := make([]opt.EvictCandidate, len(cands))
+		for i, c := range cands {
+			node, ok := producer[c.Key]
+			if !ok {
+				node = dag.InvalidNode
+			}
+			items[i] = opt.EvictCandidate{
+				Key:    c.Key,
+				Node:   node,
+				Size:   c.Size,
+				Load:   c.LoadCost.Nanoseconds(),
+				Saving: c.Recompute - c.LoadCost.Nanoseconds(),
+			}
+		}
+		keys, err := opt.PlanEvictSet(g, compute, items, need)
+		if err != nil {
+			return nil // fall back to the greedy per-entry policy
+		}
+		return keys
+	})
+	return nil
 }
 
 // Execute runs the plan over the graph using the configured scheduling
@@ -628,9 +718,11 @@ func gatherInputs(g *dag.Graph, id dag.NodeID, res *Result, mu *sync.Mutex) ([]a
 // released before returning either way.
 // ancestorCost is a callback because its snapshot semantics differ per
 // scheduler; it is evaluated at most once per decision, and only when the
-// policy declares (NeedsAncestorCost) that it reads the term — for
-// cost-insensitive policies the O(ancestors) walk under the results lock
-// never happens and MatContext carries a zero.
+// policy declares (NeedsAncestorCost) that it reads the term or a spill
+// tier is attached (the term doubles as the persisted entry's
+// recompute-saving eviction hint) — for cost-insensitive policies without
+// a spill tier the O(ancestors) walk under the results lock never happens
+// and MatContext carries a zero.
 // Callers guarantee Policy and Store are set, key is non-empty and not yet
 // stored. Returns the elapsed decision+write time, the serialized size (0
 // if never encoded), whether the value was stored, and the policy reward.
@@ -663,7 +755,10 @@ func (e *Engine) decideAndPersist(g *dag.Graph, id dag.NodeID, name, key string,
 		}
 	}
 	var ancCost int64
-	if e.Policy.NeedsAncestorCost() {
+	if e.Policy.NeedsAncestorCost() || e.Spill != nil {
+		// With a spill tier the term is needed even by cost-insensitive
+		// policies: compute + ancestor cost is the entry's recompute-saving
+		// hint, the reward the cold tier's eviction ranks victims by.
 		ancCost = ancestorCost()
 	}
 	// Both terms are tier-aware: the load estimate is priced at the tier
@@ -692,7 +787,8 @@ func (e *Engine) decideAndPersist(g *dag.Graph, id dag.NodeID, name, key string,
 		enc = encoded
 		size = enc.Size()
 	}
-	if _, err := tv.PutEncoded(key, enc); err != nil {
+	hint := store.RewardHint{RecomputeNanos: computeDur.Nanoseconds() + ancCost}
+	if _, err := tv.PutEncodedHint(key, enc, hint); err != nil {
 		// Budget races (the value fits no tier) and I/O failures degrade to
 		// "not materialized"; with a spill tier attached a plain hot-budget
 		// rejection lands in the cold tier instead of here.

@@ -25,12 +25,13 @@ func (e *Engine) executeLevelBarrier(ctx context.Context, g *dag.Graph, tasks []
 	}
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
-	// Closures feed the ancestor-cost term; policies that never read it
-	// (NeedsAncestorCost false) skip the precompute, and decideAndPersist
-	// guarantees the cost callback — the only closure consumer — is not
-	// invoked for them.
+	// Closures feed the ancestor-cost term; when nothing reads it — no
+	// policy declaring NeedsAncestorCost and no spill tier consuming it as
+	// the eviction reward hint — the precompute is skipped, and
+	// decideAndPersist guarantees the cost callback (the only closure
+	// consumer) is not invoked.
 	var closures [][]dag.NodeID
-	if e.Policy != nil && e.Store != nil && e.Policy.NeedsAncestorCost() {
+	if e.Policy != nil && e.Store != nil && (e.Policy.NeedsAncestorCost() || e.Spill != nil) {
 		closures = opt.AncestorClosures(g)
 	}
 	// In-run dedupe of materialization keys, mirroring the dataflow

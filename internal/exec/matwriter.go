@@ -68,7 +68,9 @@ type matWriter struct {
 }
 
 // newMatWriter starts the writer pool for one Execute call. The ancestor
-// closures exist only for policies that read the recomputation-chain term;
+// closures exist only when something reads the recomputation-chain term —
+// a policy that declares NeedsAncestorCost, or an attached spill tier
+// (the term becomes the entry's reward-aware eviction hint);
 // decideAndPersist never invokes the cost callback otherwise, so the nil
 // slice is never indexed.
 func newMatWriter(rc *runCtx) *matWriter {
@@ -82,7 +84,7 @@ func newMatWriter(rc *runCtx) *matWriter {
 		jobs:   make(chan matJob, g.Len()),
 		queued: keyDedupe{keys: make(map[string]bool)},
 	}
-	if e.Policy.NeedsAncestorCost() {
+	if e.Policy.NeedsAncestorCost() || e.Spill != nil {
 		w.closures = opt.AncestorClosures(g)
 	}
 	for i := 0; i < e.matWriters(); i++ {

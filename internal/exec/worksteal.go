@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -43,6 +44,22 @@ type wsDeque struct {
 	_ [72]byte
 }
 
+// wsTopEmpty is the published top weight of an empty queue: below every
+// real critical-path weight, so an empty queue never wins the global-best
+// consult.
+const wsTopEmpty = int64(math.MinInt64)
+
+// wsTop publishes one deque's current best (highest) weight, updated at
+// every locked heap mutation. The stranding consult in popLocal reads
+// these lock-free to approximate the globally best runnable weight; the
+// values are advisory — a stale top costs one suboptimal pick, never
+// correctness. Padded to a cache line so per-worker publications do not
+// false-share.
+type wsTop struct {
+	w atomic.Int64
+	_ [56]byte
+}
+
 // wsDispatch is the work-stealing dispatcher of the dataflow scheduler.
 // Scheduling state that the GlobalHeap baseline keeps under one mutex is
 // decomposed here: pending-parent and consumer reference counts are
@@ -57,6 +74,7 @@ type wsDispatch struct {
 
 	weight []int64 // critical-path priorities; nil selects min-ID
 	deques []wsDeque
+	tops   []wsTop // published per-deque best weights (see wsTop)
 
 	pending   []atomic.Int32 // per-node unfinished non-pruned parents
 	consumers []atomic.Int32 // per-node compute children yet to run (release)
@@ -64,6 +82,15 @@ type wsDispatch struct {
 	cancelled atomic.Bool    // set on first error; stops dispatching new work
 	steals    atomic.Int64   // nodes taken from another worker's deque
 	handoffs  atomic.Int64   // nodes routed through the overflow queue
+	// affinityKeeps counts newly-ready children kept on the producing
+	// worker's deque by the partial handoff in dispatchRest — nodes that,
+	// before the affinity fix, would all have been routed through the
+	// overflow queue whenever any worker was parked.
+	affinityKeeps atomic.Int64
+	// overflowTop publishes the overflow queue's best weight (wsTopEmpty
+	// when empty), updated under parkMu, read lock-free by the stranding
+	// consult.
+	overflowTop atomic.Int64
 
 	errMu sync.Mutex
 	errs  []error // every node error observed before shutdown
@@ -90,9 +117,12 @@ func runWorkSteal(rc *runCtx, weight []int64, pending, consumers []int, remainin
 	d := &wsDispatch{runCtx: rc, weight: weight}
 	d.parkCond = sync.NewCond(&d.parkMu)
 	d.overflow.weight = weight
+	d.overflowTop.Store(wsTopEmpty)
 	d.deques = make([]wsDeque, workers)
+	d.tops = make([]wsTop, workers)
 	for i := range d.deques {
 		d.deques[i].h.weight = weight
+		d.tops[i].w.Store(wsTopEmpty)
 	}
 	if rc.rw != nil {
 		// Eager sweep of a re-prioritization pass: re-sort each deque and
@@ -106,10 +136,12 @@ func runWorkSteal(rc *runCtx, weight []int64, pending, consumers []int, remainin
 				dq := &d.deques[i]
 				dq.mu.Lock()
 				rc.rw.fix(&dq.h)
+				d.publishTop(i, &dq.h)
 				dq.mu.Unlock()
 			}
 			d.parkMu.Lock()
 			rc.rw.fix(&d.overflow)
+			d.publishOverflowLocked()
 			d.parkMu.Unlock()
 		}
 	}
@@ -134,6 +166,9 @@ func runWorkSteal(rc *runCtx, weight []int64, pending, consumers []int, remainin
 	for i, id := range seed {
 		d.deques[i%workers].h.push(id)
 	}
+	for i := range d.deques {
+		d.publishTop(i, &d.deques[i].h) // single-threaded setup; no lock yet
+	}
 
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -146,6 +181,7 @@ func runWorkSteal(rc *runCtx, weight []int64, pending, consumers []int, remainin
 	wg.Wait()
 	rc.res.Steals = d.steals.Load()
 	rc.res.Handoffs = d.handoffs.Load()
+	rc.res.AffinityKeeps = d.affinityKeeps.Load()
 	return d.errs
 }
 
@@ -274,32 +310,87 @@ func pickBest(weight []int64, ready []dag.NodeID) (dag.NodeID, []dag.NodeID) {
 	return id, ready[:len(ready)-1]
 }
 
+// idleConsumers estimates how many other workers could take a handoff
+// right now: the registered parked waiters, or — while the overflow queue
+// is published empty — every other deque publishing an empty top. A parked
+// worker's deque is always empty (only its owner pushes to it, and it
+// parked after finding it empty), so the count is a max, never a sum. The
+// published-empty widening is what spreads a ready burst that lands before
+// anyone has managed to park — a cheap root fanning out within
+// microseconds of startup, when the sibling workers exist but have not
+// reached their first popLocal — and the overflow-empty gate keeps
+// steady-state chase loops (all deques drained, every finish chasing its
+// own child) from paying the global handoff lock for work their own
+// chase would consume anyway. Min-ID ordering publishes no tops and keeps
+// the waiters-only estimate.
+func (d *wsDispatch) idleConsumers(w int) int {
+	nw := int(d.waiters.Load())
+	if d.weight == nil || d.overflowTop.Load() != wsTopEmpty {
+		return nw
+	}
+	empty := 0
+	for i := range d.tops {
+		if i != w && d.tops[i].w.Load() == wsTopEmpty {
+			empty++
+		}
+	}
+	if empty > nw {
+		return empty
+	}
+	return nw
+}
+
 // dispatchRest queues the newly-ready nodes the finishing worker is not
-// running itself. With parked workers waiting, they are routed through the
-// overflow queue instead (a handoff: parked workers take from it without
-// probing every deque); otherwise they land on the worker's own deque for
-// thieves to steal from. rest must be non-empty — a finish whose only
-// ready child is kept for the chase loop dispatches with no lock at all.
+// running itself. With idle workers to feed, one node per idle consumer is
+// routed through the overflow queue (a handoff: parked workers take from
+// it without probing every deque) and the surplus stays on the producing
+// worker's own deque — the locality-aware half of the dispatch policy:
+// these children's inputs were computed (and are cache-warm, or
+// tier-resident) right here, so only as many leave as there are idle
+// workers to run them, highest priority first. Without idle consumers
+// everything lands on the own deque for thieves to steal from. rest must
+// be non-empty — a finish whose only ready child is kept for the chase
+// loop dispatches with no lock at all.
 func (d *wsDispatch) dispatchRest(w int, rest []dag.NodeID) {
-	if d.waiters.Load() > 0 {
-		d.handoffs.Add(int64(len(rest)))
+	if nw := d.idleConsumers(w); nw > 0 {
+		handoff := rest
+		var local []dag.NodeID
+		if len(rest) > nw {
+			wts := d.curWeight()
+			sort.Slice(rest, func(i, j int) bool { return nodeBefore(wts, rest[i], rest[j]) })
+			handoff, local = rest[:nw], rest[nw:]
+			d.affinityKeeps.Add(int64(len(local)))
+		}
+		d.handoffs.Add(int64(len(handoff)))
 		d.parkMu.Lock()
 		d.fix(&d.overflow)
-		for _, c := range rest {
+		for _, c := range handoff {
 			d.overflow.push(c)
 		}
-		d.signalLocked(len(rest))
+		d.publishOverflowLocked()
+		d.signalLocked(len(handoff))
 		d.parkMu.Unlock()
+		if len(local) > 0 {
+			d.pushLocal(w, local)
+		}
 		return
 	}
+	d.pushLocal(w, rest)
+}
+
+// pushLocal lands nodes on the worker's own deque and wakes any waiter
+// that registered after the caller's waiters check (the lost-wakeup-free
+// half of the parking protocol; see wakeWaiters).
+func (d *wsDispatch) pushLocal(w int, nodes []dag.NodeID) {
 	dq := &d.deques[w]
 	dq.mu.Lock()
 	d.fix(&dq.h)
-	for _, c := range rest {
+	for _, c := range nodes {
 		dq.h.push(c)
 	}
+	d.publishTop(w, &dq.h)
 	dq.mu.Unlock()
-	d.wakeWaiters(len(rest))
+	d.wakeWaiters(len(nodes))
 }
 
 // wakeWaiters is the lost-wakeup-free half of the parking protocol, called
@@ -352,23 +443,112 @@ func (d *wsDispatch) releasable(id dag.NodeID) []dag.NodeID {
 	return out
 }
 
+// publishTop publishes deque w's current best weight for the stranding
+// consult. Callers hold the deque's mutex (or are in single-threaded
+// setup). A no-op under min-ID ordering, which has no weights to compare.
+func (d *wsDispatch) publishTop(w int, h *nodeHeap) {
+	if d.weight == nil {
+		return
+	}
+	top := wsTopEmpty
+	if h.Len() > 0 {
+		top = h.weight[h.ids[0]]
+	}
+	d.tops[w].w.Store(top)
+}
+
+// publishOverflowLocked publishes the overflow queue's current best weight.
+// Callers hold parkMu. A no-op under min-ID ordering.
+func (d *wsDispatch) publishOverflowLocked() {
+	if d.weight == nil {
+		return
+	}
+	top := wsTopEmpty
+	if d.overflow.Len() > 0 {
+		top = d.overflow.weight[d.overflow.ids[0]]
+	}
+	d.overflowTop.Store(top)
+}
+
+// globalBest returns the best published weight over every other deque and
+// the overflow queue — the stranding consult's lock-free approximation of
+// the most urgent runnable work elsewhere. wsTopEmpty when nothing is
+// published.
+func (d *wsDispatch) globalBest(w int) int64 {
+	best := d.overflowTop.Load()
+	for i := range d.tops {
+		if i == w {
+			continue
+		}
+		if t := d.tops[i].w.Load(); t > best {
+			best = t
+		}
+	}
+	return best
+}
+
+// bestVictim returns the other deque publishing the highest top weight, or
+// -1 when none publishes real work (or the overflow queue outranks them
+// all — the caller has already drained it). A stranded worker steals from
+// this deque first: the consult declined the local top because something
+// globally urgent is runnable elsewhere, and a random probe would more
+// likely land on a deque full of exactly the low-priority work it just
+// declined.
+func (d *wsDispatch) bestVictim(w int) int {
+	best, victim := d.overflowTop.Load(), -1
+	for i := range d.tops {
+		if i == w {
+			continue
+		}
+		if t := d.tops[i].w.Load(); t > best {
+			best, victim = t, i
+		}
+	}
+	return victim
+}
+
 // next acquires the worker's next node: own deque first, then the overflow
 // queue, then a randomized steal round over the other deques, and finally
 // parking until a finisher signals new work (or shutdown). Returns false
 // when the run is cancelled or fully drained.
+//
+// The first popLocal is a hybrid: it declines ("stranded") when the local
+// top's priority is far below the published global best, sending this
+// worker to the overflow queue and the steal round for the genuinely
+// urgent work instead — the fix for the steal-half stranding failure mode
+// (docs/scheduler.md), where a globally-worst-ranked node sat at the top
+// of a nearly-empty deque and ran years before its turn. If the consult
+// finds nothing actually takeable (the published best was claimed first,
+// or the tops were stale), the forced popLocal runs the local node anyway:
+// progress beats priority, and a worker never parks with runnable local
+// work.
 func (d *wsDispatch) next(w int, rng *wsRand) (dag.NodeID, bool) {
 	for {
 		if d.cancelled.Load() || d.remaining.Load() == 0 {
 			return 0, false
 		}
-		if id, ok := d.popLocal(w); ok {
+		id, ok, stranded := d.popLocal(w, false)
+		if ok {
 			return id, true
 		}
 		if id, ok := d.popOverflow(); ok {
 			return id, true
 		}
-		if id, ok := d.stealBatch(w, rng); ok {
+		prefer := -1
+		if stranded {
+			// Steal from the deque whose published top triggered the
+			// consult: the whole point of declining the local node was to
+			// run the globally urgent one.
+			prefer = d.bestVictim(w)
+		}
+		if id, ok := d.stealBatch(w, rng, prefer); ok {
 			return id, true
+		}
+		if stranded {
+			if id, ok, _ := d.popLocal(w, true); ok {
+				return id, true
+			}
+			continue // a thief drained the deque meanwhile; re-evaluate
 		}
 		if id, ok := d.park(w); ok {
 			return id, true
@@ -377,28 +557,43 @@ func (d *wsDispatch) next(w int, rng *wsRand) (dag.NodeID, bool) {
 }
 
 // popLocal takes the highest-priority node from the worker's own deque.
-func (d *wsDispatch) popLocal(w int) (dag.NodeID, bool) {
+// Unless force is set, a top whose weight is less than half the published
+// global best is declined instead (returned stranded=true), steering the
+// worker toward the overflow queue and the steal round first — see next.
+func (d *wsDispatch) popLocal(w int, force bool) (id dag.NodeID, ok, stranded bool) {
 	dq := &d.deques[w]
 	dq.mu.Lock()
 	defer dq.mu.Unlock()
 	if dq.h.Len() == 0 {
-		return 0, false
+		return 0, false, false
 	}
 	d.fix(&dq.h)
-	return dq.h.pop(), true
+	if !force && d.weight != nil {
+		if tw := dq.h.weight[dq.h.ids[0]]; d.globalBest(w) > 2*tw {
+			return 0, false, true
+		}
+	}
+	id = dq.h.pop()
+	d.publishTop(w, &dq.h)
+	return id, true, false
 }
 
 // popOverflow takes the highest-priority node from the global overflow
 // queue. The cross-worker transfer was already counted (Result.Handoffs)
 // when dispatchRest enqueued it.
 func (d *wsDispatch) popOverflow() (dag.NodeID, bool) {
+	if d.weight != nil && d.overflowTop.Load() == wsTopEmpty {
+		return 0, false // published-empty fast path; skip the global lock
+	}
 	d.parkMu.Lock()
 	defer d.parkMu.Unlock()
 	if d.overflow.Len() == 0 {
 		return 0, false
 	}
 	d.fix(&d.overflow)
-	return d.overflow.pop(), true
+	id := d.overflow.pop()
+	d.publishOverflowLocked()
+	return id, true
 }
 
 // stealBatch probes every other deque once, starting at a seeded-random
@@ -407,18 +602,28 @@ func (d *wsDispatch) popOverflow() (dag.NodeID, bool) {
 // urgent runnable work, so the thief takes the victim's best (the
 // heaviest critical path moves to a free worker immediately) and the
 // batch amortizes the lock traffic over several nodes instead of coming
-// back for every one. Returns the best stolen node; the remainder lands
-// on the thief's own deque.
-func (d *wsDispatch) stealBatch(w int, rng *wsRand) (dag.NodeID, bool) {
+// back for every one. A stranded thief passes the deque that published
+// the weight its consult declined for as prefer (-1 for none): that deque
+// is probed first, so the targeted steal takes the urgent node instead of
+// whatever a random victim happens to hold. Returns the best stolen node;
+// the remainder lands on the thief's own deque.
+func (d *wsDispatch) stealBatch(w int, rng *wsRand, prefer int) (dag.NodeID, bool) {
 	n := len(d.deques)
 	if n < 2 {
 		return 0, false
 	}
-	// Probe the n-1 other deques starting at a random one: index w is
-	// excluded by construction, so the round never skips a victim.
+	// Probe the n-1 other deques starting at the preferred victim, then a
+	// random one: index w is excluded by construction, so the round never
+	// skips a victim (the preferred deque may be probed twice — one extra
+	// uncontended lock).
 	off := rng.intn(n - 1)
-	for i := 0; i < n-1; i++ {
-		v := (w + 1 + (off+i)%(n-1)) % n
+	for i := -1; i < n-1; i++ {
+		v := prefer
+		if i >= 0 {
+			v = (w + 1 + (off+i)%(n-1)) % n
+		} else if v < 0 || v == w {
+			continue
+		}
 		dq := &d.deques[v]
 		dq.mu.Lock()
 		if dq.h.Len() == 0 {
@@ -434,6 +639,7 @@ func (d *wsDispatch) stealBatch(w int, rng *wsRand) (dag.NodeID, bool) {
 		for len(batch) < take {
 			batch = append(batch, dq.h.pop())
 		}
+		d.publishTop(v, &dq.h)
 		dq.mu.Unlock()
 		d.steals.Add(int64(len(batch)))
 		if len(batch) > 1 {
@@ -443,6 +649,7 @@ func (d *wsDispatch) stealBatch(w int, rng *wsRand) (dag.NodeID, bool) {
 			for _, id := range batch[1:] {
 				own.h.push(id)
 			}
+			d.publishTop(w, &own.h)
 			own.mu.Unlock()
 			// Without this wake a worker that parked after the thief's probe
 			// passed its deque would sleep through the stolen batch.
@@ -485,7 +692,9 @@ func (d *wsDispatch) park(w int) (dag.NodeID, bool) {
 func (d *wsDispatch) scanLocked(w int) (dag.NodeID, bool) {
 	if d.overflow.Len() > 0 {
 		d.fix(&d.overflow)
-		return d.overflow.pop(), true
+		id := d.overflow.pop()
+		d.publishOverflowLocked()
+		return id, true
 	}
 	for i := 0; i < len(d.deques); i++ {
 		v := (w + i) % len(d.deques)
@@ -494,6 +703,7 @@ func (d *wsDispatch) scanLocked(w int) (dag.NodeID, bool) {
 		if dq.h.Len() > 0 {
 			d.fix(&dq.h)
 			id := dq.h.pop()
+			d.publishTop(v, &dq.h)
 			dq.mu.Unlock()
 			if v != w {
 				d.steals.Add(1)

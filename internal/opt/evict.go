@@ -1,0 +1,189 @@
+package opt
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dag"
+	"repro/internal/maxflow"
+)
+
+// EvictCandidate describes one stored value the cold tier could delete to
+// make room — the planner's view of a store.Entry, joined with the DAG node
+// that produced it when the producer is known.
+type EvictCandidate struct {
+	// Key is the store key to return if this candidate is evicted.
+	Key string
+	// Node is the DAG node whose result this entry holds, or
+	// dag.InvalidNode when the entry has no known producer in the graph
+	// (an adopted file, a value from another workflow).
+	Node dag.NodeID
+	// Size is the entry's payload size in bytes (what evicting frees).
+	Size int64
+	// Load is the estimated nanoseconds to load the stored value.
+	Load int64
+	// Saving is the standalone recompute saving in nanoseconds, consulted
+	// only when Node is dag.InvalidNode (for in-graph candidates the
+	// planner derives the recompute cost from the DAG itself).
+	Saving int64
+}
+
+// evictProfitCap bounds λ·Size products so project profits stay far below
+// maxflow.Inf (1<<50) — 1<<45 ns is ~9.7 hours of saving, beyond any real
+// estimate, and clamping keeps the Lagrangian monotone.
+const evictProfitCap int64 = 1 << 45
+
+// mulClamp multiplies two non-negative int64s, saturating at
+// evictProfitCap instead of overflowing.
+func mulClamp(a, b int64) int64 {
+	if a <= 0 || b <= 0 {
+		return 0
+	}
+	if a > evictProfitCap/b {
+		return evictProfitCap
+	}
+	return a * b
+}
+
+// PlanEvictSet picks a set of candidates to evict that frees at least need
+// bytes while minimizing the estimated future cost of the eviction — the
+// global version of the store's greedy smallest-saving-per-byte policy,
+// solved with the same PROJECT SELECTION (max-weight closure / min-cut)
+// machinery the recomputation optimizer uses.
+//
+// The future cost of an evict set has closure structure a per-entry
+// greedy policy cannot see: evicting a value forces its producing node to
+// be recomputed next iteration, which transitively forces every ancestor
+// up to (and including a load of) the nearest still-stored one — and two
+// evicted siblings share their common ancestors' recompute cost, paying it
+// once, not twice. PlanEvictSet encodes exactly that: per trial price λ
+// (nanoseconds per freed byte), project "evict k" earns λ·Size_k plus the
+// avoided load, and requires project "recompute node(k)", which costs that
+// node's compute and transitively requires its ancestors — recompute
+// projects for unstored parents, shared load projects for stored ones.
+// A Lagrangian search over λ (each step one min-cut) finds the cheapest
+// selection that frees the requested bytes.
+//
+// Approximations, documented for honesty: a recompute chain is truncated
+// at currently-stored ancestors even when those ancestors are themselves
+// in the evict set (the closure would need a non-monotone constraint the
+// min-cut cannot express), and the avoided-load credit assumes the value
+// would otherwise have been loaded exactly once. Both errors are bounded
+// by per-entry load costs, which are orders of magnitude below the
+// recompute chains the planner exists to protect.
+//
+// compute holds per-node recompute cost estimates in nanoseconds, indexed
+// by node ID (len must equal g.Len()). If even evicting every candidate
+// cannot free need bytes, every candidate key is returned (best effort —
+// the caller's budget check still rejects the admission). need <= 0 or an
+// empty candidate set returns nil.
+func PlanEvictSet(g *dag.Graph, compute []int64, cands []EvictCandidate, need int64) ([]string, error) {
+	if need <= 0 || len(cands) == 0 {
+		return nil, nil
+	}
+	n := g.Len()
+	if len(compute) != n {
+		return nil, fmt.Errorf("opt: PlanEvictSet: %d compute costs for %d nodes", len(compute), n)
+	}
+	var totalSize, totalCost int64
+	stored := make(map[dag.NodeID]bool, len(cands))
+	loadOf := make(map[dag.NodeID]int64, len(cands))
+	for _, c := range cands {
+		if c.Node != dag.InvalidNode {
+			if int(c.Node) < 0 || int(c.Node) >= n {
+				return nil, fmt.Errorf("opt: PlanEvictSet: candidate %q has node %d outside graph of %d", c.Key, c.Node, n)
+			}
+			stored[c.Node] = true
+			loadOf[c.Node] = c.Load
+		}
+		totalSize += c.Size
+		totalCost += c.Load + c.Saving
+	}
+	if totalSize < need {
+		keys := make([]string, len(cands))
+		for i, c := range cands {
+			keys[i] = c.Key
+		}
+		return keys, nil
+	}
+	for _, c := range compute {
+		totalCost += c
+	}
+
+	// Project layout: [0,n) recompute node i, [n,2n) load node i's stored
+	// value (shared by every evicted consumer), [2n,2n+len(cands)) evict
+	// candidate k.
+	solve := func(lambda int64) ([]string, int64, error) {
+		ps := maxflow.NewProjectSelection(2*n + len(cands))
+		for i := 0; i < n; i++ {
+			if compute[i] > 0 {
+				ps.SetProfit(i, -compute[i])
+			}
+			for _, p := range g.Parents(dag.NodeID(i)) {
+				if stored[p] {
+					ps.Require(i, n+int(p))
+				} else {
+					ps.Require(i, int(p))
+				}
+			}
+		}
+		for id, l := range loadOf {
+			if l > 0 {
+				ps.SetProfit(n+int(id), -l)
+			}
+		}
+		for k, c := range cands {
+			pk := 2*n + k
+			if c.Node != dag.InvalidNode {
+				ps.SetProfit(pk, mulClamp(lambda, c.Size)+c.Load)
+				ps.Require(pk, int(c.Node))
+			} else {
+				ps.SetProfit(pk, mulClamp(lambda, c.Size)-c.Saving)
+			}
+		}
+		selected, _, err := ps.Solve()
+		if err != nil {
+			return nil, 0, err
+		}
+		var keys []string
+		var freed int64
+		for k, c := range cands {
+			if selected[2*n+k] {
+				keys = append(keys, c.Key)
+				freed += c.Size
+			}
+		}
+		sort.Strings(keys) // deterministic output order
+		return keys, freed, nil
+	}
+
+	// Lagrangian search: freed(λ) is non-decreasing in λ, so binary-search
+	// the smallest per-byte price whose optimal selection frees enough. At
+	// λ > totalCost every candidate with Size ≥ 1 is profitable even if it
+	// forced every cost in the instance, so freed(λmax) ≥ need is
+	// guaranteed by the totalSize check above (zero-byte candidates free
+	// nothing by definition).
+	lo, hi := int64(0), totalCost+1
+	bestKeys, freed, err := solve(hi)
+	if err != nil {
+		return nil, err
+	}
+	if freed < need {
+		// Only zero-byte candidates short of need remain unselected;
+		// evicting them frees nothing, so return the max-λ selection.
+		return bestKeys, nil
+	}
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		keys, freed, err := solve(mid)
+		if err != nil {
+			return nil, err
+		}
+		if freed >= need {
+			bestKeys, hi = keys, mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return bestKeys, nil
+}

@@ -1,0 +1,152 @@
+package opt
+
+import (
+	"testing"
+
+	"repro/internal/dag"
+)
+
+const ms = int64(1_000_000) // nanoseconds
+
+// evictFixture builds the shared-ancestor graph the planner exists for:
+// an expensive unstored ancestor A with two stored children B and C, plus
+// an independent stored node D.
+//
+//	A (20ms, not stored)
+//	├── B (1ms, stored, 100 bytes)
+//	└── C (1ms, stored, 100 bytes)
+//	D (30ms, stored, 200 bytes)
+func evictFixture() (*dag.Graph, []int64, []EvictCandidate) {
+	g := dag.New()
+	a := g.MustAddNode("a", "op")
+	b := g.MustAddNode("b", "op")
+	c := g.MustAddNode("c", "op")
+	d := g.MustAddNode("d", "op")
+	g.MustAddEdge(a, b)
+	g.MustAddEdge(a, c)
+	compute := []int64{20 * ms, 1 * ms, 1 * ms, 30 * ms}
+	cands := []EvictCandidate{
+		{Key: "kb", Node: b, Size: 100, Load: 10_000},
+		{Key: "kc", Node: c, Size: 100, Load: 10_000},
+		{Key: "kd", Node: d, Size: 200, Load: 10_000},
+	}
+	return g, compute, cands
+}
+
+// TestPlanEvictSetSharesAncestorCost is the case the greedy per-entry
+// ranking gets wrong: every per-entry saving charges A's 20ms recompute in
+// full, so D (30ms over 200 bytes = 150µs/byte) looks cheaper per byte
+// than B or C (21ms over 100 bytes = 210µs/byte each) and greedy evicts D
+// at a true future cost of 30ms. The closure view sees that evicting
+// {B, C} pays A's recompute once — 20 + 1 + 1 = 22ms for the same 200
+// bytes — and must pick them instead.
+func TestPlanEvictSetSharesAncestorCost(t *testing.T) {
+	g, compute, cands := evictFixture()
+	// The fixture must actually discriminate: per-entry saving-per-byte
+	// ranks D below B and C, so a greedy policy would pick D.
+	greedyB := float64(compute[0]+compute[1]) / 100
+	greedyD := float64(compute[3]) / 200
+	if greedyD >= greedyB {
+		t.Fatalf("fixture no longer discriminates: greedy D %f >= B %f per byte", greedyD, greedyB)
+	}
+	keys, err := PlanEvictSet(g, compute, cands, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 2 || keys[0] != "kb" || keys[1] != "kc" {
+		t.Fatalf("evict set %v, want [kb kc] (shared ancestor paid once)", keys)
+	}
+}
+
+// TestPlanEvictSetFeasible: whatever the shape, the returned set frees at
+// least the requested bytes whenever the candidates can.
+func TestPlanEvictSetFeasible(t *testing.T) {
+	g, compute, cands := evictFixture()
+	sizes := map[string]int64{}
+	for _, c := range cands {
+		sizes[c.Key] = c.Size
+	}
+	for _, need := range []int64{1, 100, 150, 200, 250, 399, 400} {
+		keys, err := PlanEvictSet(g, compute, cands, need)
+		if err != nil {
+			t.Fatalf("need %d: %v", need, err)
+		}
+		var freed int64
+		for _, k := range keys {
+			freed += sizes[k]
+		}
+		if freed < need {
+			t.Errorf("need %d: set %v frees only %d", need, keys, freed)
+		}
+	}
+}
+
+// TestPlanEvictSetStandaloneSaving: candidates with no producing node in
+// the graph rank by their carried standalone saving — a cheap orphan is
+// sacrificed before an expensive one.
+func TestPlanEvictSetStandaloneSaving(t *testing.T) {
+	g := dag.New()
+	g.MustAddNode("only", "op")
+	cands := []EvictCandidate{
+		{Key: "cheap", Node: dag.InvalidNode, Size: 100, Saving: 1 * ms},
+		{Key: "dear", Node: dag.InvalidNode, Size: 100, Saving: 50 * ms},
+	}
+	keys, err := PlanEvictSet(g, []int64{0}, cands, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 1 || keys[0] != "cheap" {
+		t.Fatalf("evict set %v, want [cheap]", keys)
+	}
+}
+
+// TestPlanEvictSetDegenerateInputs: need <= 0 and empty candidate sets
+// plan nothing; an impossible need returns every candidate (best effort —
+// the admission's own budget check rejects it); a mis-sized compute slice
+// is an error.
+func TestPlanEvictSetDegenerateInputs(t *testing.T) {
+	g, compute, cands := evictFixture()
+	if keys, err := PlanEvictSet(g, compute, cands, 0); err != nil || keys != nil {
+		t.Fatalf("need 0: %v, %v", keys, err)
+	}
+	if keys, err := PlanEvictSet(g, compute, nil, 100); err != nil || keys != nil {
+		t.Fatalf("no candidates: %v, %v", keys, err)
+	}
+	keys, err := PlanEvictSet(g, compute, cands, 1<<40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != len(cands) {
+		t.Fatalf("impossible need returned %v, want all %d candidates", keys, len(cands))
+	}
+	if _, err := PlanEvictSet(g, compute[:2], cands, 100); err == nil {
+		t.Fatal("mis-sized compute slice accepted")
+	}
+}
+
+// TestPlanEvictSetTruncatesAtStoredAncestor: a stored ancestor caps its
+// descendants' recompute chains at its load cost. Here E (stored, cheap
+// load) sits between the expensive root R and the candidate F: evicting F
+// costs F's compute plus E's load, never R's 100ms, so F is preferred
+// over an orphan G whose standalone saving exceeds that truncated cost.
+func TestPlanEvictSetTruncatesAtStoredAncestor(t *testing.T) {
+	g := dag.New()
+	r := g.MustAddNode("r", "op")
+	e := g.MustAddNode("e", "op")
+	f := g.MustAddNode("f", "op")
+	g.MustAddEdge(r, e)
+	g.MustAddEdge(e, f)
+	compute := []int64{100 * ms, 1 * ms, 1 * ms}
+	cands := []EvictCandidate{
+		{Key: "ke", Node: e, Size: 10, Load: 5_000},
+		{Key: "kf", Node: f, Size: 100, Load: 10_000},
+		{Key: "kg", Node: dag.InvalidNode, Size: 100, Saving: 10 * ms},
+	}
+	keys, err := PlanEvictSet(g, compute, cands, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 1 || keys[0] != "kf" {
+		t.Fatalf("evict set %v, want [kf] (chain truncated at stored e)", keys)
+	}
+}

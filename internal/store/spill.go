@@ -56,24 +56,38 @@ func OpenSpill(dir string, budget int64) (*Spill, error) {
 	return &Spill{s: s}, nil
 }
 
-// PutBytes admits pre-encoded bytes, deleting least-recently-accessed
-// entries as needed to make room. Re-admitting an existing key is an
-// idempotent no-op (content addressing) and evicts nothing. A value larger
-// than the whole budget is rejected with ErrBudgetExceeded — it cannot be
-// admitted at any cost.
+// PutBytes admits pre-encoded bytes, deleting the cheapest-to-lose entries
+// (reward-aware by default; see Store.EvictColdest) as needed to make room.
+// Re-admitting an existing key is an idempotent no-op (content addressing)
+// and evicts nothing. A value that cannot fit even after evicting every
+// unpinned entry — larger than the whole budget, or crowded out by pinned
+// planned-load keys — is rejected up front with ErrBudgetExceeded and
+// evicts nothing: a doomed admission must not destroy values to make room
+// it can never have.
 func (sp *Spill) PutBytes(key string, raw []byte) error {
+	return sp.PutBytesHint(key, raw, RewardHint{})
+}
+
+// PutBytesHint is PutBytes with a recompute-saving hint attached to the
+// entry (see RewardHint); the hint feeds the tier's reward-aware eviction.
+func (sp *Spill) PutBytesHint(key string, raw []byte, hint RewardHint) error {
 	size := int64(len(raw))
-	if sp.s.budget > 0 && size > sp.s.budget {
-		return ErrBudgetExceeded
-	}
 	sp.putMu.Lock()
 	defer sp.putMu.Unlock()
 	if sp.s.Has(key) {
+		sp.s.SetHint(key, hint)
 		return nil // already admitted; no room needed, nothing to evict
+	}
+	sp.s.mu.RLock()
+	reachable := sp.s.budget - sp.s.used + sp.s.evictableBytes()
+	overBudget := sp.s.budget > 0 && size > reachable
+	sp.s.mu.RUnlock()
+	if overBudget {
+		return fmt.Errorf("%w: need %d, at most %d freeable of %d", ErrBudgetExceeded, size, reachable, sp.s.budget)
 	}
 	ev := sp.s.EvictColdest(size)
 	sp.evictions.Add(int64(len(ev)))
-	return sp.s.PutBytes(key, raw)
+	return sp.s.PutBytesHint(key, raw, hint)
 }
 
 // PutEncoded admits an already-encoded value; the caller keeps ownership
@@ -82,6 +96,23 @@ func (sp *Spill) PutBytes(key string, raw []byte) error {
 func (sp *Spill) PutEncoded(key string, enc *Encoded) error {
 	return sp.PutBytes(key, enc.Bytes())
 }
+
+// PutEncodedHint is PutEncoded with a recompute-saving hint (see
+// PutBytesHint).
+func (sp *Spill) PutEncodedHint(key string, enc *Encoded, hint RewardHint) error {
+	return sp.PutBytesHint(key, enc.Bytes(), hint)
+}
+
+// SetHint refreshes the recompute-saving hint on an already-admitted entry.
+func (sp *Spill) SetHint(key string, hint RewardHint) { sp.s.SetHint(key, hint) }
+
+// SetEvictionPolicy selects the victim ranking for this tier's eviction
+// (reward-aware by default; EvictLRU is the ablation baseline).
+func (sp *Spill) SetEvictionPolicy(p EvictionPolicy) { sp.s.SetEvictionPolicy(p) }
+
+// SetEvictPlanner installs a global evict-set planner on this tier (see
+// Store.SetEvictPlanner).
+func (sp *Spill) SetEvictPlanner(p EvictPlanner) { sp.s.SetEvictPlanner(p) }
 
 // Get loads and decodes the value for key, recording the measured cold-tier
 // load cost on the entry.

@@ -39,9 +39,51 @@ type Entry struct {
 	// Stored is when the entry was written (monotonic ordering only).
 	Stored time.Time
 	// LastAccess is when the entry was last written or read — the recency
-	// the tiered store's LRU eviction orders by.
+	// eviction falls back to when recompute savings tie.
 	LastAccess time.Time
+	// Recompute estimates the wall-clock nanoseconds it would take to
+	// rebuild this value from scratch — the producing node's compute cost
+	// plus every ancestor the rebuild transitively forces (the paper's
+	// c_i + sum of ancestor costs). Zero means unknown; reward-aware
+	// eviction treats an unknown as zero saving, so unhinted entries
+	// degrade to pure LRU ordering.
+	Recompute int64
 }
+
+// RewardHint carries the recompute-saving estimate a caller attaches to an
+// admission: how expensive the stored value would be to rebuild. The store
+// turns it into a per-byte eviction reward (saving = recompute − load cost,
+// divided by size) — the per-result reward r_i of the paper's
+// materialization policy, reused as the eviction ranking.
+type RewardHint struct {
+	// RecomputeNanos is the estimated nanoseconds to recompute the value
+	// from scratch, ancestors included. Zero means unknown.
+	RecomputeNanos int64
+}
+
+// EvictionPolicy selects how EvictColdest and VictimCandidates rank
+// victims.
+type EvictionPolicy int
+
+const (
+	// EvictReward (the default) evicts the entry with the smallest
+	// recompute-saving per byte first: saving = max(0, Recompute −
+	// LoadCost), per byte of Size. Ties (including every entry with no
+	// recompute hint) fall back to least-recently-accessed, then key.
+	EvictReward EvictionPolicy = iota
+	// EvictLRU is the pure least-recently-accessed policy, kept as the A/B
+	// baseline for the eviction ablation.
+	EvictLRU
+)
+
+// EvictPlanner is an optional global evict-set planner consulted by
+// EvictColdest before its greedy per-entry loop. It receives the unpinned
+// candidate entries and the bytes that must be freed, and returns the keys
+// to evict (a subset of the candidates; unknown keys are ignored). The
+// planner runs while the store lock is held, so it must not call back into
+// the store. If the returned set frees too little, the greedy policy makes
+// up the difference.
+type EvictPlanner func(candidates []Entry, need int64) []string
 
 // Store is a budgeted, content-addressed disk store. Safe for concurrent
 // use: metadata reads share a read lock, and writes reserve budget under the
@@ -79,6 +121,12 @@ type Store struct {
 	// Throughput estimates (bytes/sec), exponentially smoothed.
 	readBps  float64
 	writeBps float64
+
+	// evict selects the victim ranking (reward-per-byte by default, pure
+	// LRU as the ablation baseline); planner, when set, is consulted for a
+	// globally-planned evict set before the greedy loop.
+	evict   EvictionPolicy
+	planner EvictPlanner
 }
 
 // DefaultThroughput seeds the load-cost estimate before any I/O has been
@@ -239,8 +287,19 @@ func Decode(raw []byte) (any, error) {
 // Overwrites of an existing key are idempotent no-ops (content addressing
 // makes re-writes byte-identical).
 func (s *Store) PutBytes(key string, raw []byte) error {
+	return s.PutBytesHint(key, raw, RewardHint{})
+}
+
+// PutBytesHint is PutBytes with a recompute-saving hint attached to the
+// entry (see RewardHint). Re-admitting an existing key refreshes its hint
+// — the bytes are identical by content addressing, but the caller's cost
+// estimate may have improved — and remains an idempotent no-op otherwise.
+func (s *Store) PutBytesHint(key string, raw []byte, hint RewardHint) error {
 	s.mu.Lock()
-	if _, exists := s.entries[key]; exists {
+	if e, exists := s.entries[key]; exists {
+		if hint.RecomputeNanos > 0 {
+			e.Recompute = hint.RecomputeNanos
+		}
 		s.mu.Unlock()
 		return nil
 	}
@@ -273,8 +332,40 @@ func (s *Store) PutBytes(key string, raw []byte) error {
 	}
 	s.observeWrite(size, elapsed)
 	now := time.Now()
-	s.entries[key] = &Entry{Key: key, Size: size, LoadCost: s.estimateLoad(size), Stored: now, LastAccess: now}
+	s.entries[key] = &Entry{Key: key, Size: size, LoadCost: s.estimateLoad(size), Stored: now, LastAccess: now, Recompute: hint.RecomputeNanos}
 	return nil
+}
+
+// SetHint refreshes the recompute-saving hint on an already-stored entry
+// (cost models re-estimate across iterations; adopted entries start with no
+// hint at all). A no-op for unknown keys or a zero hint.
+func (s *Store) SetHint(key string, hint RewardHint) {
+	if hint.RecomputeNanos <= 0 {
+		return
+	}
+	s.mu.Lock()
+	if e, ok := s.entries[key]; ok {
+		e.Recompute = hint.RecomputeNanos
+	}
+	s.mu.Unlock()
+}
+
+// SetEvictionPolicy selects the victim ranking for EvictColdest and
+// VictimCandidates. Not safe to flip concurrently with admissions; set it
+// once at configuration time.
+func (s *Store) SetEvictionPolicy(p EvictionPolicy) {
+	s.mu.Lock()
+	s.evict = p
+	s.mu.Unlock()
+}
+
+// SetEvictPlanner installs (or, with nil, removes) a global evict-set
+// planner consulted by EvictColdest before the greedy per-entry loop. See
+// EvictPlanner for the contract.
+func (s *Store) SetEvictPlanner(p EvictPlanner) {
+	s.mu.Lock()
+	s.planner = p
+	s.mu.Unlock()
 }
 
 // writeFile writes one payload to path: framed stores prepend the
@@ -306,6 +397,12 @@ func (s *Store) writeFile(path string, payload []byte) error {
 // the bytes are fully written before PutEncoded returns.
 func (s *Store) PutEncoded(key string, enc *Encoded) error {
 	return s.PutBytes(key, enc.Bytes())
+}
+
+// PutEncodedHint is PutEncoded with a recompute-saving hint (see
+// PutBytesHint).
+func (s *Store) PutEncodedHint(key string, enc *Encoded, hint RewardHint) error {
+	return s.PutBytesHint(key, enc.Bytes(), hint)
 }
 
 // Put encodes and stores a value.
@@ -468,31 +565,66 @@ func (s *Store) Touch(key string) {
 	s.mu.Unlock()
 }
 
-// coldestFirst snapshots the entries least-recently-accessed-first.
-// Callers must hold mu. O(n log n) per call, fine at workflow scale (tens
-// to hundreds of entries); a recency heap would be the upgrade if tier
-// populations grow by orders of magnitude (see the ROADMAP's
-// eviction-policy follow-on).
-func (s *Store) coldestFirst() []*Entry {
-	byAge := make([]*Entry, 0, len(s.entries))
-	for _, e := range s.entries {
-		byAge = append(byAge, e)
+// saving is the entry's eviction reward: the nanoseconds a future consumer
+// saves by loading it instead of recomputing it. Unknown recompute costs
+// (and entries cheaper to recompute than to load) save nothing.
+func (e *Entry) saving() int64 {
+	s := e.Recompute - e.LoadCost.Nanoseconds()
+	if e.Recompute <= 0 || s < 0 {
+		return 0
 	}
-	sort.Slice(byAge, func(i, j int) bool {
-		if !byAge[i].LastAccess.Equal(byAge[j].LastAccess) {
-			return byAge[i].LastAccess.Before(byAge[j].LastAccess)
-		}
-		return byAge[i].Key < byAge[j].Key // deterministic tie-break
-	})
-	return byAge
+	return s
 }
 
-// VictimCandidates returns the least-recently-accessed entries whose
-// removal would bring the free budget up to need bytes — a snapshot, with
-// nothing removed. The tiered store demotes candidates copy-then-delete
-// (write the bytes to the cold tier, then Delete here), so a mid-demotion
-// key is never absent from both tiers. Empty on an unbudgeted store or
-// when need already fits.
+// savingPerByte normalizes the eviction reward by size, so a huge blob with
+// a modest saving ranks below a tiny one guarding an expensive sub-DAG.
+func (e *Entry) savingPerByte() float64 {
+	sv := e.saving()
+	if sv == 0 {
+		return 0
+	}
+	if e.Size <= 0 {
+		// A zero-byte entry with a positive saving is infinitely cheap to
+		// keep; rank it last.
+		return float64(sv) * float64(time.Second)
+	}
+	return float64(sv) / float64(e.Size)
+}
+
+// victimOrder snapshots the entries best-victim-first under the configured
+// eviction policy: EvictReward orders by smallest saving-per-byte with
+// recency (then key) as the tie-break, so a tier full of unhinted entries
+// behaves exactly like LRU; EvictLRU orders purely by recency.
+// Callers must hold mu. O(n log n) per call, fine at workflow scale (tens
+// to hundreds of entries); a priority heap would be the upgrade if tier
+// populations grow by orders of magnitude.
+func (s *Store) victimOrder() []*Entry {
+	victims := make([]*Entry, 0, len(s.entries))
+	for _, e := range s.entries {
+		victims = append(victims, e)
+	}
+	reward := s.evict == EvictReward
+	sort.Slice(victims, func(i, j int) bool {
+		if reward {
+			si, sj := victims[i].savingPerByte(), victims[j].savingPerByte()
+			if si != sj {
+				return si < sj
+			}
+		}
+		if !victims[i].LastAccess.Equal(victims[j].LastAccess) {
+			return victims[i].LastAccess.Before(victims[j].LastAccess)
+		}
+		return victims[i].Key < victims[j].Key // deterministic tie-break
+	})
+	return victims
+}
+
+// VictimCandidates returns the best eviction victims (see victimOrder)
+// whose removal would bring the free budget up to need bytes — a snapshot,
+// with nothing removed. The tiered store demotes candidates
+// copy-then-delete (write the bytes to the cold tier, then Delete here), so
+// a mid-demotion key is never absent from both tiers. Empty on an
+// unbudgeted store or when need already fits.
 func (s *Store) VictimCandidates(need int64) []Entry {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -501,7 +633,7 @@ func (s *Store) VictimCandidates(need int64) []Entry {
 	}
 	free := s.budget - s.used
 	var victims []Entry
-	for _, e := range s.coldestFirst() {
+	for _, e := range s.victimOrder() {
 		if free >= need {
 			break
 		}
@@ -511,14 +643,16 @@ func (s *Store) VictimCandidates(need int64) []Entry {
 	return victims
 }
 
-// EvictColdest removes least-recently-accessed entries until the free
-// budget reaches need bytes, deleting their files outright, and returns
-// the evicted entries. The spill tier uses it to admit new values; an
-// evicted value is gone. Pinned entries (keys the current run still plans
-// to load) are never victims, so within-run eviction cannot delete a value
-// the plan depends on — if only pinned entries remain, the admission simply
-// fails its budget check instead. On an unbudgeted store, or when need
-// already fits, nothing is evicted.
+// EvictColdest removes the cheapest-to-lose entries (see victimOrder)
+// until the free budget reaches need bytes, deleting their files outright,
+// and returns the evicted entries. The spill tier uses it to admit new
+// values; an evicted value is gone. Pinned entries (keys the current run
+// still plans to load) are never victims, so within-run eviction cannot
+// delete a value the plan depends on — if only pinned entries remain, the
+// admission simply fails its budget check instead. An installed
+// EvictPlanner is consulted first with the unpinned candidates; the greedy
+// loop then frees whatever the planned set left short. On an unbudgeted
+// store, or when need already fits, nothing is evicted.
 func (s *Store) EvictColdest(need int64) []Entry {
 	s.mu.Lock()
 	if s.budget <= 0 || s.budget-s.used >= need {
@@ -526,7 +660,26 @@ func (s *Store) EvictColdest(need int64) []Entry {
 		return nil
 	}
 	var victims []Entry
-	for _, e := range s.coldestFirst() {
+	if s.planner != nil {
+		cands := make([]Entry, 0, len(s.entries))
+		for _, e := range s.entries {
+			if s.pins[e.Key] == 0 {
+				cands = append(cands, *e)
+			}
+		}
+		sort.Slice(cands, func(i, j int) bool { return cands[i].Key < cands[j].Key })
+		shortfall := need - (s.budget - s.used)
+		for _, key := range s.planner(cands, shortfall) {
+			e, ok := s.entries[key]
+			if !ok || s.pins[key] > 0 {
+				continue // planner returned a stale or protected key; skip it
+			}
+			delete(s.entries, key)
+			s.used -= e.Size
+			victims = append(victims, *e)
+		}
+	}
+	for _, e := range s.victimOrder() {
 		if s.budget-s.used >= need {
 			break
 		}
@@ -542,6 +695,18 @@ func (s *Store) EvictColdest(need int64) []Entry {
 		os.Remove(s.path(v.Key))
 	}
 	return victims
+}
+
+// evictableBytes sums the sizes of unpinned entries — the most an eviction
+// pass could possibly free. Callers must hold mu (read or write).
+func (s *Store) evictableBytes() int64 {
+	var total int64
+	for _, e := range s.entries {
+		if s.pins[e.Key] == 0 {
+			total += e.Size
+		}
+	}
+	return total
 }
 
 // Has reports whether key is stored.

@@ -228,13 +228,21 @@ func (t *Tiered) EstimateLoad(size int64) time.Duration {
 // tier when the hot budget rejects the value. Returns the tier the value
 // landed in.
 func (t *Tiered) PutBytes(key string, raw []byte) (Tier, error) {
+	return t.PutBytesHint(key, raw, RewardHint{})
+}
+
+// PutBytesHint is PutBytes with a recompute-saving hint (see RewardHint)
+// that travels with the value into whichever tier admits it — and onward
+// through later demotions and promotions — feeding the cold tier's
+// reward-aware eviction.
+func (t *Tiered) PutBytesHint(key string, raw []byte, hint RewardHint) (Tier, error) {
 	// Snapshot presence before the put: the stale-cold cleanup below must
 	// only run for a genuinely new hot admission. For a key that was
 	// already hot, an idempotent re-put must not touch the cold tier — a
 	// concurrent demotion of that key may be mid-copy there, and deleting
 	// its fresh cold copy would strand the key in no tier.
 	existedHot := t.cold != nil && t.hot.Has(key)
-	err := t.hot.PutBytes(key, raw)
+	err := t.hot.PutBytesHint(key, raw, hint)
 	if err == nil {
 		if t.cold != nil && !existedHot {
 			// Keep the one-tier invariant: a stale cold copy (the key was
@@ -251,6 +259,7 @@ func (t *Tiered) PutBytes(key string, raw []byte) (Tier, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.cold.Has(key) {
+		t.cold.SetHint(key, hint)
 		return TierCold, nil // idempotent re-admission, like Store.PutBytes
 	}
 	if !t.brk.allow() {
@@ -258,7 +267,7 @@ func (t *Tiered) PutBytes(key string, raw []byte) (Tier, error) {
 		// stands — the value is simply not materialized this run.
 		return TierNone, err
 	}
-	if cerr := t.cold.PutBytes(key, raw); cerr != nil {
+	if cerr := t.cold.PutBytesHint(key, raw, hint); cerr != nil {
 		t.coldPutResult(cerr)
 		return TierNone, fmt.Errorf("store: spill %s: %w", key, cerr)
 	}
@@ -271,6 +280,22 @@ func (t *Tiered) PutBytes(key string, raw []byte) (Tier, error) {
 // enc), spilling on hot-tier rejection. No tier re-encodes the value.
 func (t *Tiered) PutEncoded(key string, enc *Encoded) (Tier, error) {
 	return t.PutBytes(key, enc.Bytes())
+}
+
+// PutEncodedHint is PutEncoded with a recompute-saving hint (see
+// PutBytesHint).
+func (t *Tiered) PutEncodedHint(key string, enc *Encoded, hint RewardHint) (Tier, error) {
+	return t.PutBytesHint(key, enc.Bytes(), hint)
+}
+
+// SetHint refreshes the recompute-saving hint on whichever tier currently
+// holds key (both, for a key mid-migration). A no-op for a zero hint or an
+// unknown key.
+func (t *Tiered) SetHint(key string, hint RewardHint) {
+	t.hot.SetHint(key, hint)
+	if t.cold != nil {
+		t.cold.SetHint(key, hint)
+	}
 }
 
 // Get loads and decodes the value for key: a hot hit is served lock-free;
@@ -367,14 +392,22 @@ func (t *Tiered) promoteLocked(key string, raw []byte) {
 	}
 	// Freshen the promoted key's cold recency first: the demotions below
 	// can trigger cold-tier evictions, and without this the key — read via
-	// the recency-neutral read() — could be the cold tier's own LRU victim.
+	// the recency-neutral read() — could be the cold tier's own eviction
+	// victim. Capture its recompute hint too, so promotion carries it into
+	// the hot tier (and a failed promotion re-admits it unchanged).
 	t.cold.s.Touch(key)
+	var hint RewardHint
+	if ce, ok := t.cold.Lookup(key); ok {
+		hint.RecomputeNanos = ce.Recompute
+	}
 	for _, v := range t.hot.VictimCandidates(size) {
 		vraw, _, err := t.hot.read(v.Key)
 		if err != nil {
 			continue // unreadable victim; leave its entry alone
 		}
-		if err := t.cold.PutBytes(v.Key, vraw); err != nil {
+		// The demoted entry keeps its recompute hint: the cold tier's
+		// reward-aware eviction ranks it by the same saving it had hot.
+		if err := t.cold.PutBytesHint(v.Key, vraw, RewardHint{RecomputeNanos: v.Recompute}); err != nil {
 			t.coldPutResult(err)
 			continue // cold cannot hold it (whole-budget overflow); stays hot
 		}
@@ -383,14 +416,14 @@ func (t *Tiered) promoteLocked(key string, raw []byte) {
 			t.evictions.Add(1)
 		}
 	}
-	if err := t.hot.PutBytes(key, raw); err != nil {
+	if err := t.hot.PutBytesHint(key, raw, hint); err != nil {
 		// Still no room (undemotable victims, or a concurrent lock-free
 		// admission claimed what the demotions freed): the value stays
 		// cold. Re-admit the bytes in hand — the demotion churn above may
 		// have evicted the key's cold entry, and returning with the key in
 		// no tier would break the always-in-some-tier invariant.
 		if !t.cold.Has(key) {
-			t.coldPutResult(t.cold.PutBytes(key, raw))
+			t.coldPutResult(t.cold.PutBytesHint(key, raw, hint))
 		}
 		return
 	}
