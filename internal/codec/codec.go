@@ -24,14 +24,27 @@ type Writer struct {
 // Bytes returns the accumulated encoding.
 func (w *Writer) Bytes() []byte { return w.buf }
 
+// Reset truncates the writer, keeping the backing array for reuse.
+func (w *Writer) Reset() { w.buf = w.buf[:0] }
+
 // Uvarint appends an unsigned varint.
 func (w *Writer) Uvarint(x uint64) {
 	w.buf = binary.AppendUvarint(w.buf, x)
 }
 
-// Int appends a non-negative int as a uvarint. Negative values are a caller
-// bug and panic (lengths and indices are never negative).
+// Int appends a signed int as a zigzag varint, so negative values are
+// first-class (small magnitudes stay small on the wire regardless of sign).
+// Paired with Reader.Int; lengths go through Len instead, which stays a
+// plain uvarint so the reader's buffer guard applies.
 func (w *Writer) Int(x int) {
+	v := int64(x)
+	w.Uvarint(uint64(v<<1) ^ uint64(v>>63))
+}
+
+// Len appends a non-negative collection or byte length as a plain uvarint.
+// Negative values are a caller bug and panic (lengths are never negative).
+// Paired with Reader.Len.
+func (w *Writer) Len(x int) {
 	if x < 0 {
 		panic(fmt.Sprintf("codec: negative length %d", x))
 	}
@@ -45,7 +58,7 @@ func (w *Writer) Float64(f float64) {
 
 // String appends a length-prefixed string.
 func (w *Writer) String(s string) {
-	w.Int(len(s))
+	w.Len(len(s))
 	w.buf = append(w.buf, s...)
 }
 
@@ -73,16 +86,13 @@ func (r *Reader) Uvarint() (uint64, error) {
 	return x, nil
 }
 
-// Int reads a non-negative int (an index or scalar, not a length).
+// Int reads a zigzag-encoded signed int (an index or scalar, not a length).
 func (r *Reader) Int() (int, error) {
 	x, err := r.Uvarint()
 	if err != nil {
 		return 0, err
 	}
-	if x > math.MaxInt64/2 {
-		return 0, fmt.Errorf("codec: int %d out of range", x)
-	}
-	return int(x), nil
+	return int(int64(x>>1) ^ -int64(x&1)), nil
 }
 
 // Len reads a collection or byte length, additionally guarding against

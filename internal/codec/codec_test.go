@@ -44,14 +44,38 @@ func TestPrimitivesRoundTrip(t *testing.T) {
 	}
 }
 
-func TestNegativeIntPanics(t *testing.T) {
+func TestSignedIntRoundTrip(t *testing.T) {
+	cases := []int{0, -1, 1, -2, 63, -64, 12345, -12345, math.MaxInt64, math.MinInt64}
+	var w Writer
+	for _, c := range cases {
+		w.Int(c)
+	}
+	r := NewReader(w.Bytes())
+	for _, want := range cases {
+		got, err := r.Int()
+		if err != nil || got != want {
+			t.Errorf("Int round-trip: got %d, %v (want %d)", got, err, want)
+		}
+	}
+	if !r.Done() {
+		t.Error("reader not exhausted")
+	}
+	// Small magnitudes stay small on the wire regardless of sign.
+	var w2 Writer
+	w2.Int(-1)
+	if n := len(w2.Bytes()); n != 1 {
+		t.Errorf("Int(-1) encoded in %d bytes, want 1", n)
+	}
+}
+
+func TestNegativeLenPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {
-			t.Error("no panic on negative int")
+			t.Error("no panic on negative length")
 		}
 	}()
 	var w Writer
-	w.Int(-1)
+	w.Len(-1)
 }
 
 func TestTruncationErrors(t *testing.T) {
@@ -80,16 +104,11 @@ func TestLenBufferGuard(t *testing.T) {
 	if _, err := r.Len(); err == nil {
 		t.Error("oversized length accepted by Len")
 	}
-	// Int accepts large scalars that fit an int64...
-	r2 := NewReader(w.Bytes())
-	if v, err := r2.Int(); err != nil || v != 1<<50 {
+	// Int accepts large scalars that fit an int64 (zigzag: even = positive).
+	var wi Writer
+	wi.Int(1 << 50)
+	if v, err := NewReader(wi.Bytes()).Int(); err != nil || v != 1<<50 {
 		t.Errorf("Int(1<<50) = %d, %v", v, err)
-	}
-	// ...but rejects values that could overflow downstream arithmetic.
-	var w2 Writer
-	w2.Uvarint(1 << 63)
-	if _, err := NewReader(w2.Bytes()).Int(); err == nil {
-		t.Error("overflowing scalar accepted by Int")
 	}
 }
 

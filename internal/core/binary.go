@@ -1,0 +1,315 @@
+package core
+
+import (
+	"repro/internal/codec"
+	"repro/internal/data"
+	"repro/internal/ml"
+)
+
+// Binary value codec registrations for the pipeline composite values and the
+// ML model types they carry (see codec.EncodeValue). FittedExtractor holds
+// an interface; its payload recurses through codec.EncodeValue, so the
+// concrete extractor types register in internal/data.
+
+func init() {
+	codec.RegisterValue(TextPair{}, "core.TextPair",
+		func(w *codec.Writer, v any) error {
+			p := v.(TextPair)
+			w.String(p.Train)
+			w.String(p.Test)
+			return nil
+		},
+		func(r *codec.Reader) (any, error) {
+			var p TextPair
+			var err error
+			if p.Train, err = r.String(); err != nil {
+				return nil, err
+			}
+			if p.Test, err = r.String(); err != nil {
+				return nil, err
+			}
+			return p, nil
+		})
+	codec.RegisterValue(CollectionPair{}, "core.CollectionPair",
+		func(w *codec.Writer, v any) error {
+			p := v.(CollectionPair)
+			if err := codec.EncodeValue(w, p.Train); err != nil {
+				return err
+			}
+			return codec.EncodeValue(w, p.Test)
+		},
+		func(r *codec.Reader) (any, error) {
+			train, err := codec.DecodeValue(r)
+			if err != nil {
+				return nil, err
+			}
+			test, err := codec.DecodeValue(r)
+			if err != nil {
+				return nil, err
+			}
+			return CollectionPair{Train: train.(*data.Collection), Test: test.(*data.Collection)}, nil
+		})
+	codec.RegisterValue(FittedExtractor{}, "core.FittedExtractor",
+		func(w *codec.Writer, v any) error {
+			return codec.EncodeValue(w, v.(FittedExtractor).Ex)
+		},
+		func(r *codec.Reader) (any, error) {
+			ex, err := codec.DecodeValue(r)
+			if err != nil {
+				return nil, err
+			}
+			e, ok := ex.(data.Extractor)
+			if !ok {
+				return nil, codec.ErrUnregistered
+			}
+			return FittedExtractor{Ex: e}, nil
+		})
+	codec.RegisterValue(FeatureColumn{}, "core.FeatureColumn",
+		func(w *codec.Writer, v any) error {
+			fc := v.(FeatureColumn)
+			table := codec.NewStringTable()
+			data.EncodeFeatureMapsSorted(w, table, fc.Train)
+			data.EncodeFeatureMapsSorted(w, table, fc.Test)
+			return nil
+		},
+		func(r *codec.Reader) (any, error) {
+			table := codec.NewReadStringTable()
+			train, err := data.DecodeFeatureMapsSorted(r, table)
+			if err != nil {
+				return nil, err
+			}
+			test, err := data.DecodeFeatureMapsSorted(r, table)
+			if err != nil {
+				return nil, err
+			}
+			return FeatureColumn{Train: train, Test: test}, nil
+		})
+	codec.RegisterValue(VecPair{}, "core.VecPair",
+		func(w *codec.Writer, v any) error {
+			vp := v.(VecPair)
+			data.EncodeLabeled(w, vp.Train)
+			data.EncodeLabeled(w, vp.Test)
+			w.Int(vp.Dim)
+			w.Len(len(vp.Names))
+			for _, n := range vp.Names {
+				w.String(n)
+			}
+			return nil
+		},
+		func(r *codec.Reader) (any, error) {
+			var vp VecPair
+			var err error
+			if vp.Train, err = data.DecodeLabeled(r); err != nil {
+				return nil, err
+			}
+			if vp.Test, err = data.DecodeLabeled(r); err != nil {
+				return nil, err
+			}
+			if vp.Dim, err = r.Int(); err != nil {
+				return nil, err
+			}
+			nn, err := r.Len()
+			if err != nil {
+				return nil, err
+			}
+			vp.Names = make([]string, nn)
+			for i := range vp.Names {
+				if vp.Names[i], err = r.String(); err != nil {
+					return nil, err
+				}
+			}
+			return vp, nil
+		})
+	codec.RegisterValue(Predictions{}, "core.Predictions",
+		func(w *codec.Writer, v any) error {
+			p := v.(Predictions)
+			for _, arr := range [][]float64{p.Scores, p.Labels, p.Gold} {
+				w.Len(len(arr))
+				for _, x := range arr {
+					w.Float64(x)
+				}
+			}
+			return nil
+		},
+		func(r *codec.Reader) (any, error) {
+			var p Predictions
+			for _, dst := range []*[]float64{&p.Scores, &p.Labels, &p.Gold} {
+				n, err := r.Len()
+				if err != nil {
+					return nil, err
+				}
+				arr := make([]float64, n)
+				for i := range arr {
+					if arr[i], err = r.Float64(); err != nil {
+						return nil, err
+					}
+				}
+				*dst = arr
+			}
+			return p, nil
+		})
+	codec.RegisterValue(&ml.LinearModel{}, "ml.*LinearModel",
+		func(w *codec.Writer, v any) error {
+			m := v.(*ml.LinearModel)
+			w.String(m.Kind)
+			w.Float64(m.Bias)
+			w.Len(len(m.Weights))
+			for _, x := range m.Weights {
+				w.Float64(x)
+			}
+			return nil
+		},
+		func(r *codec.Reader) (any, error) {
+			var m ml.LinearModel
+			var err error
+			if m.Kind, err = r.String(); err != nil {
+				return nil, err
+			}
+			if m.Bias, err = r.Float64(); err != nil {
+				return nil, err
+			}
+			n, err := r.Len()
+			if err != nil {
+				return nil, err
+			}
+			m.Weights = make([]float64, n)
+			for i := range m.Weights {
+				if m.Weights[i], err = r.Float64(); err != nil {
+					return nil, err
+				}
+			}
+			return &m, nil
+		})
+	codec.RegisterValue(&ml.NaiveBayes{}, "ml.*NaiveBayes",
+		func(w *codec.Writer, v any) error {
+			m := v.(*ml.NaiveBayes)
+			w.Int(m.Dim)
+			w.Float64(m.LogPrior[0])
+			w.Float64(m.LogPrior[1])
+			for c := 0; c < 2; c++ {
+				w.Len(len(m.LogLik[c]))
+				for _, x := range m.LogLik[c] {
+					w.Float64(x)
+				}
+			}
+			return nil
+		},
+		func(r *codec.Reader) (any, error) {
+			var m ml.NaiveBayes
+			var err error
+			if m.Dim, err = r.Int(); err != nil {
+				return nil, err
+			}
+			if m.LogPrior[0], err = r.Float64(); err != nil {
+				return nil, err
+			}
+			if m.LogPrior[1], err = r.Float64(); err != nil {
+				return nil, err
+			}
+			for c := 0; c < 2; c++ {
+				n, err := r.Len()
+				if err != nil {
+					return nil, err
+				}
+				ll := make([]float64, n)
+				for i := range ll {
+					if ll[i], err = r.Float64(); err != nil {
+						return nil, err
+					}
+				}
+				m.LogLik[c] = ll
+			}
+			return &m, nil
+		})
+	codec.RegisterValue(&ml.KMeans{}, "ml.*KMeans",
+		func(w *codec.Writer, v any) error { encodeKMeans(w, v.(*ml.KMeans)); return nil },
+		func(r *codec.Reader) (any, error) { return decodeKMeans(r) })
+	codec.RegisterValue(ClusterResult{}, "core.ClusterResult",
+		func(w *codec.Writer, v any) error {
+			cr := v.(ClusterResult)
+			encodeKMeans(w, cr.Model)
+			w.Len(len(cr.TestAssign))
+			for _, a := range cr.TestAssign {
+				w.Int(a)
+			}
+			w.Float64(cr.Inertia)
+			return nil
+		},
+		func(r *codec.Reader) (any, error) {
+			var cr ClusterResult
+			var err error
+			if cr.Model, err = decodeKMeans(r); err != nil {
+				return nil, err
+			}
+			n, err := r.Len()
+			if err != nil {
+				return nil, err
+			}
+			cr.TestAssign = make([]int, n)
+			for i := range cr.TestAssign {
+				if cr.TestAssign[i], err = r.Int(); err != nil {
+					return nil, err
+				}
+			}
+			if cr.Inertia, err = r.Float64(); err != nil {
+				return nil, err
+			}
+			return cr, nil
+		})
+	codec.RegisterValue(ml.Metrics{}, "ml.Metrics",
+		func(w *codec.Writer, v any) error {
+			m := v.(ml.Metrics)
+			w.Float64(m.Accuracy)
+			w.Float64(m.Precision)
+			w.Float64(m.Recall)
+			w.Float64(m.F1)
+			w.Float64(m.LogLoss)
+			w.Int(m.N)
+			return nil
+		},
+		func(r *codec.Reader) (any, error) {
+			var m ml.Metrics
+			var err error
+			for _, dst := range []*float64{&m.Accuracy, &m.Precision, &m.Recall, &m.F1, &m.LogLoss} {
+				if *dst, err = r.Float64(); err != nil {
+					return nil, err
+				}
+			}
+			if m.N, err = r.Int(); err != nil {
+				return nil, err
+			}
+			return m, nil
+		})
+}
+
+func encodeKMeans(w *codec.Writer, m *ml.KMeans) {
+	w.Len(len(m.Centers))
+	for _, c := range m.Centers {
+		w.Len(len(c))
+		for _, x := range c {
+			w.Float64(x)
+		}
+	}
+}
+
+func decodeKMeans(r *codec.Reader) (*ml.KMeans, error) {
+	n, err := r.Len()
+	if err != nil {
+		return nil, err
+	}
+	centers := make([][]float64, n)
+	for i := range centers {
+		k, err := r.Len()
+		if err != nil {
+			return nil, err
+		}
+		c := make([]float64, k)
+		for j := range c {
+			if c[j], err = r.Float64(); err != nil {
+				return nil, err
+			}
+		}
+		centers[i] = c
+	}
+	return &ml.KMeans{Centers: centers}, nil
+}

@@ -41,7 +41,7 @@ func (vp VecPair) GobEncode() ([]byte, error) {
 	data.EncodeLabeled(&w, vp.Train)
 	data.EncodeLabeled(&w, vp.Test)
 	w.Int(vp.Dim)
-	w.Int(len(vp.Names))
+	w.Len(len(vp.Names))
 	for _, n := range vp.Names {
 		w.String(n)
 	}
@@ -81,7 +81,7 @@ func (vp *VecPair) GobDecode(raw []byte) error {
 func (p Predictions) GobEncode() ([]byte, error) {
 	var w codec.Writer
 	for _, arr := range [][]float64{p.Scores, p.Labels, p.Gold} {
-		w.Int(len(arr))
+		w.Len(len(arr))
 		for _, v := range arr {
 			w.Float64(v)
 		}
@@ -93,7 +93,7 @@ func (p Predictions) GobEncode() ([]byte, error) {
 func (p *Predictions) GobDecode(raw []byte) error {
 	r := codec.NewReader(raw)
 	for _, dst := range []*[]float64{&p.Scores, &p.Labels, &p.Gold} {
-		n, err := r.Int()
+		n, err := r.Len()
 		if err != nil {
 			return err
 		}

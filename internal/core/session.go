@@ -75,6 +75,15 @@ type Config struct {
 	// classification. The zero value disables retries and deadlines (one
 	// attempt, fail-fast — the historical behaviour).
 	Faults exec.FaultPolicy
+	// Codec selects the value serialization format (see store.Codec). The
+	// zero value resolves to the reflection-free binary codec;
+	// store.CodecGob forces the reflective A/B reference.
+	Codec store.Codec
+	// MmapCold serves cold-tier reads zero-copy from a read-only memory
+	// mapping instead of a buffered file read (store.OpenSpillMmap).
+	// Requires SpillDir; buffered fallback applies per-file and on
+	// platforms without mmap support.
+	MmapCold bool
 }
 
 // Session drives iterative development: one Session per developer working
@@ -111,7 +120,11 @@ func NewSession(cfg Config) (*Session, error) {
 		}
 		s.store = st
 		if cfg.SpillDir != "" {
-			sp, err := store.OpenSpill(cfg.SpillDir, cfg.SpillBudgetBytes)
+			openSpill := store.OpenSpill
+			if cfg.MmapCold {
+				openSpill = store.OpenSpillMmap
+			}
+			sp, err := openSpill(cfg.SpillDir, cfg.SpillBudgetBytes)
 			if err != nil {
 				return nil, err
 			}
@@ -134,6 +147,7 @@ func NewSession(cfg Config) (*Session, error) {
 		ReleaseIntermediates: !cfg.KeepIntermediates,
 		LiveBytes:            &s.live,
 		Faults:               cfg.Faults,
+		Codec:                cfg.Codec,
 	}
 	return s, nil
 }
@@ -191,7 +205,16 @@ type Report struct {
 	Recomputes    int64
 	CorruptFrames int64
 	TierDisabled  bool
-	SourceText    string
+	// GobEncodes and BinaryEncodes split this iteration's materialization
+	// encodes by the codec that actually produced the bytes (gob includes
+	// the binary codec's fallback for unregistered types).
+	GobEncodes    int64
+	BinaryEncodes int64
+	// MmapColdReads and BufferedColdReads split this iteration's cold-tier
+	// loads by read path (zero-copy memory mapping vs buffered file read).
+	MmapColdReads     int64
+	BufferedColdReads int64
+	SourceText        string
 }
 
 // Counts tallies node states in the executed plan.
@@ -253,24 +276,28 @@ func (s *Session) Run(w *Workflow) (*Report, error) {
 	s.iter++
 	s.prev = compiled
 	rep := &Report{
-		Iteration:     s.iter,
-		System:        s.cfg.SystemName,
-		Workflow:      w.Name(),
-		Wall:          res.Wall,
-		PlanCost:      plan.Cost,
-		Graph:         compiled.Graph,
-		Plan:          plan,
-		Nodes:         res.Nodes,
-		Changes:       changes,
-		Outputs:       outputs,
-		Spills:        res.Spills,
-		Promotions:    res.Promotions,
-		Evictions:     res.Evictions,
-		Retries:       res.Retries,
-		Recomputes:    res.Recomputes,
-		CorruptFrames: res.CorruptFrames,
-		TierDisabled:  res.TierDisabled,
-		SourceText:    w.SourceText(),
+		Iteration:         s.iter,
+		System:            s.cfg.SystemName,
+		Workflow:          w.Name(),
+		Wall:              res.Wall,
+		PlanCost:          plan.Cost,
+		Graph:             compiled.Graph,
+		Plan:              plan,
+		Nodes:             res.Nodes,
+		Changes:           changes,
+		Outputs:           outputs,
+		Spills:            res.Spills,
+		Promotions:        res.Promotions,
+		Evictions:         res.Evictions,
+		Retries:           res.Retries,
+		Recomputes:        res.Recomputes,
+		CorruptFrames:     res.CorruptFrames,
+		TierDisabled:      res.TierDisabled,
+		GobEncodes:        res.GobEncodes,
+		BinaryEncodes:     res.BinaryEncodes,
+		MmapColdReads:     res.MmapColdReads,
+		BufferedColdReads: res.BufferedColdReads,
+		SourceText:        w.SourceText(),
 	}
 	if s.store != nil {
 		rep.StoreUsed = s.store.Used()

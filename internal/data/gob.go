@@ -16,11 +16,11 @@ import (
 func (c *Collection) GobEncode() ([]byte, error) {
 	var w codec.Writer
 	names := c.Schema.Names()
-	w.Int(len(names))
+	w.Len(len(names))
 	for _, n := range names {
 		w.String(n)
 	}
-	w.Int(len(c.Rows))
+	w.Len(len(c.Rows))
 	table := codec.NewStringTable()
 	for _, row := range c.Rows {
 		if len(row.Fields) != len(names) {
@@ -70,13 +70,54 @@ func (c *Collection) GobDecode(raw []byte) error {
 	return nil
 }
 
+// GobEncode serializes the dictionary as its dense name order plus the
+// frozen flag, mirroring the binary codec so the gob reference path covers
+// every registered value type.
+func (d *Dictionary) GobEncode() ([]byte, error) {
+	var w codec.Writer
+	w.Len(len(d.names))
+	for _, n := range d.names {
+		w.String(n)
+	}
+	if d.frozen {
+		w.Uvarint(1)
+	} else {
+		w.Uvarint(0)
+	}
+	return w.Bytes(), nil
+}
+
+// GobDecode reverses GobEncode, rebuilding the name index.
+func (d *Dictionary) GobDecode(raw []byte) error {
+	r := codec.NewReader(raw)
+	n, err := r.Len()
+	if err != nil {
+		return err
+	}
+	nd := NewDictionary()
+	for i := 0; i < n; i++ {
+		name, err := r.String()
+		if err != nil {
+			return err
+		}
+		nd.Add(name)
+	}
+	frozen, err := r.Uvarint()
+	if err != nil {
+		return err
+	}
+	nd.frozen = frozen != 0
+	*d = *nd
+	return nil
+}
+
 // EncodeFeatureMaps writes a slice of feature maps through the codec with a
 // shared string table. Exposed for the composite value types (feature
 // columns, example sets) that embed map slices.
 func EncodeFeatureMaps(w *codec.Writer, table *codec.StringTable, maps []FeatureMap) {
-	w.Int(len(maps))
+	w.Len(len(maps))
 	for _, fm := range maps {
-		w.Int(len(fm))
+		w.Len(len(fm))
 		for name, val := range fm {
 			table.Write(w, name)
 			w.Float64(val)
@@ -115,10 +156,10 @@ func DecodeFeatureMaps(r *codec.Reader, table *codec.ReadStringTable) ([]Feature
 
 // EncodeLabeled writes vectorized examples as flat arrays.
 func EncodeLabeled(w *codec.Writer, set []Labeled) {
-	w.Int(len(set))
+	w.Len(len(set))
 	for _, ex := range set {
 		w.Float64(ex.Y)
-		w.Int(len(ex.X.Indices))
+		w.Len(len(ex.X.Indices))
 		for _, i := range ex.X.Indices {
 			w.Int(i)
 		}

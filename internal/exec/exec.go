@@ -146,6 +146,19 @@ type Result struct {
 	// the circuit breaker during (or before) this run, degrading the store
 	// to hot-only.
 	TierDisabled bool
+	// GobEncodes counts values this run serialized through reflective gob —
+	// either because Engine.Codec selected it or as the binary codec's
+	// fallback for unregistered types.
+	GobEncodes int64
+	// BinaryEncodes counts values this run serialized through the
+	// reflection-free binary codec (codec.EncodeValue).
+	BinaryEncodes int64
+	// MmapColdReads counts cold-tier loads this run served zero-copy from a
+	// memory mapping (store.OpenSpillMmap; always 0 otherwise).
+	MmapColdReads int64
+	// BufferedColdReads counts cold-tier loads this run that took the
+	// buffered os.ReadFile path.
+	BufferedColdReads int64
 }
 
 // Value returns the value of the named node, if present.
@@ -423,6 +436,11 @@ type Engine struct {
 	// wide DAGs (dataflow scheduler only). Off by default, so Result.Values
 	// holds every non-pruned node's value.
 	ReleaseIntermediates bool
+	// Codec selects the value serialization format for this engine's
+	// materializations (see store.Codec). The zero value (CodecAuto)
+	// resolves to the reflection-free binary codec; CodecGob forces the
+	// reflective A/B reference.
+	Codec store.Codec
 	// LiveBytes, when non-nil, tracks the serialized-size estimate of the
 	// values held in Result.Values while a dataflow Execute runs: sizes are
 	// added as values are published (exact entry sizes for loads, history
@@ -435,6 +453,22 @@ type Engine struct {
 	// lazily (CAS-guarded, so any caller — including a TierCounters racing
 	// the first Execute — converges on one shared view and its counters).
 	tierView atomic.Pointer[store.Tiered]
+
+	// Per-engine encode counters by codec actually used. Engine-local (not
+	// the store package's process-wide counters) so concurrent engines in
+	// one process cannot misattribute each other's encodes in Result.
+	gobEncs    atomic.Int64
+	binaryEncs atomic.Int64
+}
+
+// countEncode attributes one materialization encode to the codec that
+// actually produced the bytes.
+func (e *Engine) countEncode(c store.Codec) {
+	if c == store.CodecBinary {
+		e.binaryEncs.Add(1)
+	} else {
+		e.gobEncs.Add(1)
+	}
 }
 
 // tiers returns the engine's tiered store view, building it on first use.
@@ -623,6 +657,7 @@ func (e *Engine) ExecuteCtx(ctx context.Context, g *dag.Graph, tasks []Task, pla
 	if e.Store != nil {
 		before = e.tiers().Counters()
 	}
+	gobBefore, binBefore := e.gobEncs.Load(), e.binaryEncs.Load()
 	stats := &faultStats{}
 	// Pin every planned-load key before dispatch so the spill tier's
 	// within-run eviction cannot delete a value the plan depends on; each
@@ -643,6 +678,8 @@ func (e *Engine) ExecuteCtx(ctx context.Context, g *dag.Graph, tasks []Task, pla
 	if res != nil {
 		res.Retries = stats.retries.Load()
 		res.Recomputes = stats.recomputes.Load()
+		res.GobEncodes = e.gobEncs.Load() - gobBefore
+		res.BinaryEncodes = e.binaryEncs.Load() - binBefore
 	}
 	if res != nil && e.Store != nil {
 		after := e.tiers().Counters()
@@ -650,6 +687,8 @@ func (e *Engine) ExecuteCtx(ctx context.Context, g *dag.Graph, tasks []Task, pla
 		res.Promotions = after.Promotions - before.Promotions
 		res.Evictions = after.Evictions - before.Evictions
 		res.CorruptFrames = after.CorruptFrames - before.CorruptFrames
+		res.MmapColdReads = after.MmapColdReads - before.MmapColdReads
+		res.BufferedColdReads = after.BufferedColdReads - before.BufferedColdReads
 		res.TierDisabled = after.BreakerTrips > before.BreakerTrips || e.tiers().TierDisabled()
 	}
 	return res, err
@@ -713,7 +752,7 @@ func gatherInputs(g *dag.Graph, id dag.NodeID, res *Result, mu *sync.Mutex) ([]a
 // probe the size (history-preferred, encoding cold nodes once to learn it),
 // consult the policy, and persist on a yes — degrading to "not
 // materialized" on unencodable values, budget races and I/O failures.
-// The value is gob-encoded at most once: a probe encoding is kept and
+// The value is encoded (Engine.Codec) at most once: a probe encoding is kept and
 // handed straight to Store.PutEncoded on a yes, and the pooled buffer is
 // released before returning either way.
 // ancestorCost is a callback because its snapshot semantics differ per
@@ -744,12 +783,13 @@ func (e *Engine) decideAndPersist(g *dag.Graph, id dag.NodeID, name, key string,
 		if hsize, ok := e.historySize(name); ok {
 			size = hsize
 		} else {
-			probe, err := store.EncodeValue(v)
+			probe, err := store.EncodeValueWith(e.Codec, v)
 			if err != nil {
 				// Unencodable values (unregistered types) are simply not
 				// materialization candidates.
 				return time.Since(start), 0, false, 0
 			}
+			e.countEncode(probe.Codec())
 			enc = probe
 			size = enc.Size()
 		}
@@ -780,10 +820,11 @@ func (e *Engine) decideAndPersist(g *dag.Graph, id dag.NodeID, name, key string,
 		return time.Since(start), size, false, dec.Reward
 	}
 	if enc == nil {
-		encoded, err := store.EncodeValue(v)
+		encoded, err := store.EncodeValueWith(e.Codec, v)
 		if err != nil {
 			return time.Since(start), size, false, dec.Reward
 		}
+		e.countEncode(encoded.Codec())
 		enc = encoded
 		size = enc.Size()
 	}

@@ -1,0 +1,57 @@
+package seq
+
+import (
+	"fmt"
+
+	"repro/internal/codec"
+)
+
+// GobEncode serializes the feature dictionary as its dense index order plus
+// the frozen flag, mirroring the binary codec so the gob reference path
+// covers every registered value type.
+func (d *FeatureDict) GobEncode() ([]byte, error) {
+	names := make([]string, len(d.index))
+	seen := make([]bool, len(d.index))
+	for n, i := range d.index {
+		if i < 0 || i >= len(names) || seen[i] {
+			return nil, fmt.Errorf("seq: feature dict index not dense at %q -> %d", n, i)
+		}
+		names[i] = n
+		seen[i] = true
+	}
+	var w codec.Writer
+	w.Len(len(names))
+	for _, n := range names {
+		w.String(n)
+	}
+	if d.frozen {
+		w.Uvarint(1)
+	} else {
+		w.Uvarint(0)
+	}
+	return w.Bytes(), nil
+}
+
+// GobDecode reverses GobEncode, rebuilding the name index.
+func (d *FeatureDict) GobDecode(raw []byte) error {
+	r := codec.NewReader(raw)
+	n, err := r.Len()
+	if err != nil {
+		return err
+	}
+	nd := NewFeatureDict()
+	for i := 0; i < n; i++ {
+		name, err := r.String()
+		if err != nil {
+			return err
+		}
+		nd.Add(name)
+	}
+	frozen, err := r.Uvarint()
+	if err != nil {
+		return err
+	}
+	nd.frozen = frozen != 0
+	*d = *nd
+	return nil
+}

@@ -1,0 +1,16 @@
+//go:build !linux
+
+package store
+
+import "errors"
+
+// mmapAvailable reports whether this platform supports zero-copy
+// memory-mapped cold reads. Non-Linux builds always use the buffered
+// os.ReadFile fallback.
+const mmapAvailable = false
+
+var errMmapUnsupported = errors.New("store: mmap unsupported on this platform")
+
+func mmapFile(string) ([]byte, func(), error) {
+	return nil, nil, errMmapUnsupported
+}

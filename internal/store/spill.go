@@ -42,11 +42,25 @@ type Spill struct {
 // later on-disk damage can hand a later iteration silently wrong bytes:
 // both surface as ErrCorrupt, which the engine treats as a cache miss.
 func OpenSpill(dir string, budget int64) (*Spill, error) {
+	return openSpill(dir, budget, false)
+}
+
+// OpenSpillMmap is OpenSpill with zero-copy memory-mapped cold reads
+// enabled: tiered Gets serve the frame payload directly from the page cache
+// (CRC still verified once per read) instead of through an os.ReadFile
+// copy. Platforms without mmap support, and per-file mapping failures, fall
+// back to the buffered path transparently.
+func OpenSpillMmap(dir string, budget int64) (*Spill, error) {
+	return openSpill(dir, budget, true)
+}
+
+func openSpill(dir string, budget int64, mmap bool) (*Spill, error) {
 	s, err := open(dir, budget, true, true)
 	if err != nil {
 		return nil, err
 	}
 	s.mu.Lock()
+	s.mmapEnabled = mmap
 	s.readBps = ColdThroughput
 	s.writeBps = ColdThroughput
 	for _, e := range s.entries {

@@ -5,8 +5,11 @@
 // iteration derives the same signature — the store itself never needs an
 // invalidation protocol.
 //
-// Values are gob-encoded. The store tracks measured write/read throughput so
-// the optimizer can estimate load costs for results it has not touched yet.
+// Values are encoded with a self-describing codec: a reflection-free binary
+// format for the registered workload value types (see internal/codec), with
+// reflective gob as the A/B reference and the fallback for unregistered
+// types. The store tracks measured write/read throughput so the optimizer
+// can estimate load costs for results it has not touched yet.
 package store
 
 import (
@@ -20,6 +23,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/codec"
 )
 
 // ErrBudgetExceeded is returned by Put when a value does not fit in the
@@ -110,6 +115,12 @@ type Store struct {
 	// half-written file that later parses as valid.
 	framed     bool
 	syncWrites bool
+
+	// mmapEnabled serves framed reads through readFrame from a read-only
+	// memory mapping (zero intermediate copy) instead of os.ReadFile.
+	// Set once at open; falls back to buffered reads per-file on mapping
+	// errors and on platforms without mmap support.
+	mmapEnabled bool
 
 	// failReads is the test-only read fault hook: keys with a non-zero
 	// count fail their next reads with an injected I/O error (<0 =
@@ -203,31 +214,126 @@ func (s *Store) path(key string) string {
 }
 
 // Register makes a concrete type encodable through the store's interface-
-// typed codec. Every value type a workflow operator can produce must be
-// registered once (the core package registers the built-in ones).
+// typed gob fallback codec. Every value type a workflow operator can produce
+// must be registered once (the core package registers the built-in ones).
+// Types additionally registered with codec.RegisterValue take the
+// reflection-free binary path instead.
 func Register(value any) { gob.Register(value) }
 
-// codecEncodes counts every gob encode performed through the store's codec
-// (Encode and EncodeValue). The execution engine's encode-once contract —
-// each materialized value is serialized exactly once, with the size probe
-// reused for the persist — is asserted against this counter in tests.
-var codecEncodes atomic.Int64
+// Codec selects the value serialization format of the store's codec.
+type Codec int
 
-// EncodeCalls returns the number of gob encodes performed through the
-// store's codec since process start. Instrumentation only: take a snapshot
-// before and after the section under test and compare the delta.
-func EncodeCalls() int64 { return codecEncodes.Load() }
+const (
+	// CodecAuto resolves to the default codec (currently CodecBinary).
+	CodecAuto Codec = iota
+	// CodecBinary is the reflection-free self-describing binary codec
+	// (codec.EncodeValue) with per-value gob fallback for unregistered
+	// types. The default.
+	CodecBinary
+	// CodecGob forces reflective encoding/gob for every value — the A/B
+	// reference the binary codec is benchmarked and equivalence-tested
+	// against.
+	CodecGob
+)
+
+// resolve maps CodecAuto to the concrete default.
+func (c Codec) resolve() Codec {
+	if c == CodecAuto {
+		return CodecBinary
+	}
+	return c
+}
+
+// String implements fmt.Stringer.
+func (c Codec) String() string {
+	switch c {
+	case CodecAuto:
+		return "auto"
+	case CodecBinary:
+		return "binary"
+	case CodecGob:
+		return "gob"
+	default:
+		return fmt.Sprintf("codec(%d)", int(c))
+	}
+}
+
+// ParseCodec parses a codec name as used by CLI flags.
+func ParseCodec(s string) (Codec, error) {
+	switch s {
+	case "", "auto":
+		return CodecAuto, nil
+	case "binary":
+		return CodecBinary, nil
+	case "gob":
+		return CodecGob, nil
+	default:
+		return CodecAuto, fmt.Errorf("store: unknown codec %q (want auto, binary or gob)", s)
+	}
+}
+
+// Every encoded value is self-describing: the first payload byte names the
+// codec that produced the rest, so Decode needs no out-of-band format flag
+// and mixed-codec stores (e.g. after a config change) keep working.
+const (
+	markerGob    byte = 'G'
+	markerBinary byte = 'B'
+)
+
+// CodecOf reports which codec produced an encoded payload.
+func CodecOf(raw []byte) (Codec, error) {
+	if len(raw) == 0 {
+		return CodecAuto, fmt.Errorf("store: empty payload")
+	}
+	switch raw[0] {
+	case markerGob:
+		return CodecGob, nil
+	case markerBinary:
+		return CodecBinary, nil
+	default:
+		return CodecAuto, fmt.Errorf("store: unknown codec marker 0x%02x", raw[0])
+	}
+}
+
+// gobEncodes / binaryEncodes count every encode performed through the
+// store's codec (Encode and EncodeValue), per codec actually used. The
+// execution engine's encode-once contract — each materialized value is
+// serialized exactly once, with the size probe reused for the persist — is
+// asserted against the total in tests.
+var (
+	gobEncodes    atomic.Int64
+	binaryEncodes atomic.Int64
+)
+
+// EncodeCalls returns the total number of value encodes (both codecs)
+// performed through the store's codec since process start. Instrumentation
+// only: take a snapshot before and after the section under test and compare
+// the delta.
+func EncodeCalls() int64 { return gobEncodes.Load() + binaryEncodes.Load() }
+
+// GobEncodeCalls returns the number of gob encodes (including binary-codec
+// fallbacks for unregistered types) since process start.
+func GobEncodeCalls() int64 { return gobEncodes.Load() }
+
+// BinaryEncodeCalls returns the number of reflection-free binary encodes
+// since process start.
+func BinaryEncodeCalls() int64 { return binaryEncodes.Load() }
 
 // encBufPool recycles encode buffers across materializations so the hot
 // path of the execution engine's writer pipeline does not allocate a fresh
 // buffer (and its geometric growth steps) for every value.
 var encBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
 
-// Encoded is one gob-encoded value backed by a pooled buffer. Callers that
-// are done with the bytes should Release it so the buffer returns to the
-// pool; the bytes must not be used after Release.
+// binWriterPool recycles codec.Writers (their backing slices) for the
+// binary encode path.
+var binWriterPool = sync.Pool{New: func() any { return new(codec.Writer) }}
+
+// Encoded is one encoded value backed by a pooled buffer. Callers that are
+// done with the bytes should Release it so the buffer returns to the pool;
+// the bytes must not be used after Release.
 type Encoded struct {
-	buf *bytes.Buffer
+	buf   *bytes.Buffer
+	codec Codec
 }
 
 // Bytes returns the serialized bytes. Valid until Release.
@@ -235,6 +341,10 @@ func (e *Encoded) Bytes() []byte { return e.buf.Bytes() }
 
 // Size returns the serialized length in bytes.
 func (e *Encoded) Size() int64 { return int64(e.buf.Len()) }
+
+// Codec returns the codec that actually produced the bytes — CodecGob when
+// the binary codec fell back for an unregistered type.
+func (e *Encoded) Codec() Codec { return e.codec }
 
 // Release returns the backing buffer to the encode pool. Safe to call once;
 // the Encoded must not be used afterwards.
@@ -246,25 +356,47 @@ func (e *Encoded) Release() {
 	}
 }
 
-// EncodeValue gob-encodes a value into a pooled buffer. It is the
-// encode-once entry point of the execution engine: the same Encoded probes
-// the size for the materialization decision and then persists through
-// PutEncoded, so each value is serialized exactly once.
-func EncodeValue(value any) (*Encoded, error) {
+// EncodeValueWith encodes a value with the chosen codec into a pooled
+// buffer. Under CodecBinary, types without a codec.RegisterValue entry fall
+// back to gob transparently (the payload marker records what happened).
+func EncodeValueWith(c Codec, value any) (*Encoded, error) {
 	buf := encBufPool.Get().(*bytes.Buffer)
 	buf.Reset()
-	codecEncodes.Add(1)
+	if c.resolve() == CodecBinary {
+		w := binWriterPool.Get().(*codec.Writer)
+		w.Reset()
+		if err := codec.EncodeValue(w, value); err == nil {
+			binaryEncodes.Add(1)
+			buf.WriteByte(markerBinary)
+			buf.Write(w.Bytes())
+			binWriterPool.Put(w)
+			return &Encoded{buf: buf, codec: CodecBinary}, nil
+		}
+		// Unregistered (or nested-unregistered) type: fall back to gob.
+		w.Reset()
+		binWriterPool.Put(w)
+	}
+	gobEncodes.Add(1)
+	buf.WriteByte(markerGob)
 	if err := gob.NewEncoder(buf).Encode(&value); err != nil {
 		buf.Reset()
 		encBufPool.Put(buf)
 		return nil, fmt.Errorf("store: encode: %w", err)
 	}
-	return &Encoded{buf: buf}, nil
+	return &Encoded{buf: buf, codec: CodecGob}, nil
 }
 
-// Encode gob-encodes a value, returning its serialized bytes. Exposed so
-// callers outside the engine's encode-once pipeline (tests, comparisons)
-// can serialize without buffer-lifetime bookkeeping.
+// EncodeValue encodes a value with the default codec into a pooled buffer.
+// It is the encode-once entry point of the execution engine: the same
+// Encoded probes the size for the materialization decision and then
+// persists through PutEncoded, so each value is serialized exactly once.
+func EncodeValue(value any) (*Encoded, error) {
+	return EncodeValueWith(CodecAuto, value)
+}
+
+// Encode serializes a value with the default codec, returning its bytes.
+// Exposed so callers outside the engine's encode-once pipeline (tests,
+// comparisons) can serialize without buffer-lifetime bookkeeping.
 func Encode(value any) ([]byte, error) {
 	enc, err := EncodeValue(value)
 	if err != nil {
@@ -274,10 +406,24 @@ func Encode(value any) ([]byte, error) {
 	return append([]byte(nil), enc.Bytes()...), nil
 }
 
-// Decode reverses Encode.
+// Decode reverses Encode / EncodeValueWith, dispatching on the payload's
+// codec marker. Decoded values never alias raw, so callers may decode
+// straight out of a memory-mapped frame.
 func Decode(raw []byte) (any, error) {
+	c, err := CodecOf(raw)
+	if err != nil {
+		return nil, fmt.Errorf("store: decode: %w", err)
+	}
+	if c == CodecBinary {
+		r := codec.NewReader(raw[1:])
+		value, err := codec.DecodeValue(r)
+		if err != nil {
+			return nil, fmt.Errorf("store: decode: %w", err)
+		}
+		return value, nil
+	}
 	var value any
-	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&value); err != nil {
+	if err := gob.NewDecoder(bytes.NewReader(raw[1:])).Decode(&value); err != nil {
 		return nil, fmt.Errorf("store: decode: %w", err)
 	}
 	return value, nil
@@ -512,6 +658,53 @@ func (s *Store) read(key string) ([]byte, time.Time, error) {
 		raw = payload
 	}
 	return raw, start, nil
+}
+
+// readFrame fetches key's payload bytes like read, but when mmap is enabled
+// on a framed store it serves them as an alias into a read-only memory
+// mapping — the CRC is verified once against the mapped pages and the
+// payload flows to promotion writes and decode with no intermediate heap
+// copy. The caller must invoke release exactly once when done with payload
+// (decoded values never alias it; see Decode). mapped reports whether the
+// payload aliases a mapping; buffered fallback is taken for unframed
+// stores, on platforms without mmap, and on any per-file mapping error.
+func (s *Store) readFrame(key string) (payload []byte, release func(), start time.Time, mapped bool, err error) {
+	s.mu.RLock()
+	_, ok := s.entries[key]
+	path := s.path(key)
+	tryMmap := s.mmapEnabled && s.framed && mmapAvailable
+	s.mu.RUnlock()
+	start = time.Now()
+	if !ok {
+		return nil, nil, start, false, fmt.Errorf("%w: %s", ErrNotFound, key)
+	}
+	if s.takeReadFault(key) {
+		return nil, nil, start, false, fmt.Errorf("store: read %s: %w", key, errInjectedRead)
+	}
+	if tryMmap {
+		if raw, rel, merr := mmapFile(path); merr == nil {
+			pl, ferr := verifyFrame(raw)
+			if ferr != nil {
+				rel()
+				return nil, nil, start, false, fmt.Errorf("store: read %s: %w", key, ferr)
+			}
+			return pl, rel, start, true, nil
+		}
+		// Mapping failed (e.g. empty or vanished file): fall through to the
+		// buffered path, which surfaces the definitive error.
+	}
+	raw, rerr := os.ReadFile(path)
+	if rerr != nil {
+		return nil, nil, start, false, fmt.Errorf("store: read %s: %w", key, rerr)
+	}
+	if s.framed {
+		pl, ferr := verifyFrame(raw)
+		if ferr != nil {
+			return nil, nil, start, false, fmt.Errorf("store: read %s: %w", key, ferr)
+		}
+		raw = pl
+	}
+	return raw, func() {}, start, false, nil
 }
 
 // recordRead lands a measured load on the entry: load cost, access

@@ -54,6 +54,13 @@ type TierCounters struct {
 	// tripped the circuit breaker open (disabling the cold tier until its
 	// cooldown elapses).
 	BreakerTrips int64
+	// MmapColdReads counts cold-tier reads served zero-copy from a memory
+	// mapping (promotion and decode consumed the mapped pages directly,
+	// with no intermediate read buffer).
+	MmapColdReads int64
+	// BufferedColdReads counts cold-tier reads that took the buffered
+	// os.ReadFile path (mmap disabled, unsupported, or failed per-file).
+	BufferedColdReads int64
 }
 
 // Tiered composes the budgeted hot store with an optional cold spill tier
@@ -90,10 +97,12 @@ type Tiered struct {
 	// Lookup, Entries) stay truthful about what is on disk.
 	brk *breaker
 
-	spills     atomic.Int64
-	promotions atomic.Int64
-	evictions  atomic.Int64
-	corrupt    atomic.Int64
+	spills        atomic.Int64
+	promotions    atomic.Int64
+	evictions     atomic.Int64
+	corrupt       atomic.Int64
+	mmapReads     atomic.Int64
+	bufferedReads atomic.Int64
 }
 
 // NewTiered combines a hot store with an optional (nil-able) spill tier.
@@ -160,10 +169,12 @@ func (t *Tiered) Cold() *Spill { return t.cold }
 // Counters snapshots the cumulative cross-tier traffic.
 func (t *Tiered) Counters() TierCounters {
 	c := TierCounters{
-		Spills:        t.spills.Load(),
-		Promotions:    t.promotions.Load(),
-		Evictions:     t.evictions.Load(),
-		CorruptFrames: t.corrupt.Load(),
+		Spills:            t.spills.Load(),
+		Promotions:        t.promotions.Load(),
+		Evictions:         t.evictions.Load(),
+		CorruptFrames:     t.corrupt.Load(),
+		MmapColdReads:     t.mmapReads.Load(),
+		BufferedColdReads: t.bufferedReads.Load(),
 	}
 	c.BreakerTrips, _ = t.brk.snapshot()
 	if t.cold != nil {
@@ -331,7 +342,7 @@ func (t *Tiered) Get(key string) (any, Tier, error) {
 		// a recompute.
 		return nil, TierNone, hotErr
 	}
-	raw, start, err = t.cold.s.read(key)
+	payload, release, start, mapped, err := t.cold.s.readFrame(key)
 	if err != nil {
 		if errors.Is(err, ErrCorrupt) {
 			// Damaged bytes are unrecoverable: count and delete the frame
@@ -355,10 +366,22 @@ func (t *Tiered) Get(key string) (any, Tier, error) {
 		return nil, TierNone, err
 	}
 	t.brk.success()
+	if mapped {
+		t.mmapReads.Add(1)
+	} else {
+		t.bufferedReads.Add(1)
+	}
 	readDur := time.Since(start)
-	t.promoteLocked(key, raw)
+	// The payload may alias a memory mapping: the promotion write and the
+	// decode below both consume the mapped pages directly, and nothing they
+	// produce retains a reference (PutBytesHint writes to a file, Decode
+	// copies every string/byte slice), so the mapping is released as soon as
+	// the decode lands.
+	t.promoteLocked(key, payload)
 	t.mu.Unlock()
-	return t.decodeAndRecord(t.cold.s, key, raw, readDur, TierCold)
+	v, served, derr := t.decodeAndRecord(t.cold.s, key, payload, readDur, TierCold)
+	release()
+	return v, served, derr
 }
 
 // decodeAndRecord finishes a locked-path load outside the movement lock:

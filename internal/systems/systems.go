@@ -22,6 +22,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/opt"
+	"repro/internal/store"
 )
 
 // Kind names a comparator system.
@@ -77,6 +78,13 @@ type Options struct {
 	// per-node deadlines); the zero value keeps the historical fail-fast
 	// single-attempt behaviour (see core.Config.Faults).
 	Faults exec.FaultPolicy
+	// Codec selects the value serialization format (default: the
+	// reflection-free binary codec; store.CodecGob forces the reflective
+	// A/B reference). See core.Config.Codec.
+	Codec store.Codec
+	// MmapCold serves cold-tier reads zero-copy via mmap for systems with a
+	// spill tier (see core.Config.MmapCold).
+	MmapCold bool
 }
 
 // New builds a configured session for the named system.
@@ -91,6 +99,8 @@ func New(kind Kind, o Options) (*core.Session, error) {
 		Reweight:          o.Reweight,
 		KeepIntermediates: o.KeepIntermediates,
 		Faults:            o.Faults,
+		Codec:             o.Codec,
+		MmapCold:          o.MmapCold,
 	}
 	switch kind {
 	case Helix:

@@ -1,0 +1,296 @@
+package workload
+
+import (
+	"bytes"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/ml"
+	"repro/internal/seq"
+	"repro/internal/store"
+)
+
+// The production packages gob-register only the types that actually flow as
+// top-level store values; the binary codec registry is wider (it also names
+// value variants and small leaf types). The gob reference leg of the
+// equivalence sweep needs every exemplar registered, so the test fills the
+// gap. One variant per base type: gob keys its registry on the base type, so
+// registering both T and *T would conflict.
+func init() {
+	store.Register(&data.Collection{})
+	store.Register(data.Row{})
+	store.Register(&data.Schema{})
+	store.Register(&data.ExampleSet{})
+	store.Register(&data.Dictionary{})
+	store.Register(data.Vector{})
+	store.Register(data.Labeled{})
+	store.Register(seq.Instance{})
+	store.Register(seq.Span{})
+	store.Register(&seq.FeatureDict{})
+	store.Register(map[string]float64{})
+}
+
+// exemplars returns one fully-populated instance per registered named value
+// codec, keyed by registration name, plus gob-form overrides for the names
+// where gob cannot preserve the exact dynamic type: gob flattens pointers
+// when transmitting interface values, so the value variants of types
+// registered as pointers decode back as pointers. Every field is non-zero
+// and every slice/map non-empty, so a codec that drops or reorders anything
+// fails the deep-equal checks instead of hiding behind zero values.
+func exemplars(t *testing.T) (map[string]any, map[string]any) {
+	t.Helper()
+	schema, err := data.NewSchema("age", "edu", "hours")
+	if err != nil {
+		t.Fatal(err)
+	}
+	coll := &data.Collection{Schema: schema, Rows: []data.Row{
+		{Fields: []string{"39", "Bachelors", "40"}},
+		{Fields: []string{"50", "HS-grad", "13"}},
+		{Fields: []string{"39", "Bachelors", "40"}}, // repeat: exercises the string table
+	}}
+	dict := data.NewDictionary()
+	dict.Add("age")
+	dict.Add("edu=Bachelors")
+	dict.Freeze()
+	fdict := seq.NewFeatureDict()
+	fdict.Add("w=smith")
+	fdict.Add("cap")
+	fdict.Freeze()
+	model := seq.NewModel(2)
+	model.Emit[0][0], model.Emit[1][1] = 0.5, -1.25
+	model.Trans[0][1], model.Trans[seq.NumTags][0] = 0.75, -0.5
+	exSet := &data.ExampleSet{Examples: []data.Example{
+		{Features: data.FeatureMap{"age": 39, "hours": 40}, Label: 1, HasLabel: true},
+		{Features: data.FeatureMap{"age": 50, "hours": 13}, Label: 0, HasLabel: true},
+		{Features: data.FeatureMap{"age": 22, "cap": 1}, HasLabel: false},
+	}}
+	fm := data.FeatureMap{"age": 39, "edu=Bachelors": 1, "hours": 40}
+	vec := data.Vector{Indices: []int{0, 3, 7}, Values: []float64{1, 0.5, -2}}
+
+	gobForm := map[string]any{
+		"data.Collection": coll,
+		"data.ExampleSet": exSet,
+	}
+	return map[string]any{
+		"data.*Collection":         coll,
+		"data.Collection":          *coll,
+		"data.Row":                 data.Row{Fields: []string{"a", "b"}},
+		"data.*Schema":             schema,
+		"data.FeatureMap":          fm,
+		"data.*ExampleSet":         exSet,
+		"data.ExampleSet":          *exSet,
+		"data.*Dictionary":         dict,
+		"data.Vector":              vec,
+		"data.Labeled":             data.Labeled{X: vec, Y: 1},
+		"data.*FieldExtractor":     &data.FieldExtractor{Col: "age", Numeric: true},
+		"data.*Bucketizer":         &data.Bucketizer{Col: "age", Bins: 10, Lo: 17, Width: 7.3, Fitted: true},
+		"data.*InteractionFeature": &data.InteractionFeature{Cols: []string{"age", "edu"}},
+		"seq.Instance": seq.Instance{
+			Feats: [][]int{{0, 2}, {1}},
+			Tags:  []int{seq.TagB, seq.TagO},
+		},
+		"seq.*Model":       model,
+		"seq.Span":         seq.Span{Start: 2, End: 5},
+		"seq.*FeatureDict": fdict,
+		"core.TextPair":    core.TextPair{Train: "train text", Test: "test text"},
+		"core.CollectionPair": core.CollectionPair{
+			Train: coll,
+			Test:  &data.Collection{Schema: schema, Rows: []data.Row{{Fields: []string{"1", "2", "3"}}}},
+		},
+		"core.FittedExtractor": core.FittedExtractor{Ex: &data.FieldExtractor{Col: "hours", Numeric: true}},
+		"core.FeatureColumn": core.FeatureColumn{
+			Train: []data.FeatureMap{{"age": 39}, {"age": 50}},
+			Test:  []data.FeatureMap{{"age": 22}},
+		},
+		"core.VecPair": core.VecPair{
+			Train: []data.Labeled{{X: vec, Y: 1}},
+			Test:  []data.Labeled{{X: vec, Y: 0}},
+			Dim:   8,
+			Names: []string{"age", "hours"},
+		},
+		"core.Predictions": core.Predictions{
+			Scores: []float64{0.5, -1.5},
+			Labels: []float64{1, 0},
+			Gold:   []float64{1, 1},
+		},
+		"ml.*LinearModel": &ml.LinearModel{Weights: []float64{0.1, -0.2}, Bias: 0.05, Kind: "svm"},
+		"ml.*NaiveBayes": &ml.NaiveBayes{
+			LogPrior: [2]float64{-0.7, -0.6},
+			LogLik:   [2][]float64{{-1, -2}, {-3, -4}},
+			Dim:      2,
+		},
+		"ml.*KMeans": &ml.KMeans{Centers: [][]float64{{0, 1}, {2, 3}}},
+		"core.ClusterResult": core.ClusterResult{
+			Model:      &ml.KMeans{Centers: [][]float64{{1, 2}}},
+			TestAssign: []int{0, 0, 1},
+			Inertia:    12.5,
+		},
+		"ml.Metrics": ml.Metrics{Accuracy: 0.9, Precision: 0.8, Recall: 0.7, F1: 0.75, LogLoss: 0.3, N: 100},
+		"workload.NewsData": NewsData{
+			Train: []Document{{Text: "Ann Smith spoke.", Persons: []string{"Ann Smith"}}},
+			Test:  []Document{{Text: "Bob Jones left.", Persons: []string{"Bob Jones"}}},
+		},
+		"workload.TokenizedCorpus": TokenizedCorpus{
+			TrainSents:   [][]string{{"Ann", "Smith", "spoke"}},
+			TestSents:    [][]string{{"Bob", "left"}},
+			TrainPersons: [][]string{{"Ann Smith"}},
+			TestPersons:  [][]string{{"Bob Jones"}},
+		},
+		"workload.LabeledCorpus": LabeledCorpus{
+			TrainSents: [][]string{{"Ann", "Smith", "spoke"}},
+			TestSents:  [][]string{{"Bob", "left"}},
+			TrainTags:  [][]int{{seq.TagB, seq.TagI, seq.TagO}},
+			TrainGold:  [][]seq.Span{{{Start: 0, End: 2}}},
+			TestGold:   [][]seq.Span{{{Start: 0, End: 1}}},
+		},
+		"workload.GazValue": GazValue{Entries: []string{"Ann Smith", "Bob Jones"}},
+		"workload.SeqDataset": SeqDataset{
+			TrainInsts: []seq.Instance{{Feats: [][]int{{0, 1}}, Tags: []int{seq.TagB}}},
+			TestFeats:  [][][]int{{{2}, {0, 3}}},
+			TestGold:   [][]seq.Span{{{Start: 1, End: 2}}},
+			Dim:        4,
+		},
+		"workload.PredSpans": PredSpans{
+			Spans: [][]seq.Span{{{Start: 0, End: 2}}},
+			Gold:  [][]seq.Span{{{Start: 0, End: 1}}},
+		},
+	}, gobForm
+}
+
+// TestBinaryCodecExhaustiveRoundTrip is the exhaustive gob-vs-binary
+// equivalence sweep: one exemplar per registered named value type, checked
+// for (1) binary encode without gob fallback, (2) deep-equal binary decode,
+// (3) byte-stable binary re-encode of the decoded value, (4) deep-equal gob
+// decode, and (5) cross-codec agreement of the two decodes. The exemplar
+// set is asserted complete against the codec registry, so registering a new
+// value type without extending this test fails loudly.
+func TestBinaryCodecExhaustiveRoundTrip(t *testing.T) {
+	ex, gobForm := exemplars(t)
+	var covered []string
+	for name := range ex {
+		covered = append(covered, name)
+	}
+	sort.Strings(covered)
+	if registered := codec.RegisteredNames(); !reflect.DeepEqual(covered, registered) {
+		t.Fatalf("exemplar set does not match the codec registry:\nexemplars: %v\nregistered: %v", covered, registered)
+	}
+	for name, v := range ex {
+		t.Run(name, func(t *testing.T) {
+			encB, err := store.EncodeValueWith(store.CodecBinary, v)
+			if err != nil {
+				t.Fatalf("binary encode: %v", err)
+			}
+			if got := encB.Codec(); got != store.CodecBinary {
+				t.Fatalf("binary encode fell back to %s", got)
+			}
+			rawB := append([]byte(nil), encB.Bytes()...)
+			encB.Release()
+			if c, err := store.CodecOf(rawB); err != nil || c != store.CodecBinary {
+				t.Fatalf("binary payload marker = %v, %v", c, err)
+			}
+			decB, err := store.Decode(rawB)
+			if err != nil {
+				t.Fatalf("binary decode: %v", err)
+			}
+			if !reflect.DeepEqual(decB, v) {
+				t.Fatalf("binary round-trip not deep-equal:\ngot  %#v\nwant %#v", decB, v)
+			}
+			// Byte stability: re-encoding the decoded value reproduces the
+			// exact bytes (sorted maps, dense dictionary order).
+			encB2, err := store.EncodeValueWith(store.CodecBinary, decB)
+			if err != nil {
+				t.Fatalf("binary re-encode: %v", err)
+			}
+			if !bytes.Equal(rawB, encB2.Bytes()) {
+				t.Fatalf("binary re-encode of decoded value not byte-identical (%d vs %d bytes)",
+					len(rawB), len(encB2.Bytes()))
+			}
+			encB2.Release()
+
+			// gob flattens pointers when transmitting interface values and
+			// needs addressability for pointer-receiver GobEncode, so the
+			// value variants of pointer-registered types run the gob leg in
+			// their pointer form.
+			gv, gobFlattened := gobForm[name]
+			if !gobFlattened {
+				gv = v
+			}
+			encG, err := store.EncodeValueWith(store.CodecGob, gv)
+			if err != nil {
+				t.Fatalf("gob encode: %v", err)
+			}
+			rawG := append([]byte(nil), encG.Bytes()...)
+			encG.Release()
+			if c, err := store.CodecOf(rawG); err != nil || c != store.CodecGob {
+				t.Fatalf("gob payload marker = %v, %v", c, err)
+			}
+			decG, err := store.Decode(rawG)
+			if err != nil {
+				t.Fatalf("gob decode: %v", err)
+			}
+			if !reflect.DeepEqual(decG, gv) {
+				t.Fatalf("gob round-trip not deep-equal:\ngot  %#v\nwant %#v", decG, gv)
+			}
+			if gobFlattened {
+				// The binary decode preserved the exact value form above;
+				// with the gob decode matching the pointer form, semantic
+				// equality is established without a direct compare.
+				return
+			}
+			if !reflect.DeepEqual(decB, decG) {
+				t.Fatalf("binary and gob decodes disagree:\nbinary %#v\ngob    %#v", decB, decG)
+			}
+		})
+	}
+}
+
+// TestBinaryCodecBuiltinRoundTrip covers the closed set of scalar/slice/map
+// builtins the bench tasks produce, through both codecs.
+func TestBinaryCodecBuiltinRoundTrip(t *testing.T) {
+	builtins := []any{
+		"a string",
+		int(-42),
+		int64(1) << 40,
+		3.14159,
+		true,
+		[]byte{0x00, 0xff, 0x42},
+		[]string{"x", "y", "x"},
+		[]int{-1, 0, 1 << 30},
+		[]float64{0.5, -2.25},
+		map[string]float64{"b": 2, "a": 1, "c": -3},
+	}
+	for _, v := range builtins {
+		encB, err := store.EncodeValueWith(store.CodecBinary, v)
+		if err != nil {
+			t.Fatalf("%T: binary encode: %v", v, err)
+		}
+		if got := encB.Codec(); got != store.CodecBinary {
+			t.Fatalf("%T: binary encode fell back to %s", v, got)
+		}
+		rawB := append([]byte(nil), encB.Bytes()...)
+		encB.Release()
+		decB, err := store.Decode(rawB)
+		if err != nil {
+			t.Fatalf("%T: binary decode: %v", v, err)
+		}
+		if !reflect.DeepEqual(decB, v) {
+			t.Errorf("%T: binary round-trip = %#v, want %#v", v, decB, v)
+		}
+		encG, err := store.EncodeValueWith(store.CodecGob, v)
+		if err != nil {
+			t.Fatalf("%T: gob encode: %v", v, err)
+		}
+		decG, err := store.Decode(append([]byte(nil), encG.Bytes()...))
+		encG.Release()
+		if err != nil {
+			t.Fatalf("%T: gob decode: %v", v, err)
+		}
+		if !reflect.DeepEqual(decG, v) {
+			t.Errorf("%T: gob round-trip = %#v, want %#v", v, decG, v)
+		}
+	}
+}

@@ -10,9 +10,9 @@ import (
 // string table; feature-index tensors encode as flat varint arrays.
 
 func encodeSents(w *codec.Writer, table *codec.StringTable, sents [][]string) {
-	w.Int(len(sents))
+	w.Len(len(sents))
 	for _, sent := range sents {
-		w.Int(len(sent))
+		w.Len(len(sent))
 		for _, tok := range sent {
 			table.Write(w, tok)
 		}
@@ -42,9 +42,9 @@ func decodeSents(r *codec.Reader, table *codec.ReadStringTable) ([][]string, err
 }
 
 func encodeInts2(w *codec.Writer, rows [][]int) {
-	w.Int(len(rows))
+	w.Len(len(rows))
 	for _, row := range rows {
-		w.Int(len(row))
+		w.Len(len(row))
 		for _, v := range row {
 			w.Int(v)
 		}
@@ -74,7 +74,7 @@ func decodeInts2(r *codec.Reader) ([][]int, error) {
 }
 
 func encodeInts3(w *codec.Writer, t [][][]int) {
-	w.Int(len(t))
+	w.Len(len(t))
 	for _, m := range t {
 		encodeInts2(w, m)
 	}
@@ -97,9 +97,9 @@ func decodeInts3(r *codec.Reader) ([][][]int, error) {
 }
 
 func encodeSpans2(w *codec.Writer, spans [][]seq.Span) {
-	w.Int(len(spans))
+	w.Len(len(spans))
 	for _, ss := range spans {
-		w.Int(len(ss))
+		w.Len(len(ss))
 		for _, s := range ss {
 			w.Int(s.Start)
 			w.Int(s.End)
@@ -197,10 +197,10 @@ func (lc *LabeledCorpus) GobDecode(raw []byte) error {
 // GobEncode implements the flat encoding for SeqDataset.
 func (ds SeqDataset) GobEncode() ([]byte, error) {
 	var w codec.Writer
-	w.Int(len(ds.TrainInsts))
+	w.Len(len(ds.TrainInsts))
 	for _, in := range ds.TrainInsts {
 		encodeInts2(&w, in.Feats)
-		w.Int(len(in.Tags))
+		w.Len(len(in.Tags))
 		for _, t := range in.Tags {
 			w.Int(t)
 		}
