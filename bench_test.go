@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/core"
 	"repro/internal/dag"
 	"repro/internal/data"
 	"repro/internal/exec"
@@ -35,7 +36,7 @@ func benchScenario(b *testing.B, kind systems.Kind, sc *workload.Scenario, limit
 	b.Helper()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		res, err := bench.RunScenario(kind, sc, systems.Options{BaseDir: b.TempDir()}, limit)
+		res, err := bench.RunScenario(kind, sc, b.TempDir(), limit)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -72,7 +73,11 @@ func benchRerun(b *testing.B, kind systems.Kind) {
 	b.Helper()
 	data := workload.GenerateCensus(4000, 1000, 2018)
 	p := workload.DefaultCensusParams(data)
-	sess, err := systems.New(kind, systems.Options{BaseDir: b.TempDir()})
+	opts, err := systems.Preset(kind, b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	sess, err := core.Open(opts)
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -12,6 +12,12 @@
 // host-sensitive, which is exactly why it is worth gating — a real
 // dispatch-path regression shows there first.
 //
+// Shapes named "serve-*" are end-to-end macro-benchmarks (median-of-3
+// rather than min — see runServeLoad in helix-bench) and gate at double
+// the tolerance; for them the sharp check is functional: a baseline with
+// cross-session dedup hits whose current run reports zero fails the gate
+// regardless of wall time.
+//
 // Usage:
 //
 //	helix-benchdiff -baseline BENCH_baseline.json -current BENCH_current.json
@@ -28,8 +34,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/bench"
+	"repro/internal/exec"
 )
 
 func main() {
@@ -72,6 +80,13 @@ func readReport(path string) (*bench.DispatchReport, error) {
 	if err := json.Unmarshal(raw, &rep); err != nil {
 		return nil, fmt.Errorf("parse %s: %w", path, err)
 	}
+	// Schema 1 (pre-consolidation, no "schema" field — it reads as 0) and
+	// schema 2 differ only in counter layout; the wall times this gate
+	// compares parse identically from both, so either side may be either
+	// version. A higher version is from a future writer and refused.
+	if rep.Schema > exec.ReportSchemaVersion {
+		return nil, fmt.Errorf("%s: schema %d is newer than this reader understands (max %d)", path, rep.Schema, exec.ReportSchemaVersion)
+	}
 	if len(rep.Shapes) == 0 {
 		return nil, fmt.Errorf("%s: no shapes (not a dispatch-ablation report?)", path)
 	}
@@ -96,6 +111,15 @@ func diff(w *os.File, baseline, current *bench.DispatchReport, tolerance float64
 			failed = true
 			continue
 		}
+		// Serve shapes are end-to-end macro-benchmarks (HTTP, real store
+		// I/O, concurrent clients): run-to-run spread is inherently wider
+		// than the sleep-based micro shapes, so their wall gate uses twice
+		// the tolerance. The sharper gate for them is functional, below —
+		// cross-session dedup must not silently stop firing.
+		shapeTol := tolerance
+		if strings.HasPrefix(base.Shape, "serve-") {
+			shapeTol = tolerance * 2
+		}
 		for _, m := range []struct {
 			mode      string
 			base, cur float64
@@ -108,12 +132,18 @@ func diff(w *os.File, baseline, current *bench.DispatchReport, tolerance float64
 				delta = (m.cur/m.base - 1) * 100
 			}
 			verdict := ""
-			if delta > tolerance {
+			if delta > shapeTol {
 				verdict = "  FAIL"
 				failed = true
 			}
 			fmt.Fprintf(w, "%-16s %-12s %10.2fms %10.2fms %+8.1f%%%s\n",
 				base.Shape, m.mode, m.base, m.cur, delta, verdict)
+		}
+		baseHits := base.WorkSteal.CrossSessionHits + base.GlobalHeap.CrossSessionHits
+		curHits := cur.WorkSteal.CrossSessionHits + cur.GlobalHeap.CrossSessionHits
+		if baseHits > 0 && curHits == 0 {
+			fmt.Fprintf(w, "%-16s %-12s %12d %12d %9s\n", base.Shape, "dedup-hits", baseHits, curHits, "FAIL")
+			failed = true
 		}
 	}
 	for _, s := range current.Shapes {

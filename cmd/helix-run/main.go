@@ -11,14 +11,18 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/core"
 	"repro/internal/systems"
 	"repro/internal/workload"
 )
@@ -45,9 +49,20 @@ func main() {
 	}
 	defer os.RemoveAll(base)
 
-	res, err := bench.RunScenario(systems.Kind(*system), sc,
-		systems.Options{BaseDir: base, BudgetBytes: *budget}, *iters)
+	// SIGINT/SIGTERM cancel the replay context: the engine stops
+	// dispatching nodes, in-flight operators finish, the session flushes
+	// its history, and the partial error reports where the run stopped.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	res, err := bench.RunScenarioCtx(ctx, systems.Kind(*system), sc, base, *iters,
+		func(o *core.Options) { o.BudgetBytes = *budget })
 	if err != nil {
+		if ctx.Err() != nil {
+			fmt.Fprintln(os.Stderr, "helix-run: interrupted:", err)
+			os.RemoveAll(base) // os.Exit skips the deferred cleanup
+			os.Exit(130)
+		}
 		fatal(err)
 	}
 	for _, it := range res.Iterations {

@@ -49,10 +49,16 @@ func main() {
 		fatal(err)
 	}
 	defer os.RemoveAll(base)
-	sess, err := systems.New(systems.Helix, systems.Options{BaseDir: base})
+	// Canonical session construction: preset -> tweak -> core.Open.
+	opts, err := systems.Preset(systems.Helix, base)
 	if err != nil {
 		fatal(err)
 	}
+	sess, err := core.Open(opts)
+	if err != nil {
+		fatal(err)
+	}
+	defer sess.Close()
 	var reports []*core.Report
 	var sources []string
 	for i := 0; i < *iters; i++ {

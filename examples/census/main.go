@@ -27,7 +27,7 @@ func main() {
 	}
 	defer os.RemoveAll(base)
 
-	res, err := bench.RunScenario(systems.Helix, scenario, systems.Options{BaseDir: base}, 0)
+	res, err := bench.RunScenario(systems.Helix, scenario, base, 0)
 	if err != nil {
 		log.Fatal(err)
 	}

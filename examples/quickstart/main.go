@@ -56,7 +56,7 @@ func main() {
 
 	// A Session is one development session: it owns the materialization
 	// store and the runtime statistics that power reuse.
-	session, err := core.NewSession(core.Config{
+	session, err := core.Open(core.Options{
 		SystemName: "helix",
 		StoreDir:   dir,
 		Policy:     opt.OnlineHeuristic{},

@@ -32,7 +32,7 @@ func main() {
 		log.Fatal(err)
 	}
 	defer os.RemoveAll(dir)
-	session, err := core.NewSession(core.Config{
+	session, err := core.Open(core.Options{
 		SystemName: "helix",
 		StoreDir:   dir,
 		Policy:     opt.OnlineHeuristic{},

@@ -7,6 +7,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -76,20 +77,40 @@ func (s *SeriesResult) MedianWallByKind() map[workload.StepKind]time.Duration {
 // truncation.
 type Limits map[systems.Kind]int
 
-// RunScenario replays a scenario on one system. maxIters <= 0 means all
-// iterations.
-func RunScenario(kind systems.Kind, sc *workload.Scenario, o systems.Options, maxIters int) (*SeriesResult, error) {
-	sess, err := systems.New(kind, o)
+// Tweak adjusts a system's preset core.Options before the session opens —
+// the hook harness callers use to apply shared knobs (budget, workers,
+// dispatch, spill) across every system of a comparison.
+type Tweak func(*core.Options)
+
+// RunScenario replays a scenario on one system rooted at baseDir (see
+// systems.Preset for the store layout). maxIters <= 0 means all iterations.
+func RunScenario(kind systems.Kind, sc *workload.Scenario, baseDir string, maxIters int, tweaks ...Tweak) (*SeriesResult, error) {
+	return RunScenarioCtx(context.Background(), kind, sc, baseDir, maxIters, tweaks...)
+}
+
+// RunScenarioCtx is RunScenario under a cancellation context: a canceled
+// ctx stops between (or inside) iterations and returns the partial error,
+// leaving materialized state valid for a later resume.
+func RunScenarioCtx(ctx context.Context, kind systems.Kind, sc *workload.Scenario, baseDir string, maxIters int, tweaks ...Tweak) (*SeriesResult, error) {
+	opts, err := systems.Preset(kind, baseDir)
 	if err != nil {
 		return nil, err
 	}
+	for _, tw := range tweaks {
+		tw(&opts)
+	}
+	sess, err := core.Open(opts)
+	if err != nil {
+		return nil, err
+	}
+	defer sess.Close()
 	res := &SeriesResult{System: kind, Versions: version.NewStore()}
 	var cum time.Duration
 	for i, step := range sc.Steps {
 		if maxIters > 0 && i >= maxIters {
 			break
 		}
-		rep, err := sess.Run(step.Workflow)
+		rep, err := sess.RunCtx(ctx, step.Workflow)
 		if err != nil {
 			return nil, fmt.Errorf("bench: %s iteration %d (%s): %w", kind, i+1, step.Description, err)
 		}
@@ -141,18 +162,12 @@ type Comparison struct {
 }
 
 // RunComparison replays the scenario on every listed system. Each system
-// gets a fresh store under baseDir. Optional limits truncate individual
-// systems' series (see Limits).
-func RunComparison(sc *workload.Scenario, kinds []systems.Kind, o systems.Options, limits ...Limits) (*Comparison, error) {
-	lim := Limits{}
-	for _, l := range limits {
-		for k, v := range l {
-			lim[k] = v
-		}
-	}
+// gets a fresh store under baseDir. A nil limits map runs every system to
+// completion; tweaks apply to every system's preset (see Tweak).
+func RunComparison(sc *workload.Scenario, kinds []systems.Kind, baseDir string, limits Limits, tweaks ...Tweak) (*Comparison, error) {
 	cmp := &Comparison{Scenario: sc}
 	for _, k := range kinds {
-		sr, err := RunScenario(k, sc, o, lim[k])
+		sr, err := RunScenario(k, sc, baseDir, limits[k], tweaks...)
 		if err != nil {
 			return nil, err
 		}

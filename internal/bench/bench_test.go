@@ -16,7 +16,7 @@ func smallCensus() *workload.Scenario {
 
 func TestRunScenarioHelix(t *testing.T) {
 	sc := smallCensus()
-	res, err := RunScenario(systems.Helix, sc, systems.Options{BaseDir: t.TempDir()}, 0)
+	res, err := RunScenario(systems.Helix, sc, t.TempDir(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,7 +47,7 @@ func TestRunScenarioHelix(t *testing.T) {
 }
 
 func TestRunScenarioKeystoneNeverLoads(t *testing.T) {
-	res, err := RunScenario(systems.KeystoneML, smallCensus(), systems.Options{BaseDir: t.TempDir()}, 0)
+	res, err := RunScenario(systems.KeystoneML, smallCensus(), t.TempDir(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +62,7 @@ func TestRunScenarioKeystoneNeverLoads(t *testing.T) {
 }
 
 func TestRunScenarioDeepDiveStoresEverything(t *testing.T) {
-	res, err := RunScenario(systems.DeepDive, smallCensus(), systems.Options{BaseDir: t.TempDir()}, 0)
+	res, err := RunScenario(systems.DeepDive, smallCensus(), t.TempDir(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +81,7 @@ func TestRunScenarioDeepDiveStoresEverything(t *testing.T) {
 
 func TestComparisonTableAndSeries(t *testing.T) {
 	sc := smallCensus()
-	cmp, err := RunComparison(sc, []systems.Kind{systems.Helix, systems.KeystoneML}, systems.Options{BaseDir: t.TempDir()})
+	cmp, err := RunComparison(sc, []systems.Kind{systems.Helix, systems.KeystoneML}, t.TempDir(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +109,7 @@ func TestHelixBeatsKeystoneOnCumulativeRuntime(t *testing.T) {
 	// baseline's. Uses a moderately sized dataset so compute dominates
 	// orchestration overhead.
 	sc := workload.CensusScenario(workload.GenerateCensus(3000, 800, 7))
-	cmp, err := RunComparison(sc, []systems.Kind{systems.Helix, systems.KeystoneML}, systems.Options{BaseDir: t.TempDir()})
+	cmp, err := RunComparison(sc, []systems.Kind{systems.Helix, systems.KeystoneML}, t.TempDir(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +128,7 @@ func TestHelixBeatsKeystoneOnCumulativeRuntime(t *testing.T) {
 }
 
 func TestMedianWallByKind(t *testing.T) {
-	res, err := RunScenario(systems.Helix, smallCensus(), systems.Options{BaseDir: t.TempDir()}, 0)
+	res, err := RunScenario(systems.Helix, smallCensus(), t.TempDir(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,20 +149,20 @@ func TestTruncate(t *testing.T) {
 	}
 }
 
-func TestSystemsNew(t *testing.T) {
+func TestSystemsPreset(t *testing.T) {
 	// Unknown system.
-	if _, err := systems.New(systems.Kind("nope"), systems.Options{}); err == nil {
+	if _, err := systems.Preset(systems.Kind("nope"), ""); err == nil {
 		t.Error("unknown system accepted")
 	}
-	// Persisting systems require BaseDir.
-	if _, err := systems.New(systems.Helix, systems.Options{}); err == nil {
-		t.Error("helix without BaseDir accepted")
+	// Persisting systems require a base directory.
+	if _, err := systems.Preset(systems.Helix, ""); err == nil {
+		t.Error("helix without a base directory accepted")
 	}
 	// Non-persisting systems don't.
-	if _, err := systems.New(systems.KeystoneML, systems.Options{}); err != nil {
+	if _, err := systems.Preset(systems.KeystoneML, ""); err != nil {
 		t.Errorf("keystoneml: %v", err)
 	}
-	if _, err := systems.New(systems.HelixUnopt, systems.Options{}); err != nil {
+	if _, err := systems.Preset(systems.HelixUnopt, ""); err != nil {
 		t.Errorf("helix-unopt: %v", err)
 	}
 }

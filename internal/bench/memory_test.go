@@ -19,7 +19,7 @@ import (
 func TestCensusReleaseReducesPeakLiveBytes(t *testing.T) {
 	data := workload.GenerateCensus(600, 150, 7)
 	run := func(keep bool) int64 {
-		sess, err := core.NewSession(core.Config{
+		sess, err := core.Open(core.Options{
 			SystemName:        "census-mem",
 			StoreDir:          filepath.Join(t.TempDir(), "store"),
 			Policy:            opt.MaterializeAll{},

@@ -521,35 +521,23 @@ func RunSchedDispatch(sd *SchedDAG, sched exec.Strategy, order exec.Ordering, di
 
 // DispatchMeasurement is one machine-readable data point of the dispatch
 // ablation (the BENCH_3.json schema): one shape executed once under one
-// dispatch mode.
+// dispatch mode. Since schema 2 the counter fields are the embedded
+// exec.Counters block (same JSON keys the pre-consolidation schema used,
+// plus the counters it lacked), shared verbatim with the serve daemon's
+// responses.
 type DispatchMeasurement struct {
-	Shape    string  `json:"shape"`
-	Nodes    int     `json:"nodes"`
-	Dispatch string  `json:"dispatch"`
-	Workers  int     `json:"workers"`
-	WallMS   float64 `json:"wall_ms"`
-	Steals   int64   `json:"steals"`
-	Handoffs int64   `json:"handoffs"`
-	// AffinityKeeps counts newly-ready children the work-stealing
-	// dispatcher kept on the producing worker's own deque (locality-aware
-	// dispatch; additive relative to the committed baseline schema, like
-	// the fault counters below).
-	AffinityKeeps int64 `json:"affinity_keeps"`
-	PeakLiveBytes int64 `json:"peak_live_bytes"`
-	// Fault counters: zero on clean runs, populated by -faults chaos runs.
-	// Additive relative to the committed baseline schema — benchdiff only
-	// compares wall times, so old baselines parse unchanged.
-	Retries       int64 `json:"retries"`
-	Recomputes    int64 `json:"recomputes"`
-	CorruptFrames int64 `json:"corrupt_frames"`
-	// Codec counters: additive like the fault counters. Dispatch runs have
-	// no store attached, so the encode counters stay zero here; they are
-	// populated by the codec ablation's store-backed runs and recorded in
-	// the schema so every BENCH document shares one measurement shape.
-	GobEncodes        int64 `json:"gob_encodes"`
-	BinaryEncodes     int64 `json:"binary_encodes"`
-	MmapColdReads     int64 `json:"mmap_cold_reads"`
-	BufferedColdReads int64 `json:"buffered_cold_reads"`
+	Shape         string  `json:"shape"`
+	Nodes         int     `json:"nodes"`
+	Dispatch      string  `json:"dispatch"`
+	Workers       int     `json:"workers"`
+	WallMS        float64 `json:"wall_ms"`
+	PeakLiveBytes int64   `json:"peak_live_bytes"`
+	exec.Counters
+	// ThroughputRPS and P99MS are populated only by the serve-loadgen
+	// shape (submissions/sec across concurrent clients, p99
+	// submit-to-complete latency); zero elsewhere.
+	ThroughputRPS float64 `json:"throughput_rps,omitempty"`
+	P99MS         float64 `json:"p99_ms,omitempty"`
 }
 
 // MeasureDispatch executes the shape once under the given dispatch mode
@@ -577,22 +565,13 @@ func measureDispatch(sd *SchedDAG, dispatch exec.DispatchMode, workers int, faul
 		return DispatchMeasurement{}, nil, err
 	}
 	return DispatchMeasurement{
-		Shape:             sd.Name,
-		Nodes:             sd.G.Len(),
-		Dispatch:          dispatch.String(),
-		Workers:           workers,
-		WallMS:            float64(res.Wall.Microseconds()) / 1000,
-		Steals:            res.Steals,
-		Handoffs:          res.Handoffs,
-		AffinityKeeps:     res.AffinityKeeps,
-		PeakLiveBytes:     gauge.Peak(),
-		Retries:           res.Retries,
-		Recomputes:        res.Recomputes,
-		CorruptFrames:     res.CorruptFrames,
-		GobEncodes:        res.GobEncodes,
-		BinaryEncodes:     res.BinaryEncodes,
-		MmapColdReads:     res.MmapColdReads,
-		BufferedColdReads: res.BufferedColdReads,
+		Shape:         sd.Name,
+		Nodes:         sd.G.Len(),
+		Dispatch:      dispatch.String(),
+		Workers:       workers,
+		WallMS:        float64(res.Wall.Microseconds()) / 1000,
+		PeakLiveBytes: gauge.Peak(),
+		Counters:      res.Counters,
 	}, res, nil
 }
 
@@ -602,6 +581,9 @@ func measureDispatch(sd *SchedDAG, dispatch exec.DispatchMode, workers int, faul
 // work-stealing wall reduction. Shared by helix-bench (writer) and
 // helix-benchdiff (the CI perf-regression gate).
 type DispatchReport struct {
+	// Schema versions the document layout (exec.ReportSchemaVersion);
+	// absent in pre-consolidation reports, which readers treat as 1.
+	Schema  int                  `json:"schema"`
 	Workers int                  `json:"workers"`
 	Shapes  []DispatchShapeEntry `json:"shapes"`
 }

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/exec"
+	"repro/internal/opt"
+	"repro/internal/store"
+)
+
+// Options is the single canonical way to configure a Session. Every entry
+// point constructs sessions through it — the CLI binaries, the benchmarks,
+// and the helix-serve daemon — and systems.Preset returns the paper's
+// comparator systems as Options values, so there is exactly one place where
+// knobs are defined, defaulted, and validated.
+//
+// The zero value is a valid in-memory session: no persistence, no reuse,
+// dataflow scheduling with work-stealing dispatch.
+type Options struct {
+	// SystemName labels reports ("helix", "deepdive", ...). Defaults to
+	// "helix" when empty.
+	SystemName string
+	// StoreDir is the materialization directory; empty disables persistence
+	// entirely (no loads, no stores) unless SharedTiers is set.
+	StoreDir string
+	// BudgetBytes caps the store (<=0 = unlimited).
+	BudgetBytes int64
+	// SpillDir is the cold-tier spill directory: values the hot store's
+	// budget rejects are admitted there instead of being dropped, and cold
+	// hits are promoted back on load. Empty disables tiering. Requires
+	// StoreDir.
+	SpillDir string
+	// SpillBudgetBytes caps the spill tier (<=0 = unlimited). The spill
+	// tier deletes its least-recently-accessed entries to admit new values,
+	// so unlike BudgetBytes this cap bounds retention, not admission.
+	SpillBudgetBytes int64
+	// Policy is the online materialization policy; nil = never materialize.
+	Policy opt.MatPolicy
+	// Reuse enables cross-iteration reuse (the recomputation optimizer may
+	// choose load states). Without it every iteration recomputes its full
+	// program slice.
+	Reuse bool
+	// NeverReuse lists operator categories that must always recompute even
+	// when a valid materialization exists — DeepDive's non-configurable ML
+	// and evaluation components are modeled this way.
+	NeverReuse []Category
+	// Workers bounds intra-iteration parallelism.
+	Workers int
+	// Sched selects the execution scheduling strategy; the zero value is
+	// the dependency-counting dataflow scheduler. LevelBarrier reproduces
+	// the original wave executor for A/B comparisons.
+	Sched exec.Strategy
+	// Order selects the dataflow ready-queue priority; the zero value is
+	// cost-aware critical-path-first. exec.MinID restores the original
+	// smallest-ID dispatch for A/B comparisons.
+	Order exec.Ordering
+	// Dispatch selects how the dataflow scheduler hands ready nodes to
+	// workers; the zero value is work-stealing (per-worker deques).
+	// exec.GlobalHeap restores the single shared ready heap for A/B
+	// comparisons.
+	Dispatch exec.DispatchMode
+	// Reweight selects online re-prioritization of the remaining DAG from
+	// measured durations; the zero value is exec.Adaptive.
+	// exec.ReweightOff pins the weights computed at the top of each
+	// iteration for A/B comparisons.
+	Reweight exec.Reweight
+	// KeepIntermediates retains every non-pruned value in memory for the
+	// whole iteration. By default the session releases a non-output value
+	// the moment its last consumer has run (memory-bounded execution;
+	// Report and Outputs only ever read output values, so nothing is
+	// lost). Set it for debugging sessions that want to inspect
+	// intermediates post-hoc, or to A/B the peak-memory win.
+	KeepIntermediates bool
+	// Faults is the execution-time fault policy: per-node retry budget with
+	// backoff for transient failures, per-node deadlines, and error
+	// classification. The zero value disables retries and deadlines (one
+	// attempt, fail-fast — the historical behaviour).
+	Faults exec.FaultPolicy
+	// Codec selects the value serialization format (see store.Codec). The
+	// zero value resolves to the reflection-free binary codec;
+	// store.CodecGob forces the reflective A/B reference.
+	Codec store.Codec
+	// MmapCold serves cold-tier reads zero-copy from a read-only memory
+	// mapping instead of a buffered file read (store.OpenSpillMmap).
+	// Requires SpillDir; buffered fallback applies per-file and on
+	// platforms without mmap support.
+	MmapCold bool
+
+	// Tenant labels every value this session materializes with an owning
+	// tenant (store.Entry.Owner) for per-tenant budget accounting in a
+	// shared store. Empty for single-user sessions.
+	Tenant string
+	// SharedTiers plugs a pre-opened tiered store shared with other
+	// sessions into this one, instead of opening a private store from
+	// StoreDir/SpillDir. Cross-tier movement in store.Tiered is serialized
+	// per instance, so concurrent sessions MUST share one instance — the
+	// serve layer constructs sessions this way. Mutually exclusive with
+	// StoreDir/SpillDir.
+	SharedTiers *store.Tiered
+	// SharedHistory plugs a shared runtime-statistics history into this
+	// session instead of a private one. The session never persists a
+	// shared history (its owner decides when and where); without it a
+	// private history is loaded from and saved to StoreDir as before.
+	SharedHistory *exec.History
+}
+
+// Config is the deprecated name of Options, kept as an alias for one
+// release so existing call sites compile unchanged.
+//
+// Deprecated: use Options with Open.
+type Config = Options
+
+// Validate defaults and sanity-checks the options in place. Open calls it;
+// callers only need it to inspect the resolved values early.
+func (o *Options) Validate() error {
+	if o.SystemName == "" {
+		o.SystemName = "helix"
+	}
+	if o.SpillDir != "" && o.StoreDir == "" {
+		return fmt.Errorf("core: SpillDir %q configured without a StoreDir hot tier", o.SpillDir)
+	}
+	if o.SharedTiers != nil {
+		if o.StoreDir != "" {
+			return fmt.Errorf("core: SharedTiers and StoreDir %q are mutually exclusive", o.StoreDir)
+		}
+		if o.MmapCold {
+			return fmt.Errorf("core: MmapCold is fixed at SharedTiers open time; set it on the shared store instead")
+		}
+	}
+	return nil
+}
+
+// Open validates the options, opens the materialization store (if
+// configured) and prepares the engine. Persisted runtime statistics from
+// earlier sessions over the same StoreDir are loaded automatically. This is
+// the canonical constructor every entry point goes through.
+func Open(o Options) (*Session, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Session{cfg: o, history: o.SharedHistory}
+	if s.history == nil {
+		s.history = exec.NewHistory()
+	}
+	if o.SharedTiers != nil {
+		s.store = o.SharedTiers.Hot()
+		s.spill = o.SharedTiers.Cold()
+	} else if o.StoreDir != "" {
+		st, err := store.Open(o.StoreDir, o.BudgetBytes)
+		if err != nil {
+			return nil, err
+		}
+		s.store = st
+		if o.SpillDir != "" {
+			openSpill := store.OpenSpill
+			if o.MmapCold {
+				openSpill = store.OpenSpillMmap
+			}
+			sp, err := openSpill(o.SpillDir, o.SpillBudgetBytes)
+			if err != nil {
+				return nil, err
+			}
+			s.spill = sp
+		}
+		if o.SharedHistory == nil {
+			if err := s.history.Load(s.historyPath()); err != nil {
+				return nil, err
+			}
+		}
+	}
+	s.engine = &exec.Engine{
+		Store:                s.store,
+		Spill:                s.spill,
+		Policy:               o.Policy,
+		Workers:              o.Workers,
+		History:              s.history,
+		Sched:                o.Sched,
+		Order:                o.Order,
+		Dispatch:             o.Dispatch,
+		Reweight:             o.Reweight,
+		ReleaseIntermediates: !o.KeepIntermediates,
+		LiveBytes:            &s.live,
+		Faults:               o.Faults,
+		Codec:                o.Codec,
+		Tenant:               o.Tenant,
+	}
+	if o.SharedTiers != nil {
+		s.engine.UseTiers(o.SharedTiers)
+	}
+	return s, nil
+}

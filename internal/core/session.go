@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"path/filepath"
 	"strings"
@@ -13,85 +14,14 @@ import (
 	"repro/internal/store"
 )
 
-// Config selects a system behaviour for a Session. The comparator systems of
-// the paper's Figure 2 are all expressible as Configs (see the systems
-// package).
-type Config struct {
-	// SystemName labels reports ("helix", "deepdive", ...).
-	SystemName string
-	// StoreDir is the materialization directory; empty disables persistence
-	// entirely (no loads, no stores).
-	StoreDir string
-	// BudgetBytes caps the store (<=0 = unlimited).
-	BudgetBytes int64
-	// SpillDir is the cold-tier spill directory: values the hot store's
-	// budget rejects are admitted there instead of being dropped, and cold
-	// hits are promoted back on load. Empty disables tiering. Requires
-	// StoreDir.
-	SpillDir string
-	// SpillBudgetBytes caps the spill tier (<=0 = unlimited). The spill
-	// tier deletes its least-recently-accessed entries to admit new values,
-	// so unlike BudgetBytes this cap bounds retention, not admission.
-	SpillBudgetBytes int64
-	// Policy is the online materialization policy; nil = never materialize.
-	Policy opt.MatPolicy
-	// Reuse enables cross-iteration reuse (the recomputation optimizer may
-	// choose load states). Without it every iteration recomputes its full
-	// program slice.
-	Reuse bool
-	// NeverReuse lists operator categories that must always recompute even
-	// when a valid materialization exists — DeepDive's non-configurable ML
-	// and evaluation components are modeled this way.
-	NeverReuse []Category
-	// Workers bounds intra-iteration parallelism.
-	Workers int
-	// Sched selects the execution scheduling strategy; the zero value is
-	// the dependency-counting dataflow scheduler. LevelBarrier reproduces
-	// the original wave executor for A/B comparisons.
-	Sched exec.Strategy
-	// Order selects the dataflow ready-queue priority; the zero value is
-	// cost-aware critical-path-first. exec.MinID restores the original
-	// smallest-ID dispatch for A/B comparisons.
-	Order exec.Ordering
-	// Dispatch selects how the dataflow scheduler hands ready nodes to
-	// workers; the zero value is work-stealing (per-worker deques).
-	// exec.GlobalHeap restores the single shared ready heap for A/B
-	// comparisons.
-	Dispatch exec.DispatchMode
-	// Reweight selects online re-prioritization of the remaining DAG from
-	// measured durations; the zero value is exec.Adaptive.
-	// exec.ReweightOff pins the weights computed at the top of each
-	// iteration for A/B comparisons.
-	Reweight exec.Reweight
-	// KeepIntermediates retains every non-pruned value in memory for the
-	// whole iteration. By default the session releases a non-output value
-	// the moment its last consumer has run (memory-bounded execution;
-	// Report and Outputs only ever read output values, so nothing is
-	// lost). Set it for debugging sessions that want to inspect
-	// intermediates post-hoc, or to A/B the peak-memory win.
-	KeepIntermediates bool
-	// Faults is the execution-time fault policy: per-node retry budget with
-	// backoff for transient failures, per-node deadlines, and error
-	// classification. The zero value disables retries and deadlines (one
-	// attempt, fail-fast — the historical behaviour).
-	Faults exec.FaultPolicy
-	// Codec selects the value serialization format (see store.Codec). The
-	// zero value resolves to the reflection-free binary codec;
-	// store.CodecGob forces the reflective A/B reference.
-	Codec store.Codec
-	// MmapCold serves cold-tier reads zero-copy from a read-only memory
-	// mapping instead of a buffered file read (store.OpenSpillMmap).
-	// Requires SpillDir; buffered fallback applies per-file and on
-	// platforms without mmap support.
-	MmapCold bool
-}
-
 // Session drives iterative development: one Session per developer working
 // session, one Run call per iteration. The session owns the store, the
 // runtime-statistics history, and the previous compiled version for change
-// detection.
+// detection — except when Options.SharedTiers/SharedHistory lend it shared
+// ones, in which case their owner (the serve layer) manages their
+// lifecycle.
 type Session struct {
-	cfg     Config
+	cfg     Options
 	store   *store.Store
 	spill   *store.Spill
 	engine  *exec.Engine
@@ -105,52 +35,10 @@ type Session struct {
 // later sessions warm-start with realistic compute-cost estimates.
 const historyFile = "helix-history.json"
 
-// NewSession opens the materialization store (if configured) and prepares
-// the engine. Persisted runtime statistics from earlier sessions over the
-// same StoreDir are loaded automatically.
-func NewSession(cfg Config) (*Session, error) {
-	s := &Session{cfg: cfg, history: exec.NewHistory()}
-	if cfg.SpillDir != "" && cfg.StoreDir == "" {
-		return nil, fmt.Errorf("core: SpillDir %q configured without a StoreDir hot tier", cfg.SpillDir)
-	}
-	if cfg.StoreDir != "" {
-		st, err := store.Open(cfg.StoreDir, cfg.BudgetBytes)
-		if err != nil {
-			return nil, err
-		}
-		s.store = st
-		if cfg.SpillDir != "" {
-			openSpill := store.OpenSpill
-			if cfg.MmapCold {
-				openSpill = store.OpenSpillMmap
-			}
-			sp, err := openSpill(cfg.SpillDir, cfg.SpillBudgetBytes)
-			if err != nil {
-				return nil, err
-			}
-			s.spill = sp
-		}
-		if err := s.history.Load(s.historyPath()); err != nil {
-			return nil, err
-		}
-	}
-	s.engine = &exec.Engine{
-		Store:                s.store,
-		Spill:                s.spill,
-		Policy:               cfg.Policy,
-		Workers:              cfg.Workers,
-		History:              s.history,
-		Sched:                cfg.Sched,
-		Order:                cfg.Order,
-		Dispatch:             cfg.Dispatch,
-		Reweight:             cfg.Reweight,
-		ReleaseIntermediates: !cfg.KeepIntermediates,
-		LiveBytes:            &s.live,
-		Faults:               cfg.Faults,
-		Codec:                cfg.Codec,
-	}
-	return s, nil
-}
+// NewSession opens a session from the deprecated Config name.
+//
+// Deprecated: use Open — NewSession is a thin wrapper kept for one release.
+func NewSession(cfg Config) (*Session, error) { return Open(cfg) }
 
 // Store exposes the session's materialization store — the hot tier when a
 // spill tier is configured (nil if disabled).
@@ -190,31 +78,16 @@ type Report struct {
 	// SpillUsed is the cold tier's byte usage after the iteration (0
 	// without a spill tier).
 	SpillUsed int64
-	// Spills, Promotions and Evictions are this iteration's cross-tier
-	// traffic: hot-budget rejections admitted cold, cold hits moved back
-	// hot, and hot entries demoted to make room for promotions.
-	Spills     int64
-	Promotions int64
-	Evictions  int64
-	// Retries counts transient-failure retries the fault policy performed
-	// this iteration; Recomputes counts sub-DAG recomputations triggered by
-	// failed or corrupt loads; CorruptFrames counts cold-tier checksum
-	// failures detected; TierDisabled reports whether the cold-tier circuit
-	// breaker tripped during (or remains open after) the iteration.
-	Retries       int64
-	Recomputes    int64
-	CorruptFrames int64
-	TierDisabled  bool
-	// GobEncodes and BinaryEncodes split this iteration's materialization
-	// encodes by the codec that actually produced the bytes (gob includes
-	// the binary codec's fallback for unregistered types).
-	GobEncodes    int64
-	BinaryEncodes int64
-	// MmapColdReads and BufferedColdReads split this iteration's cold-tier
-	// loads by read path (zero-copy memory mapping vs buffered file read).
-	MmapColdReads     int64
-	BufferedColdReads int64
-	SourceText        string
+	// Counters consolidates this iteration's execution counters (spills,
+	// promotions, retries, codec splits, ...) under one embedded block;
+	// field promotion keeps the old rep.Spills-style selectors working.
+	exec.Counters
+	// Keys holds each node's content-address store key (the hex Merkle
+	// result signature), indexed by dag.NodeID like Plan.States and Nodes.
+	// The serve layer joins Plan.States==Load against it to attribute
+	// loads to the tenant that materialized the bytes.
+	Keys       []string
+	SourceText string
 }
 
 // Counts tallies node states in the executed plan.
@@ -234,6 +107,14 @@ func (r *Report) Counts() (computed, loaded, pruned int) {
 
 // Run compiles and executes one iteration of the workflow.
 func (s *Session) Run(w *Workflow) (*Report, error) {
+	return s.RunCtx(context.Background(), w)
+}
+
+// RunCtx is Run under a cancellation context: a canceled ctx stops
+// dispatching new nodes, waits for in-flight operators, and returns the
+// context's error. Already-materialized values stay valid — a later
+// session resumes from them.
+func (s *Session) RunCtx(ctx context.Context, w *Workflow) (*Report, error) {
 	compiled, err := Compile(w)
 	if err != nil {
 		return nil, err
@@ -258,7 +139,7 @@ func (s *Session) Run(w *Workflow) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := s.engine.Execute(compiled.Graph, compiled.Tasks, plan)
+	res, err := s.engine.ExecuteCtx(ctx, compiled.Graph, compiled.Tasks, plan)
 	if err != nil {
 		return nil, fmt.Errorf("core: iteration %d: %w", s.iter+1, err)
 	}
@@ -275,40 +156,49 @@ func (s *Session) Run(w *Workflow) (*Report, error) {
 	}
 	s.iter++
 	s.prev = compiled
+	keys := make([]string, len(compiled.Tasks))
+	for i, t := range compiled.Tasks {
+		keys[i] = t.Key
+	}
 	rep := &Report{
-		Iteration:         s.iter,
-		System:            s.cfg.SystemName,
-		Workflow:          w.Name(),
-		Wall:              res.Wall,
-		PlanCost:          plan.Cost,
-		Graph:             compiled.Graph,
-		Plan:              plan,
-		Nodes:             res.Nodes,
-		Changes:           changes,
-		Outputs:           outputs,
-		Spills:            res.Spills,
-		Promotions:        res.Promotions,
-		Evictions:         res.Evictions,
-		Retries:           res.Retries,
-		Recomputes:        res.Recomputes,
-		CorruptFrames:     res.CorruptFrames,
-		TierDisabled:      res.TierDisabled,
-		GobEncodes:        res.GobEncodes,
-		BinaryEncodes:     res.BinaryEncodes,
-		MmapColdReads:     res.MmapColdReads,
-		BufferedColdReads: res.BufferedColdReads,
-		SourceText:        w.SourceText(),
+		Iteration:  s.iter,
+		System:     s.cfg.SystemName,
+		Workflow:   w.Name(),
+		Wall:       res.Wall,
+		PlanCost:   plan.Cost,
+		Graph:      compiled.Graph,
+		Plan:       plan,
+		Nodes:      res.Nodes,
+		Changes:    changes,
+		Outputs:    outputs,
+		Counters:   res.Counters,
+		Keys:       keys,
+		SourceText: w.SourceText(),
 	}
 	if s.store != nil {
 		rep.StoreUsed = s.store.Used()
 		if s.spill != nil {
 			rep.SpillUsed = s.spill.Used()
 		}
-		// Persist runtime statistics for future sessions; failure to save
-		// degrades warm-start but must not fail the iteration.
+	}
+	// Persist runtime statistics for future sessions; failure to save
+	// degrades warm-start but must not fail the iteration. A shared
+	// history's owner persists it itself, and a shared-tiers session has
+	// no StoreDir to write into.
+	if s.cfg.StoreDir != "" && s.cfg.SharedHistory == nil {
 		_ = s.history.Save(s.historyPath())
 	}
 	return rep, nil
+}
+
+// Close flushes session state that outlives the last Run — today the
+// runtime-statistics history (when this session owns one and has somewhere
+// to persist it). Idempotent; safe on every exit path.
+func (s *Session) Close() error {
+	if s.cfg.StoreDir != "" && s.cfg.SharedHistory == nil {
+		return s.history.Save(s.historyPath())
+	}
+	return nil
 }
 
 // historyPath locates the persisted statistics file. The store directory is

@@ -1,0 +1,100 @@
+package exec
+
+// ReportSchemaVersion is the wire-schema version stamped as "schema" on
+// every JSON surface that embeds Counters (bench dispatch reports, the
+// serve daemon's submit/status responses). Version 1 is the pre-Counters
+// layout with ad-hoc per-counter fields; readers (helix-benchdiff) accept
+// both and treat an absent field as 1.
+const ReportSchemaVersion = 2
+
+// Counters is the consolidated execution-counter block shared by every
+// surface that reports engine activity: exec.Result embeds it (per-run
+// deltas), core.Report embeds it (per-iteration deltas), the bench JSON's
+// DispatchMeasurement embeds it, and the helix-serve status/submit
+// responses carry it verbatim. The JSON tags are the stable schema-2 wire
+// names — bench baselines and service clients parse the same keys.
+//
+// All counts are deltas over the window the embedding struct describes
+// (one Execute, one iteration, one benchmark run) except where the
+// embedding surface documents otherwise (the service's status endpoint
+// reports daemon-lifetime totals).
+type Counters struct {
+	// Steals counts ready nodes an idle worker took from another worker's
+	// deque (work-stealing dispatch only; always 0 otherwise).
+	Steals int64 `json:"steals"`
+	// Handoffs counts ready nodes a finishing worker routed through the
+	// global overflow queue to parked workers (work-stealing dispatch only).
+	Handoffs int64 `json:"handoffs"`
+	// AffinityKeeps counts newly-ready children the work-stealing dispatcher
+	// kept on the producing worker's deque instead of handing off — the
+	// surplus beyond one-node-per-parked-worker, left where their freshly
+	// computed inputs are warm (work-stealing dispatch only).
+	AffinityKeeps int64 `json:"affinity_keeps"`
+	// Reweights counts online re-prioritization passes (dataflow scheduler,
+	// critical-path ordering, Adaptive reweighting only; always 0 otherwise).
+	Reweights int64 `json:"reweights"`
+	// Spills counts values admitted to the cold spill tier after the hot
+	// tier's budget rejected them (always 0 without a spill tier).
+	Spills int64 `json:"spills"`
+	// Promotions counts cold-tier loads whose value was moved back into the
+	// hot tier.
+	Promotions int64 `json:"promotions"`
+	// Evictions counts hot-tier entries demoted to the spill tier to make
+	// room for promotions.
+	Evictions int64 `json:"evictions"`
+	// Retries counts operator attempts repeated after a transient fault
+	// (Engine.Faults); the node retried in place on its worker.
+	Retries int64 `json:"retries"`
+	// Recomputes counts nodes recomputed from lineage after a planned load
+	// failed (corrupt frame, read I/O error, evicted entry) — the failing
+	// node plus any ancestors its recovery had to re-run.
+	Recomputes int64 `json:"recomputes"`
+	// CorruptFrames counts cold-tier frames that failed checksum
+	// verification; each was deleted on detection and its value recovered by
+	// recompute.
+	CorruptFrames int64 `json:"corrupt_frames"`
+	// TierDisabled reports whether repeated cold-tier I/O failures tripped
+	// the circuit breaker during (or before) the window, degrading the store
+	// to hot-only.
+	TierDisabled bool `json:"tier_disabled"`
+	// GobEncodes counts values serialized through reflective gob — either
+	// because Engine.Codec selected it or as the binary codec's fallback for
+	// unregistered types.
+	GobEncodes int64 `json:"gob_encodes"`
+	// BinaryEncodes counts values serialized through the reflection-free
+	// binary codec (codec.EncodeValue).
+	BinaryEncodes int64 `json:"binary_encodes"`
+	// MmapColdReads counts cold-tier loads served zero-copy from a memory
+	// mapping (store.OpenSpillMmap; always 0 otherwise).
+	MmapColdReads int64 `json:"mmap_cold_reads"`
+	// BufferedColdReads counts cold-tier loads that took the buffered
+	// os.ReadFile path.
+	BufferedColdReads int64 `json:"buffered_cold_reads"`
+	// CrossSessionHits counts planned loads served from materializations a
+	// *different* tenant produced — the cross-user sub-DAG dedup the shared
+	// store buys. Only the serve layer populates it (a single-session engine
+	// cannot know who wrote an entry's bytes); always 0 elsewhere.
+	CrossSessionHits int64 `json:"cross_session_hits"`
+}
+
+// Add accumulates o into c field by field. TierDisabled latches (true once
+// any window saw the breaker open). The service's lifetime totals are built
+// with it.
+func (c *Counters) Add(o Counters) {
+	c.Steals += o.Steals
+	c.Handoffs += o.Handoffs
+	c.AffinityKeeps += o.AffinityKeeps
+	c.Reweights += o.Reweights
+	c.Spills += o.Spills
+	c.Promotions += o.Promotions
+	c.Evictions += o.Evictions
+	c.Retries += o.Retries
+	c.Recomputes += o.Recomputes
+	c.CorruptFrames += o.CorruptFrames
+	c.TierDisabled = c.TierDisabled || o.TierDisabled
+	c.GobEncodes += o.GobEncodes
+	c.BinaryEncodes += o.BinaryEncodes
+	c.MmapColdReads += o.MmapColdReads
+	c.BufferedColdReads += o.BufferedColdReads
+	c.CrossSessionHits += o.CrossSessionHits
+}

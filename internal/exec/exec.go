@@ -106,59 +106,10 @@ type Result struct {
 	// Wall is the end-to-end latency of the iteration, including the flush
 	// of the background materialization pipeline.
 	Wall time.Duration
-	// Steals counts ready nodes an idle worker took from another worker's
-	// deque (work-stealing dispatch only; always 0 otherwise).
-	Steals int64
-	// Handoffs counts ready nodes a finishing worker routed through the
-	// global overflow queue to parked workers (work-stealing dispatch only).
-	Handoffs int64
-	// AffinityKeeps counts newly-ready children the work-stealing
-	// dispatcher kept on the producing worker's deque instead of handing
-	// off — the surplus beyond one-node-per-parked-worker, left where
-	// their freshly computed inputs are warm (work-stealing dispatch
-	// only).
-	AffinityKeeps int64
-	// Reweights counts the online re-prioritization passes the run
-	// performed (dataflow scheduler, critical-path ordering, Adaptive
-	// reweighting only; always 0 otherwise).
-	Reweights int64
-	// Spills counts values this run admitted to the cold spill tier after
-	// the hot tier's budget rejected them (always 0 without Engine.Spill).
-	Spills int64
-	// Promotions counts cold-tier loads this run whose value was moved
-	// back into the hot tier.
-	Promotions int64
-	// Evictions counts hot-tier entries this run demoted to the spill tier
-	// to make room for promotions.
-	Evictions int64
-	// Retries counts operator attempts this run repeated after a transient
-	// fault (Engine.Faults); the node retried in place on its worker.
-	Retries int64
-	// Recomputes counts nodes this run recomputed from lineage after a
-	// planned load failed (corrupt frame, read I/O error, evicted entry) —
-	// the failing node plus any ancestors its recovery had to re-run.
-	Recomputes int64
-	// CorruptFrames counts cold-tier frames this run that failed checksum
-	// verification; each was deleted on detection and its value recovered
-	// by recompute.
-	CorruptFrames int64
-	// TierDisabled reports whether repeated cold-tier I/O failures tripped
-	// the circuit breaker during (or before) this run, degrading the store
-	// to hot-only.
-	TierDisabled bool
-	// GobEncodes counts values this run serialized through reflective gob —
-	// either because Engine.Codec selected it or as the binary codec's
-	// fallback for unregistered types.
-	GobEncodes int64
-	// BinaryEncodes counts values this run serialized through the
-	// reflection-free binary codec (codec.EncodeValue).
-	BinaryEncodes int64
-	// MmapColdReads counts cold-tier loads this run served zero-copy from a
-	// memory mapping (store.OpenSpillMmap; always 0 otherwise).
-	MmapColdReads int64
-	// BufferedColdReads counts cold-tier loads this run that took the
-	// buffered os.ReadFile path.
-	BufferedColdReads int64
+	// Counters is this run's execution-counter block (steals, spills,
+	// retries, encode splits, ...); every count is a delta over this one
+	// Execute call. See Counters for per-field semantics.
+	Counters
 }
 
 // Value returns the value of the named node, if present.
@@ -441,6 +392,11 @@ type Engine struct {
 	// resolves to the reflection-free binary codec; CodecGob forces the
 	// reflective A/B reference.
 	Codec store.Codec
+	// Tenant labels every value this engine materializes with an owner
+	// (store.Entry.Owner) for per-tenant budget accounting in a shared
+	// store. Empty (the default) leaves entries unowned — the single-user
+	// CLI behaviour.
+	Tenant string
 	// LiveBytes, when non-nil, tracks the serialized-size estimate of the
 	// values held in Result.Values while a dataflow Execute runs: sizes are
 	// added as values are published (exact entry sizes for loads, history
@@ -469,6 +425,20 @@ func (e *Engine) countEncode(c store.Codec) {
 	} else {
 		e.gobEncs.Add(1)
 	}
+}
+
+// UseTiers injects a pre-built (typically shared) tiered store view: the
+// engine's Store and Spill are re-pointed at the view's tiers and every
+// tiered operation — admissions, promotions, pinning, counters — goes
+// through the one instance. This is how concurrent sessions share a store
+// safely: cross-tier movement serializes on the Tiered's own lock, so two
+// sessions over the same directories MUST share one Tiered rather than
+// build private views. Call before the first Execute; it must not race an
+// in-flight run.
+func (e *Engine) UseTiers(t *store.Tiered) {
+	e.Store = t.Hot()
+	e.Spill = t.Cold()
+	e.tierView.Store(t)
 }
 
 // tiers returns the engine's tiered store view, building it on first use.
@@ -828,7 +798,7 @@ func (e *Engine) decideAndPersist(g *dag.Graph, id dag.NodeID, name, key string,
 		enc = encoded
 		size = enc.Size()
 	}
-	hint := store.RewardHint{RecomputeNanos: computeDur.Nanoseconds() + ancCost}
+	hint := store.RewardHint{RecomputeNanos: computeDur.Nanoseconds() + ancCost, Owner: e.Tenant}
 	if _, err := tv.PutEncodedHint(key, enc, hint); err != nil {
 		// Budget races (the value fits no tier) and I/O failures degrade to
 		// "not materialized"; with a spill tier attached a plain hot-budget

@@ -1,0 +1,62 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+)
+
+// maxBodyBytes bounds a submission body; the declarative protocol needs a
+// few hundred bytes, so anything near the cap is hostile or confused.
+const maxBodyBytes = 1 << 20
+
+// Handler adapts the service to HTTP. Routes:
+//
+//	POST /v1/submit  — run one workflow iteration (blocks until complete)
+//	GET  /v1/status  — daemon-lifetime counters and per-tenant usage
+//	GET  /healthz    — liveness probe
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/submit", s.handleSubmit)
+	mux.HandleFunc("GET /v1/status", s.handleStatus)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte("ok\n"))
+	})
+	return mux
+}
+
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, &APIError{Status: 400, Code: CodeBadRequest, Message: "invalid request body: " + err.Error()})
+		return
+	}
+	resp, apiErr := s.Submit(r.Context(), &req)
+	if apiErr != nil {
+		writeError(w, apiErr)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Service) handleStatus(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Status())
+}
+
+func writeError(w http.ResponseWriter, apiErr *APIError) {
+	writeJSON(w, apiErr.Status, ErrorBody{Error: *apiErr})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil && !errors.Is(err, http.ErrHandlerTimeout) {
+		// Body partially written; nothing recoverable at this layer.
+		_ = err
+	}
+}

@@ -1,0 +1,461 @@
+package serve
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/opt"
+	"repro/internal/store"
+	"repro/internal/systems"
+	"repro/internal/workload"
+)
+
+// Config sizes the service. The zero value of any field falls back to the
+// documented default in New.
+type Config struct {
+	// Dir roots the shared store: hot tier at Dir/"hot", cold spill tier
+	// at Dir/"cold", runtime-statistics history next to them. Required.
+	Dir string
+	// HotBudgetBytes caps the shared hot tier (<=0 = unlimited).
+	HotBudgetBytes int64
+	// SpillBudgetBytes caps the shared cold spill tier; 0 disables
+	// tiering entirely (hot-only store, no cross-session pinning), <0
+	// leaves the cold tier unbudgeted.
+	SpillBudgetBytes int64
+	// MmapCold serves cold-tier reads through a read-only memory mapping.
+	MmapCold bool
+	// Workers bounds each run's intra-workflow parallelism (default 2).
+	Workers int
+	// MaxConcurrent bounds concurrently executing runs across all tenants
+	// (default 2) — together with Workers it is the shared worker-pool
+	// budget every session multiplexes onto.
+	MaxConcurrent int
+	// TenantMaxInFlight bounds one tenant's concurrently executing runs
+	// (default 1), so a single chatty tenant cannot monopolize the pool
+	// while others wait.
+	TenantMaxInFlight int
+	// TenantBudgetBytes caps one tenant's materialization footprint across
+	// both tiers; a tenant at cap is refused admission (over_budget) until
+	// eviction shrinks its usage. 0 = unlimited.
+	TenantBudgetBytes int64
+	// DefaultRows and DefaultSeed fill in submissions that leave dataset
+	// sizing unset (defaults 2000 rows, seed 2018).
+	DefaultRows int
+	DefaultSeed int64
+	// Dispatch selects every run's dispatch mode (zero = work-stealing;
+	// exec.GlobalHeap for the A/B reference — the loadgen benchmark
+	// measures the daemon under both).
+	Dispatch exec.DispatchMode
+}
+
+// Service is the daemon core: the shared tiered store, the shared runtime
+// history, per-tenant admission control, and session construction. It is
+// transport-agnostic; handler.go adapts it to HTTP.
+type Service struct {
+	cfg     Config
+	tiers   *store.Tiered
+	history *exec.History
+
+	// baseCtx parents every run; Shutdown cancels it to abort in-flight
+	// work that outlives the drain grace period.
+	baseCtx context.Context
+	cancel  context.CancelFunc
+
+	mu          sync.Mutex
+	draining    bool
+	total       int            // currently executing runs
+	perTenant   map[string]int // currently executing runs per tenant
+	queue       []*waiter      // admission FIFO
+	totals      exec.Counters  // lifetime accumulation
+	submissions int64
+	wg          sync.WaitGroup // one unit per executing run
+
+	dsMu     sync.Mutex
+	datasets map[datasetKey]workload.CensusData
+}
+
+type datasetKey struct {
+	rows int
+	seed int64
+}
+
+// waiter is one submission blocked in the admission queue.
+type waiter struct {
+	tenant   string
+	ch       chan struct{} // closed on grant or rejection
+	rejected bool          // set (under mu) before close when draining
+}
+
+// New opens the shared store and prepares the service. The returned
+// service accepts submissions until Shutdown.
+func New(cfg Config) (*Service, error) {
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("serve: Config.Dir is required")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = 2
+	}
+	if cfg.TenantMaxInFlight <= 0 {
+		cfg.TenantMaxInFlight = 1
+	}
+	if cfg.DefaultRows <= 0 {
+		cfg.DefaultRows = 2000
+	}
+	if cfg.DefaultSeed == 0 {
+		cfg.DefaultSeed = 2018
+	}
+	hot, err := store.Open(filepath.Join(cfg.Dir, "hot"), cfg.HotBudgetBytes)
+	if err != nil {
+		return nil, err
+	}
+	var cold *store.Spill
+	if cfg.SpillBudgetBytes != 0 {
+		budget := cfg.SpillBudgetBytes
+		if budget < 0 {
+			budget = 0
+		}
+		openSpill := store.OpenSpill
+		if cfg.MmapCold {
+			openSpill = store.OpenSpillMmap
+		}
+		if cold, err = openSpill(filepath.Join(cfg.Dir, "cold"), budget); err != nil {
+			return nil, err
+		}
+	}
+	history := exec.NewHistory()
+	if err := history.Load(filepath.Join(cfg.Dir, "helix-history.json")); err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Service{
+		cfg:       cfg,
+		tiers:     store.NewTiered(hot, cold),
+		history:   history,
+		baseCtx:   ctx,
+		cancel:    cancel,
+		perTenant: make(map[string]int),
+		datasets:  make(map[datasetKey]workload.CensusData),
+	}, nil
+}
+
+// Tiers exposes the shared tiered store (tests and the status endpoint).
+func (s *Service) Tiers() *store.Tiered { return s.tiers }
+
+// Submit validates, admits, and runs one workflow iteration, blocking
+// until it completes. Concurrency-safe; the admission gate bounds how many
+// submissions execute at once and queues the rest FIFO.
+func (s *Service) Submit(ctx context.Context, req *SubmitRequest) (*SubmitResponse, *APIError) {
+	if req.Tenant == "" {
+		return nil, &APIError{Status: 400, Code: CodeBadRequest, Message: "tenant is required"}
+	}
+	if req.App != "census" {
+		return nil, &APIError{Status: 400, Code: CodeUnknownApp, Message: fmt.Sprintf("unknown app %q (served apps: census)", req.App)}
+	}
+	system := req.System
+	if system == "" {
+		system = string(systems.Helix)
+	}
+	// Resolve the system preset against the service's directory, then
+	// swap its private store for the shared one: the daemon is a client
+	// of the same Options surface the CLI uses.
+	o, err := systems.Preset(systems.Kind(system), s.cfg.Dir)
+	if err != nil {
+		return nil, &APIError{Status: 400, Code: CodeUnknownSystem, Message: err.Error()}
+	}
+	o.StoreDir, o.BudgetBytes = "", 0
+	o.SharedTiers = s.tiers
+	o.SharedHistory = s.history
+	o.Tenant = req.Tenant
+	o.Workers = s.cfg.Workers
+	o.Dispatch = s.cfg.Dispatch
+
+	if b := s.cfg.TenantBudgetBytes; b > 0 {
+		if used := s.tiers.OwnerUsage()[req.Tenant]; used >= b {
+			return nil, &APIError{Status: 403, Code: CodeOverBudget,
+				Message: fmt.Sprintf("tenant %q holds %d of %d budgeted bytes; wait for eviction", req.Tenant, used, b)}
+		}
+	}
+
+	wf := s.workflow(req)
+
+	if apiErr := s.admit(ctx, req.Tenant); apiErr != nil {
+		return nil, apiErr
+	}
+	defer s.release(req.Tenant)
+
+	sess, err := core.Open(o)
+	if err != nil {
+		return nil, &APIError{Status: 500, Code: CodeInternal, Message: err.Error()}
+	}
+	runCtx, cancelRun := context.WithCancel(ctx)
+	defer cancelRun()
+	stop := context.AfterFunc(s.baseCtx, cancelRun)
+	defer stop()
+
+	rep, err := sess.RunCtx(runCtx, wf)
+	if err != nil {
+		if runCtx.Err() != nil {
+			code, status := CodeCanceled, 499
+			if s.baseCtx.Err() != nil {
+				code, status = CodeDraining, 503
+			}
+			return nil, &APIError{Status: status, Code: code, Message: err.Error()}
+		}
+		return nil, &APIError{Status: 500, Code: CodeInternal, Message: err.Error()}
+	}
+
+	counters := rep.Counters
+	counters.CrossSessionHits = s.crossSessionHits(rep, req.Tenant)
+	hash, err := outputHash(rep)
+	if err != nil {
+		return nil, &APIError{Status: 500, Code: CodeInternal, Message: err.Error()}
+	}
+
+	s.mu.Lock()
+	s.totals.Add(counters)
+	s.submissions++
+	s.mu.Unlock()
+
+	computed, loaded, pruned := rep.Counts()
+	return &SubmitResponse{
+		Schema:          exec.ReportSchemaVersion,
+		Tenant:          req.Tenant,
+		App:             req.App,
+		System:          system,
+		WallMS:          float64(rep.Wall.Microseconds()) / 1000,
+		Computed:        computed,
+		Loaded:          loaded,
+		Pruned:          pruned,
+		Counters:        counters,
+		OutputHash:      hash,
+		TenantUsedBytes: s.tiers.OwnerUsage()[req.Tenant],
+	}, nil
+}
+
+// crossSessionHits counts the run's planned loads whose bytes another
+// tenant materialized: the plan's Load states joined against the shared
+// store's owner stamps. An entry evicted between the load and this sweep
+// just stops counting — the metric is a floor, never an overcount.
+func (s *Service) crossSessionHits(rep *core.Report, tenant string) int64 {
+	var hits int64
+	for id, st := range rep.Plan.States {
+		if st != opt.Load || id >= len(rep.Keys) {
+			continue
+		}
+		if e, _, ok := s.tiers.Lookup(rep.Keys[id]); ok && e.Owner != "" && e.Owner != tenant {
+			hits++
+		}
+	}
+	return hits
+}
+
+// workflow materializes the submission's declared variant into a concrete
+// workflow over the (cached) dataset for its (rows, seed).
+func (s *Service) workflow(req *SubmitRequest) *core.Workflow {
+	rows, seed := req.Rows, req.Seed
+	if rows <= 0 {
+		rows = s.cfg.DefaultRows
+	}
+	if seed == 0 {
+		seed = s.cfg.DefaultSeed
+	}
+	s.dsMu.Lock()
+	key := datasetKey{rows: rows, seed: seed}
+	data, ok := s.datasets[key]
+	if !ok {
+		data = workload.GenerateCensus(rows, rows/4, seed)
+		s.datasets[key] = data
+	}
+	s.dsMu.Unlock()
+
+	p := workload.DefaultCensusParams(data)
+	v := req.Variant
+	if v.Learner != "" {
+		p.Learner = v.Learner
+	}
+	if v.RegParam != 0 {
+		p.RegParam = v.RegParam
+	}
+	if v.Epochs != 0 {
+		p.Epochs = v.Epochs
+	}
+	if v.Metric != "" {
+		p.Metric = v.Metric
+	}
+	if v.AgeBuckets != 0 {
+		p.AgeBuckets = v.AgeBuckets
+	}
+	p.WithOccupation = v.WithOccupation
+	p.WithMaritalStatus = v.WithMaritalStatus
+	p.WithRace = v.WithRace
+	p.WithCapital = v.WithCapital
+	p.WithEduXOcc = v.WithEduXOcc
+	p.WithHours = v.WithHours
+	return p.Build()
+}
+
+// outputHash digests the run's output values: names sorted, each value's
+// canonical encoded bytes folded in. Byte-identical outputs — the
+// correctness bar for every scheduling/sharing configuration — give equal
+// hashes.
+func outputHash(rep *core.Report) (string, error) {
+	names := make([]string, 0, len(rep.Outputs))
+	for name := range rep.Outputs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	h := sha256.New()
+	for _, name := range names {
+		raw, err := store.Encode(rep.Outputs[name])
+		if err != nil {
+			return "", fmt.Errorf("serve: encode output %s: %w", name, err)
+		}
+		fmt.Fprintf(h, "%s:%d:", name, len(raw))
+		h.Write(raw)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// admit blocks until the submission may execute: a free global slot, the
+// tenant under its in-flight cap, and every earlier-queued eligible waiter
+// already granted (FIFO fairness; a waiter whose tenant is at cap does not
+// block later waiters from other tenants).
+func (s *Service) admit(ctx context.Context, tenant string) *APIError {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return &APIError{Status: 503, Code: CodeDraining, Message: "service is shutting down"}
+	}
+	if len(s.queue) == 0 && s.eligibleLocked(tenant) {
+		s.grantLocked(tenant)
+		s.mu.Unlock()
+		return nil
+	}
+	w := &waiter{tenant: tenant, ch: make(chan struct{})}
+	s.queue = append(s.queue, w)
+	s.mu.Unlock()
+
+	select {
+	case <-w.ch:
+		if w.rejected {
+			return &APIError{Status: 503, Code: CodeDraining, Message: "service is shutting down"}
+		}
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for i, q := range s.queue {
+			if q == w {
+				s.queue = append(s.queue[:i], s.queue[i+1:]...)
+				s.mu.Unlock()
+				return &APIError{Status: 499, Code: CodeCanceled, Message: ctx.Err().Error()}
+			}
+		}
+		// Granted concurrently with cancellation: give the slot back.
+		s.releaseLocked(tenant)
+		s.mu.Unlock()
+		return &APIError{Status: 499, Code: CodeCanceled, Message: ctx.Err().Error()}
+	}
+}
+
+// eligibleLocked reports whether tenant may start a run now; mu held.
+func (s *Service) eligibleLocked(tenant string) bool {
+	return s.total < s.cfg.MaxConcurrent && s.perTenant[tenant] < s.cfg.TenantMaxInFlight
+}
+
+// grantLocked takes a slot; mu held.
+func (s *Service) grantLocked(tenant string) {
+	s.total++
+	s.perTenant[tenant]++
+	s.wg.Add(1)
+}
+
+// release returns a slot and wakes eligible queued waiters in FIFO order.
+func (s *Service) release(tenant string) {
+	s.mu.Lock()
+	s.releaseLocked(tenant)
+	s.mu.Unlock()
+}
+
+func (s *Service) releaseLocked(tenant string) {
+	s.total--
+	s.perTenant[tenant]--
+	if s.perTenant[tenant] == 0 {
+		delete(s.perTenant, tenant)
+	}
+	s.wg.Done()
+	s.pumpLocked()
+}
+
+// pumpLocked grants queued waiters: first eligible in queue order, repeated
+// while slots remain; mu held.
+func (s *Service) pumpLocked() {
+	for i := 0; i < len(s.queue); {
+		w := s.queue[i]
+		if !s.eligibleLocked(w.tenant) {
+			i++
+			continue
+		}
+		s.grantLocked(w.tenant)
+		close(w.ch)
+		s.queue = append(s.queue[:i], s.queue[i+1:]...)
+	}
+}
+
+// Status snapshots the daemon.
+func (s *Service) Status() StatusResponse {
+	s.mu.Lock()
+	resp := StatusResponse{
+		Schema:            exec.ReportSchemaVersion,
+		Draining:          s.draining,
+		Submissions:       s.submissions,
+		InFlight:          s.total,
+		Counters:          s.totals,
+		TenantBudgetBytes: s.cfg.TenantBudgetBytes,
+	}
+	s.mu.Unlock()
+	resp.TenantUsedBytes = s.tiers.OwnerUsage()
+	resp.HotUsedBytes = s.tiers.Hot().Used()
+	if cold := s.tiers.Cold(); cold != nil {
+		resp.ColdUsedBytes = cold.Used()
+	}
+	return resp
+}
+
+// Shutdown drains the service: new and queued submissions are refused,
+// in-flight runs get until ctx expires to finish, then are canceled
+// through their contexts. State that outlives the daemon (the runtime
+// history) is flushed before return. Idempotent.
+func (s *Service) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	for _, w := range s.queue {
+		w.rejected = true
+		close(w.ch)
+	}
+	s.queue = nil
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		s.cancel() // abort in-flight runs
+		<-done
+	}
+	s.cancel()
+	return s.history.Save(filepath.Join(s.cfg.Dir, "helix-history.json"))
+}

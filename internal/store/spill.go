@@ -151,6 +151,9 @@ func (sp *Spill) Pinned(key string) bool { return sp.s.Pinned(key) }
 // Entries returns a snapshot of all spilled entries sorted by key.
 func (sp *Spill) Entries() []Entry { return sp.s.Entries() }
 
+// OwnerUsage reports per-owner byte usage (see Store.OwnerUsage).
+func (sp *Spill) OwnerUsage() map[string]int64 { return sp.s.OwnerUsage() }
+
 // Used returns the bytes currently consumed.
 func (sp *Spill) Used() int64 { return sp.s.Used() }
 

@@ -53,6 +53,14 @@ type Entry struct {
 	// eviction treats an unknown as zero saving, so unhinted entries
 	// degrade to pure LRU ordering.
 	Recompute int64
+	// Owner labels which tenant's materialization produced the bytes
+	// (per-tenant budget accounting in a shared multi-session store). The
+	// first writer owns the entry for its lifetime — content addressing
+	// makes later re-puts byte-identical, so ownership never needs to
+	// transfer; it travels with the entry across tier demotions and
+	// promotions. Empty for single-user stores and entries adopted from
+	// disk.
+	Owner string
 }
 
 // RewardHint carries the recompute-saving estimate a caller attaches to an
@@ -64,6 +72,11 @@ type RewardHint struct {
 	// RecomputeNanos is the estimated nanoseconds to recompute the value
 	// from scratch, ancestors included. Zero means unknown.
 	RecomputeNanos int64
+	// Owner is the tenant whose run produced the value (see Entry.Owner).
+	// Empty leaves the entry unowned; an owner on a re-put of an existing
+	// unowned entry adopts it (entries from older single-user runs gain an
+	// accountable owner), but never overwrites an existing owner.
+	Owner string
 }
 
 // EvictionPolicy selects how EvictColdest and VictimCandidates rank
@@ -107,6 +120,13 @@ type Store struct {
 	// the budget, and eviction order are unaffected — pinning only narrows
 	// the victim set.
 	pins map[string]int
+
+	// writing marks keys whose first admission is mid-flight (budget
+	// reserved, file write in progress, entry not yet published). A
+	// concurrent PutBytesHint of the same key returns success without
+	// reserving or writing — content addressing guarantees the in-flight
+	// bytes are the same.
+	writing map[string]bool
 
 	// framed stores (the cold spill tier) wrap every file in a
 	// length+checksum header (see frame.go) and verify it on read; reads of
@@ -440,12 +460,27 @@ func (s *Store) PutBytes(key string, raw []byte) error {
 // entry (see RewardHint). Re-admitting an existing key refreshes its hint
 // — the bytes are identical by content addressing, but the caller's cost
 // estimate may have improved — and remains an idempotent no-op otherwise.
+// Two concurrent first admissions of the same key (two tenants
+// materializing the same sub-DAG result in a shared store) are also
+// idempotent: the second caller returns success immediately and the first
+// write's bytes stand — without this guard both would reserve budget and
+// interleave writes into one temp file.
 func (s *Store) PutBytesHint(key string, raw []byte, hint RewardHint) error {
 	s.mu.Lock()
 	if e, exists := s.entries[key]; exists {
 		if hint.RecomputeNanos > 0 {
 			e.Recompute = hint.RecomputeNanos
 		}
+		if e.Owner == "" {
+			e.Owner = hint.Owner
+		}
+		s.mu.Unlock()
+		return nil
+	}
+	if s.writing[key] {
+		// An identical admission is in flight (content addressing: same key
+		// means same bytes). Treat this one as already done; the racing
+		// writer will publish the entry.
 		s.mu.Unlock()
 		return nil
 	}
@@ -459,10 +494,14 @@ func (s *Store) PutBytesHint(key string, raw []byte, hint RewardHint) error {
 	}
 	// Reserve before the write so concurrent Puts cannot oversubscribe.
 	s.used += size
+	if s.writing == nil {
+		s.writing = make(map[string]bool)
+	}
+	s.writing[key] = true
 	s.mu.Unlock()
 
 	start := time.Now()
-	tmp := s.path(key) + ".tmp"
+	tmp := fmt.Sprintf("%s.%d.tmp", s.path(key), tmpSeq.Add(1))
 	err := s.writeFile(tmp, raw)
 	if err == nil {
 		err = os.Rename(tmp, s.path(key))
@@ -471,6 +510,7 @@ func (s *Store) PutBytesHint(key string, raw []byte, hint RewardHint) error {
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	delete(s.writing, key)
 	if err != nil {
 		s.used -= size
 		os.Remove(tmp)
@@ -478,9 +518,14 @@ func (s *Store) PutBytesHint(key string, raw []byte, hint RewardHint) error {
 	}
 	s.observeWrite(size, elapsed)
 	now := time.Now()
-	s.entries[key] = &Entry{Key: key, Size: size, LoadCost: s.estimateLoad(size), Stored: now, LastAccess: now, Recompute: hint.RecomputeNanos}
+	s.entries[key] = &Entry{Key: key, Size: size, LoadCost: s.estimateLoad(size), Stored: now, LastAccess: now, Recompute: hint.RecomputeNanos, Owner: hint.Owner}
 	return nil
 }
+
+// tmpSeq makes temp-file names unique across concurrent writers, so a
+// same-key write race (already serialized by the writing guard above) or a
+// crash-leftover .tmp can never be renamed over by an unrelated write.
+var tmpSeq atomic.Int64
 
 // SetHint refreshes the recompute-saving hint on an already-stored entry
 // (cost models re-estimate across iterations; adopted entries start with no
@@ -973,6 +1018,19 @@ func (s *Store) Remaining() int64 {
 		return 1 << 60
 	}
 	return s.budget - s.used
+}
+
+// OwnerUsage returns the bytes currently attributed to each owner (see
+// Entry.Owner). Unowned entries are summed under the empty key. The serve
+// layer's per-tenant budget admission reads this.
+func (s *Store) OwnerUsage() map[string]int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[string]int64)
+	for _, e := range s.entries {
+		out[e.Owner] += e.Size
+	}
+	return out
 }
 
 // Entries returns a snapshot of all entries sorted by key.

@@ -225,6 +225,21 @@ func (t *Tiered) Remaining() int64 {
 	return rem
 }
 
+// OwnerUsage reports per-owner byte usage across both tiers (unowned
+// entries under the empty key). An entry mid-demotion — copy-then-delete
+// means its bytes exist in both tiers for a moment — can be counted twice;
+// the serve layer's budget admission treats the figure as a conservative
+// upper bound.
+func (t *Tiered) OwnerUsage() map[string]int64 {
+	out := t.hot.OwnerUsage()
+	if t.cold != nil {
+		for owner, n := range t.cold.OwnerUsage() {
+			out[owner] += n
+		}
+	}
+	return out
+}
+
 // EstimateLoad predicts the load cost of a value of the given size from the
 // tier it would land in if admitted now: the hot tier's throughput while the
 // value fits the hot budget, the (slower) cold tier's once it would spill.
@@ -422,15 +437,17 @@ func (t *Tiered) promoteLocked(key string, raw []byte) {
 	var hint RewardHint
 	if ce, ok := t.cold.Lookup(key); ok {
 		hint.RecomputeNanos = ce.Recompute
+		hint.Owner = ce.Owner
 	}
 	for _, v := range t.hot.VictimCandidates(size) {
 		vraw, _, err := t.hot.read(v.Key)
 		if err != nil {
 			continue // unreadable victim; leave its entry alone
 		}
-		// The demoted entry keeps its recompute hint: the cold tier's
-		// reward-aware eviction ranks it by the same saving it had hot.
-		if err := t.cold.PutBytesHint(v.Key, vraw, RewardHint{RecomputeNanos: v.Recompute}); err != nil {
+		// The demoted entry keeps its recompute hint and owner: the cold
+		// tier's reward-aware eviction ranks it by the same saving it had
+		// hot, and per-tenant accounting follows the bytes across tiers.
+		if err := t.cold.PutBytesHint(v.Key, vraw, RewardHint{RecomputeNanos: v.Recompute, Owner: v.Owner}); err != nil {
 			t.coldPutResult(err)
 			continue // cold cannot hold it (whole-budget overflow); stays hot
 		}

@@ -44,7 +44,52 @@ const (
 // All lists every system in presentation order.
 var All = []Kind{Helix, HelixProb, HelixUnopt, DeepDive, KeystoneML}
 
+// Preset returns the named system's canonical core.Options: policy, reuse
+// rules, and store layout filled in, everything else at its documented
+// default. Callers tweak the returned value (workers, budgets, spill,
+// tenancy) and pass it to core.Open — the systems package holds no
+// configuration surface of its own anymore.
+//
+// Persisting systems root their store at baseDir/"<kind>-store"; baseDir
+// may be empty only for systems that never persist (helix-unopt,
+// keystoneml). Tiering stays off until the caller sets SpillDir (the
+// conventional path is StoreDir+"-spill").
+func Preset(kind Kind, baseDir string) (core.Options, error) {
+	o := core.Options{SystemName: string(kind)}
+	switch kind {
+	case Helix:
+		o.StoreDir = filepath.Join(baseDir, "helix-store")
+		o.Policy = opt.OnlineHeuristic{}
+		o.Reuse = true
+	case HelixProb:
+		o.StoreDir = filepath.Join(baseDir, "helix-prob-store")
+		o.Policy = opt.NewProbabilisticHeuristic()
+		o.Reuse = true
+	case HelixUnopt:
+		// No store directory at all: the unoptimized toggle disables both
+		// reuse and materialization.
+		o.Policy = opt.MaterializeNone{}
+	case DeepDive:
+		o.StoreDir = filepath.Join(baseDir, "deepdive-store")
+		o.Policy = opt.MaterializeAll{}
+		o.Reuse = true
+		o.NeverReuse = []core.Category{core.CatML, core.CatEval}
+	case KeystoneML:
+		o.Policy = opt.MaterializeNone{}
+	default:
+		return core.Options{}, fmt.Errorf("systems: unknown system %q", kind)
+	}
+	if o.StoreDir != "" && baseDir == "" {
+		return core.Options{}, fmt.Errorf("systems: %s requires a base directory for its store", kind)
+	}
+	return o, nil
+}
+
 // Options tune a system instance.
+//
+// Deprecated: use Preset to get core.Options, tweak them, and open the
+// session with core.Open. Options mirrors a subset of core.Options
+// field-for-field and is kept for one release.
 type Options struct {
 	// BaseDir is where the system's materialization store lives; each
 	// system gets its own subdirectory. Required for systems that persist.
@@ -88,53 +133,29 @@ type Options struct {
 }
 
 // New builds a configured session for the named system.
+//
+// Deprecated: use Preset + core.Open. New maps the legacy Options onto the
+// preset and is kept for one release.
 func New(kind Kind, o Options) (*core.Session, error) {
-	cfg := core.Config{
-		SystemName:        string(kind),
-		BudgetBytes:       o.BudgetBytes,
-		Workers:           o.Workers,
-		Sched:             o.Sched,
-		Order:             o.Order,
-		Dispatch:          o.Dispatch,
-		Reweight:          o.Reweight,
-		KeepIntermediates: o.KeepIntermediates,
-		Faults:            o.Faults,
-		Codec:             o.Codec,
-		MmapCold:          o.MmapCold,
+	cfg, err := Preset(kind, o.BaseDir)
+	if err != nil {
+		return nil, err
 	}
-	switch kind {
-	case Helix:
-		cfg.StoreDir = filepath.Join(o.BaseDir, "helix-store")
-		cfg.Policy = opt.OnlineHeuristic{}
-		cfg.Reuse = true
-	case HelixProb:
-		cfg.StoreDir = filepath.Join(o.BaseDir, "helix-prob-store")
-		cfg.Policy = opt.NewProbabilisticHeuristic()
-		cfg.Reuse = true
-	case HelixUnopt:
-		// No store directory at all: the unoptimized toggle disables both
-		// reuse and materialization.
-		cfg.Policy = opt.MaterializeNone{}
-		cfg.Reuse = false
-	case DeepDive:
-		cfg.StoreDir = filepath.Join(o.BaseDir, "deepdive-store")
-		cfg.Policy = opt.MaterializeAll{}
-		cfg.Reuse = true
-		cfg.NeverReuse = []core.Category{core.CatML, core.CatEval}
-	case KeystoneML:
-		cfg.Policy = opt.MaterializeNone{}
-		cfg.Reuse = false
-	default:
-		return nil, fmt.Errorf("systems: unknown system %q", kind)
-	}
-	if cfg.StoreDir != "" && o.BaseDir == "" {
-		return nil, fmt.Errorf("systems: %s requires Options.BaseDir for its store", kind)
-	}
+	cfg.BudgetBytes = o.BudgetBytes
+	cfg.Workers = o.Workers
+	cfg.Sched = o.Sched
+	cfg.Order = o.Order
+	cfg.Dispatch = o.Dispatch
+	cfg.Reweight = o.Reweight
+	cfg.KeepIntermediates = o.KeepIntermediates
+	cfg.Faults = o.Faults
+	cfg.Codec = o.Codec
+	cfg.MmapCold = o.MmapCold
 	if cfg.StoreDir != "" && o.SpillBudgetBytes != 0 {
 		cfg.SpillDir = cfg.StoreDir + "-spill"
 		if o.SpillBudgetBytes > 0 {
 			cfg.SpillBudgetBytes = o.SpillBudgetBytes
 		}
 	}
-	return core.NewSession(cfg)
+	return core.Open(cfg)
 }

@@ -193,6 +193,52 @@ func TestSessionsAreIsolated(t *testing.T) {
 	}
 }
 
+// The deprecated New shim must map every legacy Options field onto the
+// preset, including the StoreDir+"-spill" convention, so code still on the
+// old surface behaves identically to Preset + core.Open during the
+// deprecation window.
+func TestDeprecatedNewMatchesPreset(t *testing.T) {
+	dir := t.TempDir()
+	legacy, err := New(Helix, Options{BaseDir: dir, BudgetBytes: 1 << 20, SpillBudgetBytes: 1 << 20, Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer legacy.Close()
+	if legacy.Spill() == nil {
+		t.Fatal("legacy SpillBudgetBytes did not open a spill tier")
+	}
+
+	opts, err := Preset(Helix, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.BudgetBytes = 1 << 20
+	opts.SpillDir = opts.StoreDir + "-spill"
+	opts.SpillBudgetBytes = 1 << 20
+	opts.Workers = 3
+	canonical, err := core.Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer canonical.Close()
+
+	p := workload.DefaultCensusParams(workload.GenerateCensus(200, 50, 5))
+	repL, err := legacy.Run(p.Build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	repC, err := canonical.Run(p.Build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lm, cm := repL.Outputs["checked"].(ml.Metrics), repC.Outputs["checked"].(ml.Metrics); !metricsEqual(lm, cm) {
+		t.Fatalf("legacy metrics %+v != canonical %+v", lm, cm)
+	}
+	if repL.StoreUsed != repC.StoreUsed {
+		t.Fatalf("legacy store used %d != canonical %d", repL.StoreUsed, repC.StoreUsed)
+	}
+}
+
 // Sharing a BaseDir lets a new session warm-start from a previous one's
 // materializations — the cross-session reuse the content-addressed store
 // enables for free.

@@ -34,7 +34,7 @@ func TestCensusWorkflowRuns(t *testing.T) {
 	p := DefaultCensusParams(data)
 	p.WithOccupation = true
 	p.WithMaritalStatus = true
-	s, err := core.NewSession(core.Config{SystemName: "t"})
+	s, err := core.Open(core.Options{SystemName: "t"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,7 +163,7 @@ func TestIEWorkflowRuns(t *testing.T) {
 	p.Features.Context = true
 	p.Features.Gazetteer = true
 	p.Epochs = 5
-	s, err := core.NewSession(core.Config{SystemName: "t"})
+	s, err := core.Open(core.Options{SystemName: "t"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -204,7 +204,7 @@ func TestIEScenarioShape(t *testing.T) {
 func TestIEReuseAcrossIterations(t *testing.T) {
 	// ML-only edit must not recompute tokenization/labeling.
 	data := GenerateNews(60, 20, 5)
-	s, err := core.NewSession(core.Config{
+	s, err := core.Open(core.Options{
 		SystemName: "helix", StoreDir: t.TempDir(),
 		Policy: opt.MaterializeAll{}, Reuse: true,
 	})
