@@ -29,6 +29,15 @@ import (
 )
 
 func main() {
+	// All real work lives in run so its defers (temp-store cleanup) fire on
+	// every exit path before the process status is decided.
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "helix-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	addr := flag.String("addr", "127.0.0.1:8090", "listen address")
 	dir := flag.String("dir", "", "shared store directory (default: a fresh temp dir)")
 	budget := flag.Int64("budget", 0, "hot-tier budget in bytes (0 = unlimited)")
@@ -47,7 +56,7 @@ func main() {
 	if base == "" {
 		tmp, err := os.MkdirTemp("", "helix-serve-*")
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		defer os.RemoveAll(tmp)
 		base = tmp
@@ -66,7 +75,7 @@ func main() {
 		DefaultSeed:       *seed,
 	})
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
 	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
@@ -81,7 +90,7 @@ func main() {
 
 	select {
 	case err := <-errc:
-		fatal(err)
+		return err
 	case <-ctx.Done():
 	}
 
@@ -99,9 +108,5 @@ func main() {
 		fmt.Fprintln(os.Stderr, "helix-serve: http shutdown:", err)
 	}
 	fmt.Println("helix-serve: done")
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "helix-serve:", err)
-	os.Exit(1)
+	return nil
 }

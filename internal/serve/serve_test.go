@@ -159,6 +159,105 @@ func TestShutdownDrains(t *testing.T) {
 	}
 }
 
+// waitQueued polls until the admission queue holds n waiters.
+func waitQueued(t *testing.T, svc *Service, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		svc.mu.Lock()
+		got := len(svc.queue)
+		svc.mu.Unlock()
+		if got == n {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("admission queue length %d never reached %d", got, n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestAdmitPumpOnEnqueue: a new tenant arriving behind waiters whose
+// tenants are at cap must be granted immediately while global slots are
+// free, not parked until an unrelated run completes.
+func TestAdmitPumpOnEnqueue(t *testing.T) {
+	svc := newTestService(t, Config{MaxConcurrent: 2, TenantMaxInFlight: 1})
+	if apiErr := svc.admit(context.Background(), "a"); apiErr != nil {
+		t.Fatalf("first admit: %v", apiErr)
+	}
+	// Tenant a is now at cap; this waiter queues.
+	aErr := make(chan *APIError, 1)
+	go func() { aErr <- svc.admit(context.Background(), "a") }()
+	waitQueued(t, svc, 1)
+
+	// Tenant b is eligible (1 of 2 global slots used) and must not block
+	// behind the capped tenant-a waiter.
+	bErr := make(chan *APIError, 1)
+	go func() { bErr <- svc.admit(context.Background(), "b") }()
+	select {
+	case apiErr := <-bErr:
+		if apiErr != nil {
+			t.Fatalf("eligible tenant b refused: %v", apiErr)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("eligible tenant b stalled behind a tenant-capped waiter despite a free global slot")
+	}
+
+	svc.release("b")
+	svc.release("a") // frees tenant a's cap: the queued a-waiter is granted
+	if apiErr := <-aErr; apiErr != nil {
+		t.Fatalf("queued tenant-a admit: %v", apiErr)
+	}
+	svc.release("a")
+	shutdown(t, svc)
+}
+
+// TestAdmitShutdownCancelRace: a queued waiter whose context is canceled
+// concurrently with Shutdown rejecting the queue must not "give back" a
+// slot it never held (that corrupts the slot accounting and panics the
+// run WaitGroup). Loop to let the select race land on both branches.
+func TestAdmitShutdownCancelRace(t *testing.T) {
+	for i := 0; i < 40; i++ {
+		svc := newTestService(t, Config{MaxConcurrent: 1})
+		if apiErr := svc.admit(context.Background(), "holder"); apiErr != nil {
+			t.Fatalf("iter %d: holder admit: %v", i, apiErr)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		queuedErr := make(chan *APIError, 1)
+		go func() { queuedErr <- svc.admit(ctx, "queued") }()
+		waitQueued(t, svc, 1)
+
+		// Fire the two queue-clearing events concurrently: the waiter's
+		// cancellation and Shutdown's wholesale rejection.
+		shutdownErr := make(chan error, 1)
+		go cancel()
+		go func() {
+			sctx, scancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer scancel()
+			shutdownErr <- svc.Shutdown(sctx)
+		}()
+
+		apiErr := <-queuedErr
+		if apiErr == nil {
+			t.Fatalf("iter %d: canceled waiter admitted during shutdown", i)
+		}
+		if apiErr.Status != 499 && apiErr.Status != 503 {
+			t.Fatalf("iter %d: got status %d, want 499 or 503", i, apiErr.Status)
+		}
+		svc.release("holder")
+		if err := <-shutdownErr; err != nil {
+			t.Fatalf("iter %d: shutdown: %v", i, err)
+		}
+		svc.mu.Lock()
+		total, perTenant := svc.total, len(svc.perTenant)
+		svc.mu.Unlock()
+		if total != 0 || perTenant != 0 {
+			t.Fatalf("iter %d: slot accounting corrupted after drain: total=%d perTenant=%d", i, total, perTenant)
+		}
+		cancel()
+	}
+}
+
 func shutdown(t *testing.T, svc *Service) {
 	t.Helper()
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)

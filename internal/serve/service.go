@@ -343,6 +343,10 @@ func (s *Service) admit(ctx context.Context, tenant string) *APIError {
 	}
 	w := &waiter{tenant: tenant, ch: make(chan struct{})}
 	s.queue = append(s.queue, w)
+	// Pump immediately: the queue may hold only waiters whose tenants are
+	// at cap, in which case this waiter is eligible right now and must not
+	// wait for an unrelated release.
+	s.pumpLocked()
 	s.mu.Unlock()
 
 	select {
@@ -359,6 +363,13 @@ func (s *Service) admit(ctx context.Context, tenant string) *APIError {
 				s.mu.Unlock()
 				return &APIError{Status: 499, Code: CodeCanceled, Message: ctx.Err().Error()}
 			}
+		}
+		if w.rejected {
+			// Shutdown rejected this waiter concurrently with cancellation:
+			// it left the queue without ever holding a slot, so there is
+			// nothing to give back.
+			s.mu.Unlock()
+			return &APIError{Status: 503, Code: CodeDraining, Message: "service is shutting down"}
 		}
 		// Granted concurrently with cancellation: give the slot back.
 		s.releaseLocked(tenant)

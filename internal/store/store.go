@@ -125,8 +125,9 @@ type Store struct {
 	// reserved, file write in progress, entry not yet published). A
 	// concurrent PutBytesHint of the same key returns success without
 	// reserving or writing — content addressing guarantees the in-flight
-	// bytes are the same.
-	writing map[string]bool
+	// bytes are the same — and merges its hint into the pending record,
+	// which the in-flight writer applies to the entry on publish.
+	writing map[string]*RewardHint
 
 	// framed stores (the cold spill tier) wrap every file in a
 	// length+checksum header (see frame.go) and verify it on read; reads of
@@ -464,7 +465,11 @@ func (s *Store) PutBytes(key string, raw []byte) error {
 // materializing the same sub-DAG result in a shared store) are also
 // idempotent: the second caller returns success immediately and the first
 // write's bytes stand — without this guard both would reserve budget and
-// interleave writes into one temp file.
+// interleave writes into one temp file. The second caller's hint is merged
+// into the in-flight write and applied when its entry publishes. A guarded
+// return does not guarantee the entry exists: if the racing write then
+// fails, the key stays absent and a later Get misses — recompute recovery
+// covers that, same as any eviction.
 func (s *Store) PutBytesHint(key string, raw []byte, hint RewardHint) error {
 	s.mu.Lock()
 	if e, exists := s.entries[key]; exists {
@@ -477,10 +482,16 @@ func (s *Store) PutBytesHint(key string, raw []byte, hint RewardHint) error {
 		s.mu.Unlock()
 		return nil
 	}
-	if s.writing[key] {
+	if pending, inFlight := s.writing[key]; inFlight {
 		// An identical admission is in flight (content addressing: same key
-		// means same bytes). Treat this one as already done; the racing
-		// writer will publish the entry.
+		// means same bytes). Fold this caller's hint into the pending write
+		// so it is not lost, and let the racing writer publish the entry.
+		if hint.RecomputeNanos > pending.RecomputeNanos {
+			pending.RecomputeNanos = hint.RecomputeNanos
+		}
+		if pending.Owner == "" {
+			pending.Owner = hint.Owner
+		}
 		s.mu.Unlock()
 		return nil
 	}
@@ -495,9 +506,10 @@ func (s *Store) PutBytesHint(key string, raw []byte, hint RewardHint) error {
 	// Reserve before the write so concurrent Puts cannot oversubscribe.
 	s.used += size
 	if s.writing == nil {
-		s.writing = make(map[string]bool)
+		s.writing = make(map[string]*RewardHint)
 	}
-	s.writing[key] = true
+	pending := &RewardHint{RecomputeNanos: hint.RecomputeNanos, Owner: hint.Owner}
+	s.writing[key] = pending
 	s.mu.Unlock()
 
 	start := time.Now()
@@ -518,7 +530,9 @@ func (s *Store) PutBytesHint(key string, raw []byte, hint RewardHint) error {
 	}
 	s.observeWrite(size, elapsed)
 	now := time.Now()
-	s.entries[key] = &Entry{Key: key, Size: size, LoadCost: s.estimateLoad(size), Stored: now, LastAccess: now, Recompute: hint.RecomputeNanos, Owner: hint.Owner}
+	// pending carries any hints merged in by concurrent duplicate admissions
+	// that returned while this write was in flight.
+	s.entries[key] = &Entry{Key: key, Size: size, LoadCost: s.estimateLoad(size), Stored: now, LastAccess: now, Recompute: pending.RecomputeNanos, Owner: pending.Owner}
 	return nil
 }
 

@@ -377,3 +377,36 @@ func TestEncodeCallsCounter(t *testing.T) {
 		t.Errorf("counter advanced by %d, want 2", d)
 	}
 }
+
+// TestPutBytesHintMergesInFlight: a duplicate admission that hits the
+// in-flight write guard must not drop its hint — it folds into the pending
+// record the winning writer applies on publish, and a weaker later hint
+// never regresses the merge.
+func TestPutBytesHintMergesInFlight(t *testing.T) {
+	s := openTemp(t, 0)
+	key, raw := "aa00race", []byte("payload")
+
+	s.mu.Lock()
+	if s.writing == nil {
+		s.writing = make(map[string]*RewardHint)
+	}
+	s.writing[key] = &RewardHint{RecomputeNanos: 5}
+	s.mu.Unlock()
+
+	if err := s.PutBytesHint(key, raw, RewardHint{RecomputeNanos: 9, Owner: "ann"}); err != nil {
+		t.Fatalf("guarded put: %v", err)
+	}
+	if err := s.PutBytesHint(key, raw, RewardHint{RecomputeNanos: 3, Owner: "bob"}); err != nil {
+		t.Fatalf("second guarded put: %v", err)
+	}
+
+	s.mu.Lock()
+	pending := *s.writing[key]
+	s.mu.Unlock()
+	if pending.RecomputeNanos != 9 {
+		t.Errorf("pending recompute hint = %d, want the max merged value 9", pending.RecomputeNanos)
+	}
+	if pending.Owner != "ann" {
+		t.Errorf("pending owner = %q, want first-claimant %q", pending.Owner, "ann")
+	}
+}
