@@ -80,10 +80,12 @@ func readReport(path string) (*bench.DispatchReport, error) {
 	if err := json.Unmarshal(raw, &rep); err != nil {
 		return nil, fmt.Errorf("parse %s: %w", path, err)
 	}
-	// Schema 1 (pre-consolidation, no "schema" field — it reads as 0) and
-	// schema 2 differ only in counter layout; the wall times this gate
-	// compares parse identically from both, so either side may be either
-	// version. A higher version is from a future writer and refused.
+	// Schema 1 (pre-consolidation, no "schema" field — it reads as 0),
+	// schema 2 and schema 3 (adds the in-flight dedup counters, which read
+	// as zero from older reports and merely skip that gate) differ only in
+	// counter layout; the wall times this gate compares parse identically
+	// from all of them, so either side may be any version. A higher
+	// version is from a future writer and refused.
 	if rep.Schema > exec.ReportSchemaVersion {
 		return nil, fmt.Errorf("%s: schema %d is newer than this reader understands (max %d)", path, rep.Schema, exec.ReportSchemaVersion)
 	}
@@ -139,11 +141,26 @@ func diff(w *os.File, baseline, current *bench.DispatchReport, tolerance float64
 			fmt.Fprintf(w, "%-16s %-12s %10.2fms %10.2fms %+8.1f%%%s\n",
 				base.Shape, m.mode, m.base, m.cur, delta, verdict)
 		}
-		baseHits := base.WorkSteal.CrossSessionHits + base.GlobalHeap.CrossSessionHits
-		curHits := cur.WorkSteal.CrossSessionHits + cur.GlobalHeap.CrossSessionHits
-		if baseHits > 0 && curHits == 0 {
-			fmt.Fprintf(w, "%-16s %-12s %12d %12d %9s\n", base.Shape, "dedup-hits", baseHits, curHits, "FAIL")
-			failed = true
+		// Functional dedup gates: a baseline that recorded dedup — across
+		// sessions (planned loads of foreign bytes) or in flight (the
+		// single-flight registry collapsing simultaneous identical work) —
+		// whose current run reports zero means the sharing machinery
+		// silently stopped firing, whatever the wall times say.
+		for _, gate := range []struct {
+			name      string
+			base, cur int64
+		}{
+			{"dedup-hits",
+				base.WorkSteal.CrossSessionHits + base.GlobalHeap.CrossSessionHits,
+				cur.WorkSteal.CrossSessionHits + cur.GlobalHeap.CrossSessionHits},
+			{"inflight-hits",
+				base.WorkSteal.InflightDedupHits + base.GlobalHeap.InflightDedupHits,
+				cur.WorkSteal.InflightDedupHits + cur.GlobalHeap.InflightDedupHits},
+		} {
+			if gate.base > 0 && gate.cur == 0 {
+				fmt.Fprintf(w, "%-16s %-12s %12d %12d %9s\n", base.Shape, gate.name, gate.base, gate.cur, "FAIL")
+				failed = true
+			}
 		}
 	}
 	for _, s := range current.Shapes {

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -389,5 +390,88 @@ func TestChaosLevelBarrier(t *testing.T) {
 				t.Errorf("seed %d: node %d differs from clean run", seed, id)
 			}
 		}
+	}
+}
+
+// TestChaosSingleFlightLeaderFailure extends the chaos harness to the
+// single-flight plane: two engines race the same random DAG over one shared
+// store with dedup on, and the first engine's copy of a mid-DAG node is
+// doomed — it parks until another run's waiter arrives on its key, then
+// dies, the seeded version of a leader crashing mid-node. The surviving run
+// must inherit leadership through the registry, recompute the node, and
+// finish byte-identical to a clean solo run; the doomed run must fail; the
+// registry must drain completely.
+func TestChaosSingleFlightLeaderFailure(t *testing.T) {
+	for i := 0; i < 4; i++ {
+		seed := int64(950 + i)
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			sd := RandomDAG(seed)
+			n := sd.G.Len()
+			plan := sd.Plan()
+			prime := &exec.Engine{Workers: 4}
+			truth, err := prime.Execute(sd.G, sd.Tasks, plan)
+			if err != nil {
+				t.Fatalf("prime run: %v", err)
+			}
+
+			hot, err := store.Open(t.TempDir(), 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tv := store.NewTiered(hot, nil)
+			newEngine := func() *exec.Engine {
+				e := &exec.Engine{Workers: 4, Store: hot, Policy: opt.MaterializeAll{}, SingleFlight: true}
+				e.UseTiers(tv)
+				return e
+			}
+
+			// The doomed run's copy of node n/2 signals once it is computing,
+			// then spins until a waiter from the other run parks on its key
+			// and dies holding leadership.
+			doomedID := n / 2
+			doomedKey := sd.Tasks[doomedID].Key
+			started := make(chan struct{})
+			doomedTasks := make([]exec.Task, n)
+			copy(doomedTasks, sd.Tasks)
+			doomedTasks[doomedID].Run = func(ctx context.Context, _ []any) (any, error) {
+				close(started)
+				deadline := time.Now().Add(5 * time.Second)
+				for tv.InflightWaiters(doomedKey) == 0 {
+					if time.Now().After(deadline) {
+						return nil, errors.New("no waiter ever parked on the doomed key")
+					}
+					time.Sleep(100 * time.Microsecond)
+				}
+				return nil, errors.New("leader killed mid-node")
+			}
+
+			doomedErr := make(chan error, 1)
+			go func() {
+				_, err := newEngine().Execute(sd.G, doomedTasks, plan)
+				doomedErr <- err
+			}()
+			// Start the survivor only once the doomed run owns the key's
+			// flight, so the waiter/leader roles are deterministic.
+			<-started
+			res, err := newEngine().Execute(sd.G, sd.Tasks, plan)
+			if err != nil {
+				t.Fatalf("surviving run: %v", err)
+			}
+			if err := <-doomedErr; err == nil {
+				t.Fatal("doomed run succeeded, want mid-node failure")
+			}
+
+			if res.InflightWaits == 0 {
+				t.Error("survivor never parked on the doomed run's flights")
+			}
+			for id, v := range truth.Values {
+				if !bytes.Equal(encodeValue(t, res.Values[id]), encodeValue(t, v)) {
+					t.Errorf("node %d differs from the clean run after leader handoff", id)
+				}
+			}
+			if left := tv.InflightComputes(); left != 0 {
+				t.Errorf("%d flights still registered after both runs ended", left)
+			}
+		})
 	}
 }

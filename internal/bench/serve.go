@@ -139,6 +139,35 @@ func MeasureServeLoad(dir string, o ServeLoadOptions) (DispatchMeasurement, erro
 			}
 		}
 	}
+	// In-flight dedup probe: every tenant submits the *same* variant
+	// simultaneously against a FRESH daemon (warm-store plans may
+	// legitimately mix Load and Compute states across runs, which would
+	// blur the arithmetic below — a cold store makes every plan
+	// all-compute, so the identity is exact). The single-flight registry
+	// must collapse the duplicate work — summed over the runs,
+	// compute-planned nodes minus dedup hits equals one run's
+	// compute-planned count — with byte-identical outputs. Its counters
+	// (inflight_dedup_hits, inflight_waits) flow into the measurement's
+	// totals; its latencies stay out of the throughput numbers, which
+	// describe the overlapping-variant walk above.
+	// The exactly-once identity is asserted on every attempt; a zero hit
+	// count only means the submissions happened not to overlap (one run
+	// finished before the other planned, making it all-Load), so the probe
+	// retries on a fresh store until they do.
+	var probeHits int64
+	for attempt := 0; attempt < 3; attempt++ {
+		probeHits, err = runDedupProbe(fmt.Sprintf("%s/inflight-probe-%d", dir, attempt), o, &totals)
+		if err != nil {
+			return DispatchMeasurement{}, err
+		}
+		if probeHits > 0 {
+			break
+		}
+	}
+	if probeHits == 0 {
+		return DispatchMeasurement{}, fmt.Errorf("bench: %d identical simultaneous submissions never overlapped in 3 attempts — no inflight_dedup_hits", o.Clients)
+	}
+
 	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
 	p99 := latencies[(len(latencies)*99)/100]
 	return DispatchMeasurement{
@@ -151,6 +180,67 @@ func MeasureServeLoad(dir string, o ServeLoadOptions) (DispatchMeasurement, erro
 		ThroughputRPS: float64(len(latencies)) / wall.Seconds(),
 		P99MS:         float64(p99.Microseconds()) / 1000,
 	}, nil
+}
+
+// runDedupProbe opens a fresh daemon at dir, fires o.Clients identical
+// simultaneous submissions at it, verifies the exactly-once identity
+// (executions == one run's compute-planned count) and output-hash
+// agreement, folds the runs' counters into totals, and returns the summed
+// in-flight dedup hits.
+func runDedupProbe(dir string, o ServeLoadOptions, totals *exec.Counters) (int64, error) {
+	svc, err := serve.New(serve.Config{
+		Dir:              dir,
+		SpillBudgetBytes: -1,
+		Workers:          o.Workers,
+		MaxConcurrent:    o.Clients,
+		DefaultRows:      o.Rows,
+		Dispatch:         o.Dispatch,
+	})
+	if err != nil {
+		return 0, err
+	}
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	defer svc.Shutdown(shutdownCtx)
+
+	results := make([]*submitResult, o.Clients)
+	errs := make([]error, o.Clients)
+	var wg sync.WaitGroup
+	for c := 0; c < o.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			results[c], errs[c] = submitHTTP(ts.URL, &serve.SubmitRequest{
+				Tenant: fmt.Sprintf("probe-%d", c), App: "census", Variant: serve.Variant{WithHours: true},
+			})
+		}(c)
+	}
+	wg.Wait()
+	var computed, hits, unique int64
+	hash := ""
+	for c := 0; c < o.Clients; c++ {
+		if errs[c] != nil {
+			return 0, fmt.Errorf("bench: dedup probe client %d: %w", c, errs[c])
+		}
+		body := results[c].body
+		if hash == "" {
+			hash = body.OutputHash
+		} else if body.OutputHash != hash {
+			return 0, fmt.Errorf("bench: dedup probe client %d output hash diverges — single-flight is not value-transparent", c)
+		}
+		computed += int64(body.Computed)
+		hits += body.Counters.InflightDedupHits
+		if int64(body.Computed) > unique {
+			unique = int64(body.Computed)
+		}
+		totals.Add(body.Counters)
+	}
+	if got := computed - hits; got != unique {
+		return 0, fmt.Errorf("bench: dedup probe executed %d operators across %d identical submissions, want exactly the %d unique signatures", got, o.Clients, unique)
+	}
+	return hits, nil
 }
 
 type submitResult struct {

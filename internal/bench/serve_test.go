@@ -1,0 +1,26 @@
+package bench
+
+import "testing"
+
+// TestMeasureServeLoadDedupProbe runs the serve-loadgen measurement small
+// and asserts its built-in checks held: the probe's exactly-once identity
+// (MeasureServeLoad errors on a violation), a nonzero in-flight dedup
+// count surfaced in the summed counter block the benchdiff gate reads, and
+// the cross-session dedup signal from the overlapping-variant walk.
+func TestMeasureServeLoadDedupProbe(t *testing.T) {
+	m, err := MeasureServeLoad(t.TempDir(), ServeLoadOptions{
+		Clients: 2, PerClient: 2, Workers: 2, Rows: 200,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.InflightDedupHits == 0 {
+		t.Error("identical simultaneous submissions produced no inflight_dedup_hits")
+	}
+	if m.CrossSessionHits == 0 {
+		t.Error("overlapping variants across tenants produced no cross_session_hits")
+	}
+	if m.ThroughputRPS <= 0 || m.P99MS <= 0 {
+		t.Errorf("throughput %.2f rps / p99 %.2f ms not measured", m.ThroughputRPS, m.P99MS)
+	}
+}

@@ -186,6 +186,12 @@ func Open(o Options) (*Session, error) {
 	}
 	if o.SharedTiers != nil {
 		s.engine.UseTiers(o.SharedTiers)
+		// Single-flight dedup of in-flight computations only makes sense on
+		// a store other sessions race on, and only for sessions allowed to
+		// reuse: a reuse-disabled comparator (or a NeverReuse category)
+		// must pay its recomputes by contract, so those sessions keep the
+		// compute-everything behaviour even when sharing tiers.
+		s.engine.SingleFlight = o.Reuse && len(o.NeverReuse) == 0
 	}
 	return s, nil
 }

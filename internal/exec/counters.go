@@ -3,9 +3,12 @@ package exec
 // ReportSchemaVersion is the wire-schema version stamped as "schema" on
 // every JSON surface that embeds Counters (bench dispatch reports, the
 // serve daemon's submit/status responses). Version 1 is the pre-Counters
-// layout with ad-hoc per-counter fields; readers (helix-benchdiff) accept
-// both and treat an absent field as 1.
-const ReportSchemaVersion = 2
+// layout with ad-hoc per-counter fields; version 2 introduced the
+// consolidated counter block; version 3 adds the single-flight counters
+// (inflight_dedup_hits, inflight_waits) and the service's queued/failed
+// status fields. Readers (helix-benchdiff) accept every version up to this
+// one and treat an absent field as its zero.
+const ReportSchemaVersion = 3
 
 // Counters is the consolidated execution-counter block shared by every
 // surface that reports engine activity: exec.Result embeds it (per-run
@@ -73,8 +76,20 @@ type Counters struct {
 	// CrossSessionHits counts planned loads served from materializations a
 	// *different* tenant produced — the cross-user sub-DAG dedup the shared
 	// store buys. Only the serve layer populates it (a single-session engine
-	// cannot know who wrote an entry's bytes); always 0 elsewhere.
+	// cannot know who wrote an entry's bytes); always 0 elsewhere. Since
+	// schema 3 the serve layer folds in-flight hits against foreign-owned
+	// entries into it too, so the metric reads "nodes this run did not
+	// compute because another tenant's work covered them".
 	CrossSessionHits int64 `json:"cross_session_hits"`
+	// InflightDedupHits counts compute-planned nodes that were served by a
+	// concurrent in-flight computation of the same signature instead of
+	// running their operator — the single-flight registry's dedup
+	// (Engine.SingleFlight; always 0 when disabled).
+	InflightDedupHits int64 `json:"inflight_dedup_hits"`
+	// InflightWaits counts compute-planned nodes that parked as
+	// single-flight waiters on another run's in-flight computation,
+	// whatever the wait's outcome (served, leadership handoff, timeout).
+	InflightWaits int64 `json:"inflight_waits"`
 }
 
 // Add accumulates o into c field by field. TierDisabled latches (true once
@@ -97,4 +112,6 @@ func (c *Counters) Add(o Counters) {
 	c.MmapColdReads += o.MmapColdReads
 	c.BufferedColdReads += o.BufferedColdReads
 	c.CrossSessionHits += o.CrossSessionHits
+	c.InflightDedupHits += o.InflightDedupHits
+	c.InflightWaits += o.InflightWaits
 }

@@ -93,6 +93,11 @@ type NodeRun struct {
 	// work happens on a background writer: it neither extends Duration nor
 	// delays consumers, but it is still real, measured cost.
 	MatDuration time.Duration
+	// InflightHit reports that this compute-planned node never ran its
+	// operator: a concurrent in-flight computation of the same signature
+	// (Engine.SingleFlight) served the value instead — through the store's
+	// published bytes or the registry's value handoff.
+	InflightHit bool
 }
 
 // Result is the outcome of one Execute call (one workflow iteration).
@@ -397,6 +402,18 @@ type Engine struct {
 	// store. Empty (the default) leaves entries unowned — the single-user
 	// CLI behaviour.
 	Tenant string
+	// SingleFlight consults the shared store's in-flight computation
+	// registry before every compute-planned node: one leader computes each
+	// signature, concurrent runs of the same signature park and are served
+	// the published result (see joinFlight). Off by default — engines that
+	// must recompute by contract (reuse-disabled comparator systems) and
+	// private single-session stores keep the historical behaviour; the
+	// serve layer's shared reuse-enabled sessions turn it on.
+	SingleFlight bool
+	// InflightWait bounds how long a single-flight waiter parks on another
+	// run's in-flight computation before falling back to computing locally
+	// (progress always beats dedup); <=0 selects the default (10s).
+	InflightWait time.Duration
 	// LiveBytes, when non-nil, tracks the serialized-size estimate of the
 	// values held in Result.Values while a dataflow Execute runs: sizes are
 	// added as values are published (exact entry sizes for loads, history
@@ -648,6 +665,8 @@ func (e *Engine) ExecuteCtx(ctx context.Context, g *dag.Graph, tasks []Task, pla
 	if res != nil {
 		res.Retries = stats.retries.Load()
 		res.Recomputes = stats.recomputes.Load()
+		res.InflightDedupHits = stats.inflightHits.Load()
+		res.InflightWaits = stats.inflightWaits.Load()
 		res.GobEncodes = e.gobEncs.Load() - gobBefore
 		res.BinaryEncodes = e.binaryEncs.Load() - binBefore
 	}

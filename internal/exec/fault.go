@@ -116,10 +116,14 @@ func (p FaultPolicy) backoff(id dag.NodeID, attempt int) time.Duration {
 }
 
 // faultStats is one Execute call's fault accounting, shared by every worker
-// and the recovery path; the totals land in Result.Retries/Recomputes.
+// and the recovery path; the totals land in Result.Retries/Recomputes. The
+// single-flight counters ride along (same lifetime, same consumers) and
+// land in Result.InflightDedupHits/InflightWaits.
 type faultStats struct {
-	retries    atomic.Int64
-	recomputes atomic.Int64
+	retries       atomic.Int64
+	recomputes    atomic.Int64
+	inflightHits  atomic.Int64
+	inflightWaits atomic.Int64
 }
 
 // runTask executes one node's operator under the engine's fault policy:

@@ -90,19 +90,41 @@ func (e *Engine) runNodeSync(ctx context.Context, g *dag.Graph, tasks []Task, pl
 		return e.loadNode(ctx, g, tasks, plan, id, res, mu, stats, pins)
 
 	case opt.Compute:
+		key := tasks[id].Key
+		role, served, ferr := e.joinFlight(ctx, key, stats)
+		if ferr != nil {
+			return fmt.Errorf("exec: compute %s: %w", name, ferr)
+		}
+		if role == flightServed {
+			mu.Lock()
+			res.Values[id] = served
+			res.Nodes[id].Duration = time.Since(nodeStart)
+			res.Nodes[id].InflightHit = true
+			mu.Unlock()
+			return nil
+		}
+		lead := role == flightLead
 		inputs, err := gatherInputs(g, id, res, mu)
 		if err != nil {
+			e.finishFlight(lead, key, nil, err)
 			return err
 		}
 		if tasks[id].Run == nil {
-			return fmt.Errorf("exec: node %s has no Run function", name)
+			err := fmt.Errorf("exec: node %s has no Run function", name)
+			e.finishFlight(lead, key, nil, err)
+			return err
 		}
 		v, err := e.runTask(ctx, id, tasks[id].Run, inputs, stats)
 		if err != nil {
+			e.finishFlight(lead, key, nil, err)
 			return fmt.Errorf("exec: compute %s: %w", name, err)
 		}
 		computeDur := time.Since(nodeStart)
 		matDur, size, materialized, reward := e.maybeMaterialize(g, tasks, id, v, computeDur, res, mu, closures, queued)
+		// This executor materializes synchronously, so the flight resolves
+		// with the publish already landed (or declined) — waiters that probe
+		// the store see exactly what the policy decided.
+		e.finishFlight(lead, key, v, nil)
 		total := computeDur + matDur
 		if e.History != nil {
 			e.History.ObserveCompute(name, computeDur, size)

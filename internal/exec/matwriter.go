@@ -38,6 +38,11 @@ type matJob struct {
 	key        string
 	value      any
 	computeDur time.Duration
+	// finish marks the submitter as the key's single-flight leader: the
+	// writer resolves the flight (FinishCompute) right after the publish
+	// decision lands, so parked waiters wake to a store that already holds
+	// the bytes when the policy said yes.
+	finish bool
 }
 
 // matWriter is the bounded asynchronous materialization pipeline of the
@@ -99,17 +104,20 @@ func newMatWriter(rc *runCtx) *matWriter {
 	return w
 }
 
-// submit hands a completed value to the pipeline. Keys already queued this
-// run are skipped (shared-signature nodes must not race to double-write),
-// as are keys persisted — in either tier — by an earlier iteration.
-func (w *matWriter) submit(id dag.NodeID, name, key string, v any, computeDur time.Duration) {
+// submit hands a completed value to the pipeline, reporting whether a job
+// was queued. Keys already queued this run are skipped (shared-signature
+// nodes must not race to double-write), as are keys persisted — in either
+// tier — by an earlier iteration; a rejected submit leaves any single-flight
+// leadership with the caller (finish travels only with a queued job).
+func (w *matWriter) submit(id dag.NodeID, name, key string, v any, computeDur time.Duration, finish bool) bool {
 	if key == "" {
-		return // not addressable
+		return false // not addressable
 	}
 	if !w.queued.claim(key) || w.e.tiers().Has(key) {
-		return // in flight this run, or persisted by an earlier iteration
+		return false // in flight this run, or persisted by an earlier iteration
 	}
-	w.jobs <- matJob{id: id, name: name, key: key, value: v, computeDur: computeDur}
+	w.jobs <- matJob{id: id, name: name, key: key, value: v, computeDur: computeDur, finish: finish}
+	return true
 }
 
 // flush closes the queue and waits for every in-flight decision and write.
@@ -125,6 +133,12 @@ func (w *matWriter) process(j matJob) {
 	matDur, size, materialized, reward := w.e.decideAndPersist(w.g, j.id, j.name, j.key, j.value, j.computeDur, func() int64 {
 		return w.ancestorCost(w.closures[j.id])
 	})
+	if j.finish {
+		// Resolve the single-flight after the publish decision: when the
+		// policy materialized, waiters load the bytes; when it declined,
+		// they fall back to the value handed through the registry.
+		w.e.tiers().FinishCompute(j.key, j.value, nil)
+	}
 	w.record(j, matDur, size, materialized, reward)
 }
 

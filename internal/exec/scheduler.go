@@ -411,20 +411,39 @@ func (rc *runCtx) runNode(id dag.NodeID) error {
 			// Heal the store: the corrupt frame was deleted on detection,
 			// so re-submitting the recovered value lets the policy
 			// re-materialize it off the critical path.
-			rc.writer.submit(id, name, rc.tasks[id].Key, v, time.Since(nodeStart))
+			rc.writer.submit(id, name, rc.tasks[id].Key, v, time.Since(nodeStart), false)
 		}
 		return nil
 
 	case opt.Compute:
+		key := rc.tasks[id].Key
+		role, served, ferr := e.joinFlight(rc.ctx, key, rc.stats)
+		if ferr != nil {
+			return fmt.Errorf("exec: compute %s: %w", name, ferr)
+		}
+		if role == flightServed {
+			rc.vals[id] = served
+			rc.published[id] = true
+			rc.durs[id].Store(time.Since(nodeStart).Nanoseconds())
+			rc.noteLive(id)
+			rc.resMu.Lock()
+			rc.res.Nodes[id].InflightHit = true
+			rc.resMu.Unlock()
+			return nil
+		}
+		lead := role == flightLead
 		inputs, err := rc.gather(id)
 		if err != nil {
+			e.finishFlight(lead, key, nil, err)
 			return err
 		}
 		if rc.tasks[id].Run == nil {
+			e.finishFlight(lead, key, nil, fmt.Errorf("exec: node %s has no Run function", name))
 			return fmt.Errorf("exec: node %s has no Run function", name)
 		}
 		v, err := e.runTask(rc.ctx, id, rc.tasks[id].Run, inputs, rc.stats)
 		if err != nil {
+			e.finishFlight(lead, key, nil, err)
 			return fmt.Errorf("exec: compute %s: %w", name, err)
 		}
 		computeDur := time.Since(nodeStart)
@@ -435,9 +454,13 @@ func (rc *runCtx) runNode(id dag.NodeID) error {
 		rc.published[id] = true
 		rc.durs[id].Store(computeDur.Nanoseconds())
 		rc.noteLive(id)
-		if rc.writer != nil {
-			rc.writer.submit(id, name, rc.tasks[id].Key, v, computeDur)
+		if rc.writer != nil && rc.writer.submit(id, name, key, v, computeDur, lead) {
+			// The writer owns the flight now: FinishCompute fires after the
+			// publish decision lands, so parked waiters that probe the store
+			// see the bytes (flush drains the pipeline even on error paths).
+			return nil
 		}
+		e.finishFlight(lead, key, v, nil)
 		return nil
 
 	default:

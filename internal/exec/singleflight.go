@@ -1,0 +1,128 @@
+package exec
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/store"
+)
+
+// defaultInflightWait bounds how long a single-flight waiter parks on
+// another run's in-flight computation before giving up and computing
+// locally. The bound is belt-and-suspenders, not the liveness argument —
+// see the deadlock reasoning on joinFlight — sized so a genuinely wedged
+// foreign leader costs a stall, never a deadlock.
+const defaultInflightWait = 10 * time.Second
+
+func (e *Engine) inflightWait() time.Duration {
+	if e.InflightWait > 0 {
+		return e.InflightWait
+	}
+	return defaultInflightWait
+}
+
+// flightRole is joinFlight's verdict on one compute-planned node.
+type flightRole int
+
+const (
+	// flightCompute: run the operator locally; the caller holds no
+	// leadership and must not FinishCompute. The role when single-flight is
+	// disabled, and the waiter fallback after a timeout or a store miss.
+	flightCompute flightRole = iota
+	// flightLead: the caller is the key's elected leader — compute and
+	// publish as usual, then FinishCompute exactly once, however the
+	// computation ends.
+	flightLead
+	// flightServed: the value was obtained from a concurrent flight (or,
+	// for a just-resolved one, from the store) without computing.
+	flightServed
+)
+
+// joinFlight consults the shared store's in-flight computation registry
+// before a compute-planned node runs. Leaders proceed to compute; waiters
+// park until the concurrent flight publishes, then load the bytes through
+// the tiered store's usual read path (pinned across the publish→load window
+// so eviction cannot lose them), falling back to the value the leader
+// handed through the registry when its policy declined materialization. A
+// leader that finds the key already stored — the flight it raced resolved
+// before it registered — is served the stored bytes instead of recomputing,
+// which is what makes N concurrent identical runs compute each unique
+// signature exactly once.
+//
+// No cross-run deadlock (the argument docs/store.md records): a worker
+// waits only on the single key of the node it is about to run, and
+// leadership over a key is held only across that leader's own bounded work
+// — the operator plus an asynchronous publish whose pipeline Execute always
+// flushes, even on error and cancellation paths (FinishCompute fires from
+// the writer, the inline fallback, or the error path; there is no return
+// without it). Leadership is therefore never held *while* waiting on a
+// different key's flight on the same worker, so no cycle of waits can form.
+// The bounded wait (Engine.InflightWait) is a backstop, not the proof:
+// progress always beats dedup, because every wait outcome — published,
+// handoff, timeout, cancellation — ends in a value or a local compute.
+func (e *Engine) joinFlight(ctx context.Context, key string, stats *faultStats) (flightRole, any, error) {
+	if !e.SingleFlight || e.Store == nil || key == "" {
+		return flightCompute, nil, nil
+	}
+	tv := e.tiers()
+	leader, wait := tv.BeginCompute(key)
+	if leader {
+		// A flight this run raced may have resolved between plan time and
+		// now: serve the published bytes instead of recomputing them.
+		if tv.Has(key) {
+			if v, _, err := tv.Get(key); err == nil {
+				tv.FinishCompute(key, v, nil)
+				stats.inflightHits.Add(1)
+				return flightServed, v, nil
+			}
+		}
+		// The raced flight may have resolved with its policy *declining*
+		// materialization — nothing in the store, but the registry's
+		// afterglow still holds the value. Keys are content addresses, so
+		// the cached value equals what a recompute would produce.
+		if v, ok := tv.RecentResolved(key); ok {
+			tv.FinishCompute(key, v, nil)
+			stats.inflightHits.Add(1)
+			return flightServed, v, nil
+		}
+		return flightLead, nil, nil
+	}
+	stats.inflightWaits.Add(1)
+	// Pin across the publish→load window: the leader's bytes may land in
+	// the evictable cold tier, and a waiter must not lose them to another
+	// tenant's admission pressure before its load. Refcounted, no-op
+	// without a cold tier — the same guarantee the planned-load pinSet
+	// gives Load-state nodes.
+	tv.Pin(key)
+	defer tv.Unpin(key)
+	outcome, handed := wait(ctx, e.inflightWait())
+	switch outcome {
+	case store.WaitPublished:
+		if v, _, err := tv.Get(key); err == nil {
+			stats.inflightHits.Add(1)
+			return flightServed, v, nil
+		}
+		if handed != nil {
+			// The leader's policy declined to materialize (or the entry was
+			// already evicted); the registry handed the in-memory value
+			// through instead. Values are immutable once published — the
+			// same convention that lets one run's consumers share them.
+			stats.inflightHits.Add(1)
+			return flightServed, handed, nil
+		}
+		return flightCompute, nil, nil
+	case store.WaitLeader:
+		return flightLead, nil, nil
+	case store.WaitCanceled:
+		return flightCompute, nil, ctx.Err()
+	default: // store.WaitTimeout
+		return flightCompute, nil, nil
+	}
+}
+
+// finishFlight resolves key's flight if this caller holds its leadership.
+func (e *Engine) finishFlight(lead bool, key string, val any, err error) {
+	if lead {
+		e.tiers().FinishCompute(key, val, err)
+	}
+}

@@ -1,0 +1,289 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/dag"
+	"repro/internal/opt"
+	"repro/internal/store"
+)
+
+// sfChain builds a->b->c whose tasks count invocations in the shared
+// counters slice — the probe every single-flight test asserts on: under
+// dedup, each unique key's operator runs exactly once across ALL engines.
+func sfChain(counters []*atomic.Int64) (*dag.Graph, []Task) {
+	g := dag.New()
+	a := g.MustAddNode("a", "scan")
+	b := g.MustAddNode("b", "extract")
+	c := g.MustAddNode("c", "learner")
+	g.MustAddEdge(a, b)
+	g.MustAddEdge(b, c)
+	g.Node(c).Output = true
+	tasks := []Task{
+		{Key: "sf-ka", Run: func(context.Context, []any) (any, error) {
+			counters[0].Add(1)
+			return "a", nil
+		}},
+		{Key: "sf-kb", Run: func(_ context.Context, in []any) (any, error) {
+			counters[1].Add(1)
+			return in[0].(string) + "b", nil
+		}},
+		{Key: "sf-kc", Run: func(_ context.Context, in []any) (any, error) {
+			counters[2].Add(1)
+			return in[0].(string) + "c", nil
+		}},
+	}
+	return g, tasks
+}
+
+func sfEngine(t *testing.T, tv *store.Tiered, sched Strategy) *Engine {
+	t.Helper()
+	e := &Engine{
+		Workers:      2,
+		Store:        tv.Hot(),
+		Policy:       opt.MaterializeAll{},
+		Sched:        sched,
+		SingleFlight: true,
+	}
+	e.UseTiers(tv)
+	return e
+}
+
+// TestConcurrentEnginesSingleFlight runs N engines over one shared store
+// executing the identical all-compute plan concurrently and asserts the
+// exactly-once contract: each unique signature's operator runs once across
+// the fleet, every other compute-planned node is served by the registry,
+// and all runs end with identical output values. Exercised under both
+// schedulers; run with -race in CI.
+func TestConcurrentEnginesSingleFlight(t *testing.T) {
+	for _, sched := range []Strategy{Dataflow, LevelBarrier} {
+		name := "dataflow"
+		if sched == LevelBarrier {
+			name = "levelbarrier"
+		}
+		t.Run(name, func(t *testing.T) {
+			hot, err := store.Open(t.TempDir(), 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tv := store.NewTiered(hot, nil)
+			counters := []*atomic.Int64{{}, {}, {}}
+			g, tasks := sfChain(counters)
+			plan := allCompute(3)
+
+			const n = 4
+			results := make([]*Result, n)
+			errs := make([]error, n)
+			var wg sync.WaitGroup
+			for i := 0; i < n; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					e := sfEngine(t, tv, sched)
+					results[i], errs[i] = e.Execute(g, tasks, plan)
+				}(i)
+			}
+			wg.Wait()
+
+			var total, hits, waits int64
+			for i := 0; i < n; i++ {
+				if errs[i] != nil {
+					t.Fatalf("run %d: %v", i, errs[i])
+				}
+				v, ok := results[i].Value(g, "c")
+				if !ok || v.(string) != "abc" {
+					t.Fatalf("run %d output = %v, %v; want abc", i, v, ok)
+				}
+				hits += results[i].InflightDedupHits
+				waits += results[i].InflightWaits
+			}
+			for node, c := range counters {
+				got := c.Load()
+				total += got
+				if got != 1 {
+					t.Errorf("node %d operator ran %d times, want exactly 1", node, got)
+				}
+			}
+			// The verification identity: summed over runs, computed-planned
+			// nodes minus dedup hits equals the unique signature count.
+			unique := int64(len(counters))
+			if computed := int64(n) * unique; computed-hits != unique {
+				t.Errorf("computed %d - hits %d = %d, want unique count %d",
+					computed, hits, computed-hits, unique)
+			}
+			if hits != int64(n-1)*unique {
+				t.Errorf("inflight dedup hits = %d, want %d", hits, int64(n-1)*unique)
+			}
+			if waits > hits {
+				t.Errorf("inflight waits %d exceed hits %d: some waiter fell back to compute", waits, hits)
+			}
+			t.Logf("total ops %d, hits %d, waits %d", total, hits, waits)
+		})
+	}
+}
+
+// TestSingleFlightWaiterTimeoutFallsBack parks a waiter behind a leader
+// that never finishes inside the bound and asserts the waiter computes
+// locally — progress beats dedup.
+func TestSingleFlightWaiterTimeoutFallsBack(t *testing.T) {
+	hot, err := store.Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tv := store.NewTiered(hot, nil)
+
+	release := make(chan struct{})
+	g := dag.New()
+	id := g.MustAddNode("slow", "scan")
+	g.Node(id).Output = true
+	blocking := []Task{{Key: "sf-slow", Run: func(context.Context, []any) (any, error) {
+		<-release
+		return "leader", nil
+	}}}
+	fast := []Task{{Key: "sf-slow", Run: func(context.Context, []any) (any, error) {
+		return "waiter", nil
+	}}}
+	plan := allCompute(1)
+
+	leaderDone := make(chan struct{})
+	go func() {
+		defer close(leaderDone)
+		e := sfEngine(t, tv, Dataflow)
+		if _, err := e.Execute(g, blocking, plan); err != nil {
+			t.Errorf("leader run: %v", err)
+		}
+	}()
+	waitInflight(t, tv, 1)
+
+	w := sfEngine(t, tv, Dataflow)
+	w.InflightWait = 5 * time.Millisecond
+	res, err := w.Execute(g, fast, plan)
+	if err != nil {
+		t.Fatalf("waiter run: %v", err)
+	}
+	if v, _ := res.Value(g, "slow"); v.(string) != "waiter" {
+		t.Fatalf("waiter value = %v, want its own local compute", v)
+	}
+	if res.InflightWaits != 1 || res.InflightDedupHits != 0 {
+		t.Fatalf("waits=%d hits=%d, want 1 wait and 0 hits", res.InflightWaits, res.InflightDedupHits)
+	}
+	close(release)
+	<-leaderDone
+}
+
+// TestSingleFlightLeaderFailureHandsOff kills the computing leader once a
+// waiter is parked and asserts the waiter is handed leadership, recomputes,
+// and succeeds — the failed run errors, the surviving run's output is the
+// value a solo run would produce.
+func TestSingleFlightLeaderFailureHandsOff(t *testing.T) {
+	for _, sched := range []Strategy{Dataflow, LevelBarrier} {
+		name := "dataflow"
+		if sched == LevelBarrier {
+			name = "levelbarrier"
+		}
+		t.Run(name, func(t *testing.T) {
+			hot, err := store.Open(t.TempDir(), 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tv := store.NewTiered(hot, nil)
+
+			g := dag.New()
+			id := g.MustAddNode("fragile", "scan")
+			g.Node(id).Output = true
+			// The doomed leader spins until a waiter parks, then dies — the
+			// deterministic seeded-fault version of a crash mid-node.
+			doomed := []Task{{Key: "sf-fragile", Run: func(ctx context.Context, _ []any) (any, error) {
+				deadline := time.Now().Add(5 * time.Second)
+				for tv.InflightWaiters("sf-fragile") == 0 {
+					if time.Now().After(deadline) {
+						return nil, errors.New("no waiter ever parked")
+					}
+					time.Sleep(100 * time.Microsecond)
+				}
+				return nil, errors.New("leader killed mid-node")
+			}}}
+			survivor := []Task{{Key: "sf-fragile", Run: func(context.Context, []any) (any, error) {
+				return "recovered", nil
+			}}}
+			plan := allCompute(1)
+
+			leaderErr := make(chan error, 1)
+			go func() {
+				e := sfEngine(t, tv, sched)
+				_, err := e.Execute(g, doomed, plan)
+				leaderErr <- err
+			}()
+			waitInflight(t, tv, 1)
+
+			w := sfEngine(t, tv, sched)
+			res, err := w.Execute(g, survivor, plan)
+			if err != nil {
+				t.Fatalf("surviving run: %v", err)
+			}
+			if v, _ := res.Value(g, "fragile"); v.(string) != "recovered" {
+				t.Fatalf("survivor value = %v, want recovered", v)
+			}
+			if res.InflightWaits != 1 {
+				t.Fatalf("survivor waits = %d, want 1 (parked then handed leadership)", res.InflightWaits)
+			}
+			if err := <-leaderErr; err == nil {
+				t.Fatal("doomed leader run succeeded, want error")
+			}
+			if n := tv.InflightComputes(); n != 0 {
+				t.Fatalf("%d flights still registered after both runs ended", n)
+			}
+		})
+	}
+}
+
+// TestSingleFlightDisabledByDefault: the zero-value engine must never touch
+// the registry — every run computes everything, exactly the pre-dedup
+// semantics reuse-disabled comparator systems contract on.
+func TestSingleFlightDisabledByDefault(t *testing.T) {
+	hot, err := store.Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tv := store.NewTiered(hot, nil)
+	counters := []*atomic.Int64{{}, {}, {}}
+	g, tasks := sfChain(counters)
+	plan := allCompute(3)
+
+	const n = 3
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			e := &Engine{Workers: 2, Store: hot, Policy: opt.MaterializeNone{}}
+			e.UseTiers(tv)
+			if _, err := e.Execute(g, tasks, plan); err != nil {
+				t.Errorf("run: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	for node, c := range counters {
+		if got := c.Load(); got != n {
+			t.Errorf("node %d ran %d times, want %d (no dedup without SingleFlight)", node, got, n)
+		}
+	}
+}
+
+// waitInflight polls until the registry holds n flights.
+func waitInflight(t *testing.T, tv *store.Tiered, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for tv.InflightComputes() != n {
+		if time.Now().After(deadline) {
+			t.Fatalf("registry never reached %d in-flight computations", n)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/exec"
 	"repro/internal/store"
 )
 
@@ -95,8 +96,8 @@ func TestHandlerSubmitAndStatus(t *testing.T) {
 	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
 		t.Fatal(err)
 	}
-	if sub.Schema != 2 {
-		t.Fatalf("schema = %d, want 2", sub.Schema)
+	if sub.Schema != exec.ReportSchemaVersion {
+		t.Fatalf("schema = %d, want %d", sub.Schema, exec.ReportSchemaVersion)
 	}
 	if sub.OutputHash == "" {
 		t.Fatal("output hash is empty")

@@ -90,10 +90,17 @@ type SubmitResponse struct {
 
 // StatusResponse is the daemon-lifetime view.
 type StatusResponse struct {
-	Schema      int   `json:"schema"`
-	Draining    bool  `json:"draining"`
+	Schema   int  `json:"schema"`
+	Draining bool `json:"draining"`
+	// Submissions counts every admitted run that completed — successes and
+	// failures alike; Failed is the failing subset. Refusals that never ran
+	// (over_budget, draining, queue cancellation) count in neither.
 	Submissions int64 `json:"submissions"`
+	Failed      int64 `json:"failed"`
 	InFlight    int   `json:"in_flight"`
+	// Queued is the current admission-queue depth: submissions accepted but
+	// waiting for a concurrency slot.
+	Queued int `json:"queued"`
 	// Counters accumulates every completed run's counter block
 	// (daemon-lifetime totals, not a window).
 	Counters exec.Counters `json:"counters"`

@@ -159,14 +159,13 @@ func TestShutdownDrains(t *testing.T) {
 	}
 }
 
-// waitQueued polls until the admission queue holds n waiters.
+// waitQueued polls the status endpoint until the admission queue holds n
+// waiters — through the same surface operators watch, not service internals.
 func waitQueued(t *testing.T, svc *Service, n int) {
 	t.Helper()
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		svc.mu.Lock()
-		got := len(svc.queue)
-		svc.mu.Unlock()
+		got := svc.Status().Queued
 		if got == n {
 			return
 		}

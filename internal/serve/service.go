@@ -74,16 +74,35 @@ type Service struct {
 	perTenant   map[string]int // currently executing runs per tenant
 	queue       []*waiter      // admission FIFO
 	totals      exec.Counters  // lifetime accumulation
-	submissions int64
+	submissions int64          // completed runs, successes and failures alike
+	failed      int64          // the failing subset of submissions
 	wg          sync.WaitGroup // one unit per executing run
 
+	// dsMu guards only the dataset cache's map and recency order — never
+	// generation itself, which runs under the entry's once so concurrent
+	// submissions of distinct (rows, seed) pairs generate in parallel.
 	dsMu     sync.Mutex
-	datasets map[datasetKey]workload.CensusData
+	datasets map[datasetKey]*dsEntry
+	dsOrder  []datasetKey // oldest-touched first; len bounded by datasetCacheMax
 }
 
 type datasetKey struct {
 	rows int
 	seed int64
+}
+
+// datasetCacheMax bounds the dataset cache: each generated CensusData is
+// O(rows) in memory and a daemon serving many distinct (rows, seed)
+// sweeps must not retain them all. Eviction is LRU on submission touch.
+const datasetCacheMax = 4
+
+// dsEntry is one cached dataset. The once gates generation so exactly one
+// submission pays for each (rows, seed) while the rest wait on the entry,
+// not on the cache lock; evicted entries stay valid for goroutines that
+// already hold them.
+type dsEntry struct {
+	once sync.Once
+	data workload.CensusData
 }
 
 // waiter is one submission blocked in the admission queue.
@@ -144,7 +163,7 @@ func New(cfg Config) (*Service, error) {
 		baseCtx:   ctx,
 		cancel:    cancel,
 		perTenant: make(map[string]int),
-		datasets:  make(map[datasetKey]workload.CensusData),
+		datasets:  make(map[datasetKey]*dsEntry),
 	}, nil
 }
 
@@ -179,11 +198,9 @@ func (s *Service) Submit(ctx context.Context, req *SubmitRequest) (*SubmitRespon
 	o.Workers = s.cfg.Workers
 	o.Dispatch = s.cfg.Dispatch
 
-	if b := s.cfg.TenantBudgetBytes; b > 0 {
-		if used := s.tiers.OwnerUsage()[req.Tenant]; used >= b {
-			return nil, &APIError{Status: 403, Code: CodeOverBudget,
-				Message: fmt.Sprintf("tenant %q holds %d of %d budgeted bytes; wait for eviction", req.Tenant, used, b)}
-		}
+	// Fast-path budget refusal before the submission ever queues.
+	if apiErr := s.overBudget(req.Tenant); apiErr != nil {
+		return nil, apiErr
 	}
 
 	wf := s.workflow(req)
@@ -193,8 +210,17 @@ func (s *Service) Submit(ctx context.Context, req *SubmitRequest) (*SubmitRespon
 	}
 	defer s.release(req.Tenant)
 
+	// Re-check at grant time: while this submission was queued, its
+	// tenant's earlier runs may have materialized past the cap, and the
+	// pre-admission check alone would let an over-budget tenant keep
+	// writing for as long as its queue backlog lasts.
+	if apiErr := s.overBudget(req.Tenant); apiErr != nil {
+		return nil, apiErr
+	}
+
 	sess, err := core.Open(o)
 	if err != nil {
+		s.finishRun(true)
 		return nil, &APIError{Status: 500, Code: CodeInternal, Message: err.Error()}
 	}
 	runCtx, cancelRun := context.WithCancel(ctx)
@@ -204,6 +230,7 @@ func (s *Service) Submit(ctx context.Context, req *SubmitRequest) (*SubmitRespon
 
 	rep, err := sess.RunCtx(runCtx, wf)
 	if err != nil {
+		s.finishRun(true)
 		if runCtx.Err() != nil {
 			code, status := CodeCanceled, 499
 			if s.baseCtx.Err() != nil {
@@ -218,6 +245,7 @@ func (s *Service) Submit(ctx context.Context, req *SubmitRequest) (*SubmitRespon
 	counters.CrossSessionHits = s.crossSessionHits(rep, req.Tenant)
 	hash, err := outputHash(rep)
 	if err != nil {
+		s.finishRun(true)
 		return nil, &APIError{Status: 500, Code: CodeInternal, Message: err.Error()}
 	}
 
@@ -242,18 +270,60 @@ func (s *Service) Submit(ctx context.Context, req *SubmitRequest) (*SubmitRespon
 	}, nil
 }
 
-// crossSessionHits counts the run's planned loads whose bytes another
-// tenant materialized: the plan's Load states joined against the shared
-// store's owner stamps. An entry evicted between the load and this sweep
-// just stops counting — the metric is a floor, never an overcount.
+// overBudget refuses tenant when its materialization footprint has reached
+// the per-tenant cap. Called both before a submission queues and again at
+// grant time, so a backlog accumulated while under budget cannot keep an
+// over-budget tenant writing.
+func (s *Service) overBudget(tenant string) *APIError {
+	b := s.cfg.TenantBudgetBytes
+	if b <= 0 {
+		return nil
+	}
+	if used := s.tiers.OwnerUsage()[tenant]; used >= b {
+		return &APIError{Status: 403, Code: CodeOverBudget,
+			Message: fmt.Sprintf("tenant %q holds %d of %d budgeted bytes; wait for eviction", tenant, used, b)}
+	}
+	return nil
+}
+
+// finishRun accounts one completed run; failed runs (session construction,
+// execution, or output hashing errors) count toward both totals.
+func (s *Service) finishRun(failed bool) {
+	s.mu.Lock()
+	s.submissions++
+	if failed {
+		s.failed++
+	}
+	s.mu.Unlock()
+}
+
+// crossSessionHits counts the run's nodes that were covered by another
+// tenant's work: planned loads whose bytes a different tenant materialized,
+// plus (since schema 3) compute-planned nodes served by a single-flight
+// dedup hit whose published entry a different tenant owns. Both joins go
+// through the shared store's owner stamps; an entry evicted — or a dedup
+// hit served from the registry's value handoff without an entry — before
+// this sweep just stops counting, so the metric is a floor, never an
+// overcount.
 func (s *Service) crossSessionHits(rep *core.Report, tenant string) int64 {
 	var hits int64
+	foreign := func(key string) bool {
+		e, _, ok := s.tiers.Lookup(key)
+		return ok && e.Owner != "" && e.Owner != tenant
+	}
 	for id, st := range rep.Plan.States {
-		if st != opt.Load || id >= len(rep.Keys) {
+		if id >= len(rep.Keys) {
 			continue
 		}
-		if e, _, ok := s.tiers.Lookup(rep.Keys[id]); ok && e.Owner != "" && e.Owner != tenant {
-			hits++
+		switch st {
+		case opt.Load:
+			if foreign(rep.Keys[id]) {
+				hits++
+			}
+		case opt.Compute:
+			if id < len(rep.Nodes) && rep.Nodes[id].InflightHit && foreign(rep.Keys[id]) {
+				hits++
+			}
 		}
 	}
 	return hits
@@ -269,16 +339,33 @@ func (s *Service) workflow(req *SubmitRequest) *core.Workflow {
 	if seed == 0 {
 		seed = s.cfg.DefaultSeed
 	}
-	s.dsMu.Lock()
 	key := datasetKey{rows: rows, seed: seed}
-	data, ok := s.datasets[key]
-	if !ok {
-		data = workload.GenerateCensus(rows, rows/4, seed)
-		s.datasets[key] = data
+	s.dsMu.Lock()
+	e, ok := s.datasets[key]
+	if ok {
+		// Refresh recency: move the key to the back of the eviction order.
+		for i, k := range s.dsOrder {
+			if k == key {
+				s.dsOrder = append(s.dsOrder[:i], s.dsOrder[i+1:]...)
+				break
+			}
+		}
+	} else {
+		e = &dsEntry{}
+		s.datasets[key] = e
+		if len(s.dsOrder) >= datasetCacheMax {
+			evict := s.dsOrder[0]
+			s.dsOrder = s.dsOrder[1:]
+			delete(s.datasets, evict)
+		}
 	}
+	s.dsOrder = append(s.dsOrder, key)
 	s.dsMu.Unlock()
+	// Generate outside dsMu: one submission pays per (rows, seed), others
+	// wait here on the entry — never blocking unrelated keys on the lock.
+	e.once.Do(func() { e.data = workload.GenerateCensus(rows, rows/4, seed) })
 
-	p := workload.DefaultCensusParams(data)
+	p := workload.DefaultCensusParams(e.data)
 	v := req.Variant
 	if v.Learner != "" {
 		p.Learner = v.Learner
@@ -429,7 +516,9 @@ func (s *Service) Status() StatusResponse {
 		Schema:            exec.ReportSchemaVersion,
 		Draining:          s.draining,
 		Submissions:       s.submissions,
+		Failed:            s.failed,
 		InFlight:          s.total,
+		Queued:            len(s.queue),
 		Counters:          s.totals,
 		TenantBudgetBytes: s.cfg.TenantBudgetBytes,
 	}

@@ -1,0 +1,222 @@
+package store
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func inflightTiered(t *testing.T) *Tiered {
+	t.Helper()
+	hot, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewTiered(hot, nil)
+}
+
+// TestInflightLeaderPublish: the first BeginCompute leads, a second waits,
+// and FinishCompute(nil error) wakes the waiter with the leader's value.
+func TestInflightLeaderPublish(t *testing.T) {
+	tv := inflightTiered(t)
+	leader, wait := tv.BeginCompute("k")
+	if !leader || wait != nil {
+		t.Fatalf("first BeginCompute: leader=%v wait=%p, want leader with nil wait", leader, wait)
+	}
+	leader2, wait2 := tv.BeginCompute("k")
+	if leader2 || wait2 == nil {
+		t.Fatal("second BeginCompute for an in-flight key must be a waiter")
+	}
+	if n := tv.InflightWaiters("k"); n != 1 {
+		t.Fatalf("InflightWaiters = %d, want 1", n)
+	}
+
+	got := make(chan any, 1)
+	go func() {
+		outcome, v := wait2(context.Background(), 0)
+		if outcome != WaitPublished {
+			t.Errorf("outcome = %v, want published", outcome)
+		}
+		got <- v
+	}()
+	time.Sleep(time.Millisecond)
+	tv.FinishCompute("k", 42, nil)
+	if v := <-got; v != 42 {
+		t.Fatalf("waiter received %v, want the leader's 42", v)
+	}
+	if n := tv.InflightComputes(); n != 0 {
+		t.Fatalf("InflightComputes = %d after resolution, want 0", n)
+	}
+	// The key is free again: the next BeginCompute elects a fresh leader.
+	if leader, _ := tv.BeginCompute("k"); !leader {
+		t.Fatal("BeginCompute after resolution must elect a new leader")
+	}
+	tv.FinishCompute("k", nil, nil)
+}
+
+// TestInflightLeaderFailureHandsOff: a failing leader with a parked waiter
+// hands leadership over instead of abandoning the flight, and the new
+// leader's publish wakes the remaining waiter.
+func TestInflightLeaderFailureHandsOff(t *testing.T) {
+	tv := inflightTiered(t)
+	if leader, _ := tv.BeginCompute("k"); !leader {
+		t.Fatal("want leadership")
+	}
+	_, waitA := tv.BeginCompute("k")
+	_, waitB := tv.BeginCompute("k")
+
+	outcomes := make(chan WaitOutcome, 2)
+	values := make(chan any, 2)
+	run := func(wait func(context.Context, time.Duration) (WaitOutcome, any)) {
+		outcome, v := wait(context.Background(), 0)
+		if outcome == WaitLeader {
+			tv.FinishCompute("k", "recomputed", nil)
+		}
+		outcomes <- outcome
+		values <- v
+	}
+	go run(waitA)
+	go run(waitB)
+	time.Sleep(time.Millisecond)
+
+	tv.FinishCompute("k", nil, errors.New("leader died"))
+	o1, o2 := <-outcomes, <-outcomes
+	if !(o1 == WaitLeader && o2 == WaitPublished || o1 == WaitPublished && o2 == WaitLeader) {
+		t.Fatalf("outcomes = %v, %v; want exactly one handoff and one publish", o1, o2)
+	}
+	v1, v2 := <-values, <-values
+	if v1 != "recomputed" && v2 != "recomputed" {
+		t.Fatalf("values = %v, %v; the published waiter must see the new leader's value", v1, v2)
+	}
+	if n := tv.InflightComputes(); n != 0 {
+		t.Fatalf("InflightComputes = %d after handoff chain, want 0", n)
+	}
+}
+
+// TestInflightFailureWithoutWaitersAbandons: a failing leader with nobody
+// parked abandons the flight; the key is immediately electable again.
+func TestInflightFailureWithoutWaitersAbandons(t *testing.T) {
+	tv := inflightTiered(t)
+	if leader, _ := tv.BeginCompute("k"); !leader {
+		t.Fatal("want leadership")
+	}
+	tv.FinishCompute("k", nil, errors.New("boom"))
+	if n := tv.InflightComputes(); n != 0 {
+		t.Fatalf("InflightComputes = %d after abandoned failure, want 0", n)
+	}
+	if leader, _ := tv.BeginCompute("k"); !leader {
+		t.Fatal("abandoned key must elect a new leader")
+	}
+	tv.FinishCompute("k", nil, nil)
+}
+
+// TestInflightWaiterTimeout: a bounded waiter gives up, deregisters, and the
+// leader's eventual failure — now waiterless — abandons cleanly.
+func TestInflightWaiterTimeout(t *testing.T) {
+	tv := inflightTiered(t)
+	if leader, _ := tv.BeginCompute("k"); !leader {
+		t.Fatal("want leadership")
+	}
+	_, wait := tv.BeginCompute("k")
+	outcome, v := wait(context.Background(), time.Millisecond)
+	if outcome != WaitTimeout || v != nil {
+		t.Fatalf("got (%v, %v), want (timeout, nil)", outcome, v)
+	}
+	if n := tv.InflightWaiters("k"); n != 0 {
+		t.Fatalf("InflightWaiters = %d after timeout, want 0", n)
+	}
+	tv.FinishCompute("k", nil, errors.New("late failure"))
+	if leader, _ := tv.BeginCompute("k"); !leader {
+		t.Fatal("want fresh leadership after waiterless failure")
+	}
+	tv.FinishCompute("k", nil, nil)
+}
+
+// TestInflightWaiterCancel: a canceled waiter deregisters without a result.
+func TestInflightWaiterCancel(t *testing.T) {
+	tv := inflightTiered(t)
+	if leader, _ := tv.BeginCompute("k"); !leader {
+		t.Fatal("want leadership")
+	}
+	_, wait := tv.BeginCompute("k")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if outcome, _ := wait(ctx, 0); outcome != WaitCanceled {
+		t.Fatalf("outcome = %v, want canceled", outcome)
+	}
+	tv.FinishCompute("k", 1, nil)
+	if n := tv.InflightComputes(); n != 0 {
+		t.Fatalf("InflightComputes = %d, want 0", n)
+	}
+}
+
+// TestInflightAfterglow: a successfully resolved flight's value survives in
+// the bounded afterglow cache for late same-signature arrivals; failed
+// flights and nil results leave nothing behind, and the cap evicts oldest
+// first.
+func TestInflightAfterglow(t *testing.T) {
+	tv := inflightTiered(t)
+	if v, ok := tv.RecentResolved("k"); ok {
+		t.Fatalf("RecentResolved on a cold registry = %v, want miss", v)
+	}
+	if leader, _ := tv.BeginCompute("k"); !leader {
+		t.Fatal("want leadership")
+	}
+	tv.FinishCompute("k", 42, nil)
+	if v, ok := tv.RecentResolved("k"); !ok || v != 42 {
+		t.Fatalf("RecentResolved = %v, %v; want the resolved 42", v, ok)
+	}
+
+	// Failure resolutions are not cached.
+	if leader, _ := tv.BeginCompute("dead"); !leader {
+		t.Fatal("want leadership")
+	}
+	tv.FinishCompute("dead", nil, errors.New("boom"))
+	if _, ok := tv.RecentResolved("dead"); ok {
+		t.Fatal("failed flight entered the afterglow cache")
+	}
+
+	// The cap evicts oldest-first: flood past afterglowMax and the first
+	// key must be gone while the newest survives.
+	for i := 0; i < afterglowMax+1; i++ {
+		key := fmt.Sprintf("flood-%03d", i)
+		if leader, _ := tv.BeginCompute(key); !leader {
+			t.Fatalf("flood %d: want leadership", i)
+		}
+		tv.FinishCompute(key, i, nil)
+	}
+	if _, ok := tv.RecentResolved("k"); ok {
+		t.Fatal("oldest afterglow entry survived a full flood past the cap")
+	}
+	last := fmt.Sprintf("flood-%03d", afterglowMax)
+	if v, ok := tv.RecentResolved(last); !ok || v != afterglowMax {
+		t.Fatalf("newest afterglow entry = %v, %v; want %d", v, ok, afterglowMax)
+	}
+}
+
+// TestInflightHandoffToDepartingWaiter: the last waiter leaves (cancel)
+// while a handoff token is outstanding. Whichever way the race lands —
+// the waiter accepts leadership, or its departure drains the token and
+// abandons the flight — the key must end electable, never wedged.
+func TestInflightHandoffToDepartingWaiter(t *testing.T) {
+	for i := 0; i < 100; i++ {
+		tv := inflightTiered(t)
+		if leader, _ := tv.BeginCompute("k"); !leader {
+			t.Fatal("want leadership")
+		}
+		_, wait := tv.BeginCompute("k")
+		ctx, cancel := context.WithCancel(context.Background())
+		go cancel()
+		tv.FinishCompute("k", nil, errors.New("die"))
+		outcome, _ := wait(ctx, 0)
+		if outcome == WaitLeader {
+			tv.FinishCompute("k", "v", nil)
+		}
+		if leader, _ := tv.BeginCompute("k"); !leader {
+			t.Fatalf("iter %d: key wedged after %v departure race", i, outcome)
+		}
+		tv.FinishCompute("k", nil, nil)
+	}
+}

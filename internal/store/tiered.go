@@ -103,6 +103,19 @@ type Tiered struct {
 	corrupt       atomic.Int64
 	mmapReads     atomic.Int64
 	bufferedReads atomic.Int64
+
+	// flightMu guards flights, the in-flight computation registry
+	// (BeginCompute/FinishCompute): one leader per key currently being
+	// computed, any number of waiters parked on its resolution. Lazily
+	// allocated; independent of mu so single-flight bookkeeping never
+	// contends with cross-tier movement.
+	flightMu sync.Mutex
+	flights  map[string]*inflight
+	// glow is the afterglow cache of recently resolved flights' values
+	// (RecentResolved), bounded by afterglowMax/afterglowTTL; glowOrder is
+	// its oldest-first eviction order. Guarded by flightMu.
+	glow      map[string]glowEntry
+	glowOrder []string
 }
 
 // NewTiered combines a hot store with an optional (nil-able) spill tier.
